@@ -1,0 +1,29 @@
+//! End-to-end anonymization throughput: TP, TP+, Hilbert, TDS on one
+//! SAL-4 projection. Mirrors the workloads behind Figures 4–6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldiv_bench::{run_algo, Algo};
+use ldiv_datagen::{sal, AcsConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let base = sal(&AcsConfig {
+        rows: 10_000,
+        seed: 1,
+    });
+    let table = base.project(&[0, 1, 3, 5]).unwrap(); // Age, Gender, Marital, Education
+    let mut group = c.benchmark_group("anonymize_sal4_10k");
+    group.sample_size(10);
+    for algo in [Algo::Tp, Algo::TpPlus, Algo::Hilbert, Algo::Tds] {
+        for l in [2u32, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), l),
+                &l,
+                |b, &l| b.iter(|| run_algo(algo, &table, l, false).stars),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

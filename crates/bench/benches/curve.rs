@@ -1,0 +1,32 @@
+//! Hilbert index throughput at the evaluation's dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldiv_hilbert::HilbertCurve;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert_index");
+    for &d in &[2usize, 4, 7] {
+        let curve = HilbertCurve::new(d, 7);
+        let points: Vec<Vec<u32>> = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            (0..4096)
+                .map(|_| (0..d).map(|_| rng.gen_range(0..128u32)).collect())
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("dims", d), &points, |b, pts| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for p in pts {
+                    acc ^= curve.index_of(p);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation A1: the §5.5 inverted bucket list for the residue set versus a
+//! naive histogram that rescans for the maximum on every pillar query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldiv_core::ResidueSet;
+use ldiv_microdata::SaHistogram;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The workload phase 2 induces: a push followed by a pillar-height query
+/// and an eligibility test, repeated.
+fn bench_residue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residue_structure");
+    for &n in &[10_000usize, 100_000] {
+        let values: Vec<u16> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..n).map(|_| rng.gen_range(0..50u16)).collect()
+        };
+        group.bench_with_input(BenchmarkId::new("bucket_list", n), &values, |b, vals| {
+            b.iter(|| {
+                let mut r = ResidueSet::new(50);
+                let mut eligible = 0u32;
+                for (i, &v) in vals.iter().enumerate() {
+                    r.push(i as u32, v);
+                    if r.is_l_eligible(6) {
+                        eligible += 1;
+                    }
+                }
+                (r.pillar_height(), eligible)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rescan", n), &values, |b, vals| {
+            b.iter(|| {
+                // SaHistogram rescans all m counts whenever the pillar may
+                // have moved; mimic the same query pattern.
+                let mut h = SaHistogram::new(50);
+                let mut eligible = 0u32;
+                for &v in vals {
+                    h.add(v);
+                    if h.is_l_eligible(6) {
+                        eligible += 1;
+                    }
+                }
+                (h.max_count(), eligible)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_residue);
+criterion_main!(benches);

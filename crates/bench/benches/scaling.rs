@@ -1,0 +1,31 @@
+//! Ablation A5: scaling of TP and TP+ with the table cardinality,
+//! confirming the near-linear behaviour of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldiv_bench::{run_algo, Algo};
+use ldiv_datagen::{sal, sample_rows, AcsConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let base = sal(&AcsConfig {
+        rows: 60_000,
+        seed: 2,
+    })
+    .project(&[0, 1, 3, 5])
+    .unwrap();
+    let mut group = c.benchmark_group("tp_scaling");
+    group.sample_size(10);
+    for &n in &[10_000usize, 30_000, 60_000] {
+        let table = sample_rows(&base, n, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("TP", n), &table, |b, t| {
+            b.iter(|| run_algo(Algo::Tp, t, 6, false).stars)
+        });
+        group.bench_with_input(BenchmarkId::new("TP+", n), &table, |b, t| {
+            b.iter(|| run_algo(Algo::TpPlus, t, 6, false).stars)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Figure 8 (KL-divergence vs d, l = 6).
+//!
+//! Usage: `cargo run --release -p ldiv-bench --bin fig8 -- [options]`
+//! (see `HarnessConfig::usage` for options; `--paper` = published scale).
+
+use ldiv_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match HarnessConfig::from_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", HarnessConfig::usage());
+            std::process::exit(2);
+        }
+    };
+    let reports = experiments::fig8(&cfg);
+    experiments::emit(&reports, &cfg);
+}

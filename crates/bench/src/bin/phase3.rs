@@ -1,0 +1,19 @@
+//! Regenerates the §6.1 phase-three frequency measurement.
+//!
+//! Usage: `cargo run --release -p ldiv-bench --bin phase3 -- [options]`
+//! (see `HarnessConfig::usage` for options; `--paper` = published scale).
+
+use ldiv_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match HarnessConfig::from_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", HarnessConfig::usage());
+            std::process::exit(2);
+        }
+    };
+    let reports = vec![experiments::phase3_frequency(&cfg)];
+    experiments::emit(&reports, &cfg);
+}

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the evaluation.
+//!
+//! Usage: `cargo run --release -p ldiv-bench --bin run_all -- [options]`
+//! (see `HarnessConfig::usage` for options; `--paper` = published scale).
+
+use ldiv_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match HarnessConfig::from_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", HarnessConfig::usage());
+            std::process::exit(2);
+        }
+    };
+    let reports = experiments::all(&cfg);
+    experiments::emit(&reports, &cfg);
+}

@@ -1,0 +1,152 @@
+//! Harness configuration and (tiny, hand-rolled) argument parsing.
+
+use std::path::PathBuf;
+
+/// Scale and output settings shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Rows per generated dataset (the paper uses 600 000).
+    pub rows: usize,
+    /// Cap on the number of projections evaluated per `d` (the paper uses
+    /// all `C(7, d)`, up to 35).
+    pub max_projections: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Directory for CSV outputs.
+    pub out_dir: PathBuf,
+    /// Range of `l` values to sweep (the paper: 2..=10).
+    pub l_range: (u32, u32),
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            rows: 60_000,
+            max_projections: 4,
+            seed: 0xEDB7,
+            out_dir: PathBuf::from("results"),
+            l_range: (2, 10),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The paper's published parameters.
+    pub fn paper_scale() -> Self {
+        HarnessConfig {
+            rows: 600_000,
+            max_projections: 35,
+            ..Default::default()
+        }
+    }
+
+    /// Parses command-line arguments:
+    /// `--rows N`, `--projections K`, `--seed S`, `--out DIR`,
+    /// `--lmax L`, `--paper`, `--quick`.
+    ///
+    /// Returns an error string on malformed input (binaries print it plus
+    /// usage and exit non-zero).
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut cfg = HarnessConfig::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--paper" => {
+                    cfg.rows = 600_000;
+                    cfg.max_projections = 35;
+                }
+                "--quick" => {
+                    cfg.rows = 8_000;
+                    cfg.max_projections = 2;
+                    cfg.l_range = (2, 6);
+                }
+                "--rows" => {
+                    cfg.rows = take("--rows")?
+                        .parse()
+                        .map_err(|e| format!("--rows: {e}"))?;
+                }
+                "--projections" => {
+                    cfg.max_projections = take("--projections")?
+                        .parse()
+                        .map_err(|e| format!("--projections: {e}"))?;
+                }
+                "--seed" => {
+                    cfg.seed = take("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--out" => {
+                    cfg.out_dir = PathBuf::from(take("--out")?);
+                }
+                "--lmax" => {
+                    let hi: u32 = take("--lmax")?
+                        .parse()
+                        .map_err(|e| format!("--lmax: {e}"))?;
+                    cfg.l_range = (cfg.l_range.0, hi.max(2));
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        if cfg.rows == 0 {
+            return Err("--rows must be positive".into());
+        }
+        if cfg.max_projections == 0 {
+            return Err("--projections must be positive".into());
+        }
+        Ok(cfg)
+    }
+
+    /// The `l` sweep as an iterator.
+    pub fn l_values(&self) -> impl Iterator<Item = u32> {
+        self.l_range.0..=self.l_range.1
+    }
+
+    /// Usage string for the binaries.
+    pub fn usage() -> &'static str {
+        "options: [--rows N] [--projections K] [--seed S] [--out DIR] [--lmax L] [--paper] [--quick]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessConfig, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        HarnessConfig::from_args(&v)
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.rows, 60_000);
+        assert_eq!(c.l_range, (2, 10));
+    }
+
+    #[test]
+    fn paper_flag_scales_up() {
+        let c = parse(&["--paper"]).unwrap();
+        assert_eq!(c.rows, 600_000);
+        assert_eq!(c.max_projections, 35);
+    }
+
+    #[test]
+    fn explicit_values_override() {
+        let c = parse(&["--rows", "123", "--projections", "4", "--seed", "9", "--lmax", "5"]).unwrap();
+        assert_eq!(c.rows, 123);
+        assert_eq!(c.max_projections, 4);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.l_range, (2, 5));
+    }
+
+    #[test]
+    fn bad_args_are_reported() {
+        assert!(parse(&["--rows"]).is_err());
+        assert!(parse(&["--rows", "x"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--rows", "0"]).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Algorithm dispatch and timing.
+
+use ldiv_core::{anonymize, Phase, SingleGroupResidue};
+use ldiv_hilbert::{hilbert_anonymize, HilbertResidue};
+use ldiv_metrics::{kl_divergence_recoded, kl_divergence_suppressed};
+use ldiv_microdata::Table;
+use ldiv_tds::{tds_anonymize, TdsConfig};
+use std::time::Instant;
+
+/// The algorithms the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The Hilbert suppression baseline (the paper's reference \[16\]).
+    Hilbert,
+    /// The three-phase algorithm (residue published as one group).
+    Tp,
+    /// The hybrid: TP + Hilbert refinement of the residue (§5.6).
+    TpPlus,
+    /// Top-Down Specialization, single-dimensional generalization (ref. \[15\]).
+    Tds,
+}
+
+impl Algo {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Hilbert => "Hilbert",
+            Algo::Tp => "TP",
+            Algo::TpPlus => "TP+",
+            Algo::Tds => "TDS",
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// Stars in the publication (suppression algorithms only; 0 for TDS,
+    /// which coarsens instead of starring).
+    pub stars: usize,
+    /// Wall-clock seconds of the anonymization itself (excludes KL).
+    pub seconds: f64,
+    /// TP termination phase, when applicable.
+    pub phase: Option<Phase>,
+    /// KL-divergence of the publication, when requested.
+    pub kl: Option<f64>,
+}
+
+/// Runs one algorithm on one table, optionally evaluating Eq. (2).
+///
+/// Panics if the table is not l-eligible — harness workloads are generated
+/// to be feasible for the whole sweep.
+pub fn run_algo(algo: Algo, table: &Table, l: u32, with_kl: bool) -> RunMeasurement {
+    match algo {
+        Algo::Hilbert => {
+            let start = Instant::now();
+            let (_, published) = hilbert_anonymize(table, l);
+            let seconds = start.elapsed().as_secs_f64();
+            RunMeasurement {
+                stars: published.star_count(),
+                seconds,
+                phase: None,
+                kl: with_kl.then(|| kl_divergence_suppressed(table, &published)),
+            }
+        }
+        Algo::Tp => {
+            let start = Instant::now();
+            let result = anonymize(table, l, &SingleGroupResidue).expect("feasible workload");
+            let seconds = start.elapsed().as_secs_f64();
+            RunMeasurement {
+                stars: result.star_count(),
+                seconds,
+                phase: Some(result.tp.stats.termination_phase),
+                kl: with_kl.then(|| kl_divergence_suppressed(table, &result.published)),
+            }
+        }
+        Algo::TpPlus => {
+            let start = Instant::now();
+            let result = anonymize(table, l, &HilbertResidue).expect("feasible workload");
+            let seconds = start.elapsed().as_secs_f64();
+            RunMeasurement {
+                stars: result.star_count(),
+                seconds,
+                phase: Some(result.tp.stats.termination_phase),
+                kl: with_kl.then(|| kl_divergence_suppressed(table, &result.published)),
+            }
+        }
+        Algo::Tds => {
+            let start = Instant::now();
+            let out = tds_anonymize(table, &TdsConfig { l, ..Default::default() })
+                .expect("feasible workload");
+            let seconds = start.elapsed().as_secs_f64();
+            RunMeasurement {
+                stars: 0,
+                seconds,
+                phase: None,
+                kl: with_kl.then(|| kl_divergence_recoded(table, &out.recoding)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_datagen::{sal, AcsConfig};
+
+    #[test]
+    fn all_algorithms_run_on_a_small_workload() {
+        let t = sal(&AcsConfig { rows: 1_200, seed: 5 })
+            .project(&[0, 1, 5])
+            .unwrap();
+        for algo in [Algo::Hilbert, Algo::Tp, Algo::TpPlus, Algo::Tds] {
+            let m = run_algo(algo, &t, 3, true);
+            assert!(m.seconds >= 0.0);
+            let kl = m.kl.expect("requested KL");
+            assert!(kl.is_finite() && kl >= -1e-9, "{}: kl = {kl}", algo.name());
+            if algo == Algo::Tp || algo == Algo::TpPlus {
+                assert!(m.phase.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn tp_plus_never_uses_more_stars_than_tp() {
+        let t = sal(&AcsConfig { rows: 2_000, seed: 6 })
+            .project(&[0, 2, 5, 6])
+            .unwrap();
+        let tp = run_algo(Algo::Tp, &t, 4, false);
+        let tp_plus = run_algo(Algo::TpPlus, &t, 4, false);
+        assert!(tp_plus.stars <= tp.stars);
+    }
+}

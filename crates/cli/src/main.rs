@@ -1,0 +1,19 @@
+//! The `ldiv` binary: a thin shell over `ldiv_cli::run`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match ldiv_cli::Options::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", ldiv_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match ldiv_cli::run(&opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

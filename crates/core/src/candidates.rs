@@ -1,0 +1,129 @@
+//! The phase-2 candidate list `C` (§5.5).
+//!
+//! `C[j]` stores `(group, sa)` pairs whose SA value `v` currently has
+//! `h(R, v) = j` and is (as far as the list knows) alive in that group.
+//! Entries are revalidated lazily on pop: because phase 2 only ever
+//! *increases* `h(R, v)` and only ever *kills* groups, a stale entry either
+//! moves to a higher bucket or is discarded — it never has to move left —
+//! so a monotone minimum pointer gives amortized `O(1)` maintenance per
+//! entry movement, and the total number of movements is bounded by the
+//! number of tuples ever added to `R`.
+
+use ldiv_microdata::Value;
+
+/// One candidate: SA value `sa` is removable from group `gid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the QI-group.
+    pub gid: u32,
+    /// The SA value.
+    pub sa: Value,
+}
+
+/// Bucketed candidate list with a monotone minimum pointer.
+#[derive(Debug, Default)]
+pub struct CandidateList {
+    buckets: Vec<Vec<Candidate>>,
+    /// Lowest bucket that may be non-empty.
+    min: usize,
+    /// Diagnostics: how many entries were re-bucketed rightward.
+    pub moves: u64,
+}
+
+impl CandidateList {
+    /// An empty list.
+    pub fn new() -> Self {
+        CandidateList::default()
+    }
+
+    /// Inserts a candidate at bucket `key = h(R, sa)`.
+    pub fn insert(&mut self, key: usize, c: Candidate) {
+        if key >= self.buckets.len() {
+            self.buckets.resize_with(key + 1, Vec::new);
+        }
+        self.buckets[key].push(c);
+        // Inserts at a key below the pointer can only happen before the
+        // first pop (initial build); clamp to stay correct either way.
+        if key < self.min {
+            self.min = key;
+        }
+    }
+
+    /// Pops a candidate from the lowest non-empty bucket together with its
+    /// bucket key. Returns `None` when the list is exhausted.
+    ///
+    /// The caller must revalidate the entry and either act on it, discard
+    /// it, or re-insert it at its corrected key via [`Self::reinsert`].
+    pub fn pop_min(&mut self) -> Option<(usize, Candidate)> {
+        while self.min < self.buckets.len() {
+            if let Some(c) = self.buckets[self.min].pop() {
+                return Some((self.min, c));
+            }
+            self.min += 1;
+        }
+        None
+    }
+
+    /// Re-inserts an entry whose true key turned out to be `key` (≥ the
+    /// bucket it was popped from — keys only grow in phase 2).
+    pub fn reinsert(&mut self, key: usize, c: Candidate) {
+        debug_assert!(key >= self.min, "candidate keys must be monotone");
+        self.moves += 1;
+        self.insert(key, c);
+    }
+
+    /// Total entries currently stored (for tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no entries remain.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(gid: u32, sa: Value) -> Candidate {
+        Candidate { gid, sa }
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut list = CandidateList::new();
+        list.insert(2, c(0, 5));
+        list.insert(0, c(1, 3));
+        list.insert(1, c(2, 4));
+        assert_eq!(list.pop_min(), Some((0, c(1, 3))));
+        assert_eq!(list.pop_min(), Some((1, c(2, 4))));
+        assert_eq!(list.pop_min(), Some((2, c(0, 5))));
+        assert_eq!(list.pop_min(), None);
+    }
+
+    #[test]
+    fn reinsert_moves_rightward() {
+        let mut list = CandidateList::new();
+        list.insert(0, c(0, 0));
+        let (k, e) = list.pop_min().unwrap();
+        assert_eq!(k, 0);
+        list.reinsert(3, e);
+        assert_eq!(list.pop_min(), Some((3, c(0, 0))));
+        assert_eq!(list.moves, 1);
+    }
+
+    #[test]
+    fn same_bucket_lifo_is_fine() {
+        let mut list = CandidateList::new();
+        list.insert(1, c(0, 0));
+        list.insert(1, c(1, 1));
+        let first = list.pop_min().unwrap().1;
+        let second = list.pop_min().unwrap().1;
+        assert_ne!(first, second);
+        assert!(list.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+use ldiv_microdata::MicrodataError;
+use std::fmt;
+
+/// Errors from the core anonymization pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The input table is not l-eligible, so no l-diverse generalization
+    /// exists (corollary of Lemma 1).
+    Infeasible(
+        /// The underlying feasibility diagnosis.
+        MicrodataError,
+    ),
+    /// `l` must be at least 1 (and at least 2 to be useful).
+    InvalidL(
+        /// The rejected value.
+        u32,
+    ),
+    /// An internal invariant was violated — a bug, never expected on valid
+    /// inputs. The string names the invariant.
+    Internal(
+        /// Description of the violated invariant.
+        String,
+    ),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible(e) => write!(f, "{e}"),
+            CoreError::InvalidL(l) => write!(f, "invalid diversity parameter l = {l}"),
+            CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Infeasible(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MicrodataError> for CoreError {
+    fn from(e: MicrodataError) -> Self {
+        CoreError::Infeasible(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forwards_infeasibility() {
+        let e = CoreError::Infeasible(MicrodataError::Infeasible {
+            l: 3,
+            n: 4,
+            max_sa_count: 2,
+        });
+        assert!(e.to_string().contains("3-diverse"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error as _;
+        let e = CoreError::Infeasible(MicrodataError::Csv("x".into()));
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidL(0).source().is_none());
+    }
+}

@@ -1,0 +1,322 @@
+//! Per-QI-group state for the three-phase algorithm.
+//!
+//! A group stores its tuples bucketed by SA value in a *compact* parallel
+//! layout — the distinct SA values actually present, their multiplicities
+//! and their row-id lists — rather than the paper's dense per-group arrays.
+//! Group-local SA diversity is at most `min(m, |Q|)` and `m ≤ 50` in every
+//! workload the paper evaluates, so linear scans over the entries are
+//! effectively constant-time while avoiding a `Θ(s·m)` memory footprint
+//! when the table has hundreds of thousands of distinct QI vectors (the
+//! exact regime §5.6 worries about). The `inverted` Criterion bench
+//! quantifies this trade-off.
+
+use crate::residue::ResidueSet;
+use ldiv_microdata::{RowId, Value};
+
+/// One QI-group: tuples sharing a QI vector, bucketed by SA value.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Distinct SA values present (paired with `counts` / `rows`).
+    sa: Vec<Value>,
+    /// Multiplicity per present SA value.
+    counts: Vec<u32>,
+    /// Row ids per present SA value. Rows are popped from the back.
+    rows: Vec<Vec<RowId>>,
+    /// Total tuples in the group.
+    size: u32,
+    /// Cached pillar height `h(Q)`.
+    max_count: u32,
+}
+
+impl Group {
+    /// Builds a group from `(row, sa)` pairs.
+    pub fn from_rows(members: impl IntoIterator<Item = (RowId, Value)>) -> Self {
+        let mut g = Group {
+            sa: Vec::new(),
+            counts: Vec::new(),
+            rows: Vec::new(),
+            size: 0,
+            max_count: 0,
+        };
+        for (row, v) in members {
+            match g.sa.iter().position(|&x| x == v) {
+                Some(i) => {
+                    g.counts[i] += 1;
+                    g.rows[i].push(row);
+                    g.max_count = g.max_count.max(g.counts[i]);
+                }
+                None => {
+                    g.sa.push(v);
+                    g.counts.push(1);
+                    g.rows.push(vec![row]);
+                    g.max_count = g.max_count.max(1);
+                }
+            }
+            g.size += 1;
+        }
+        g
+    }
+
+    /// Total tuples `|Q|`.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Whether the group has been fully drained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Pillar height `h(Q)`.
+    #[inline]
+    pub fn pillar_height(&self) -> u32 {
+        self.max_count
+    }
+
+    /// `h(Q, v)` for one value (linear scan over present values).
+    pub fn count(&self, v: Value) -> u32 {
+        self.sa
+            .iter()
+            .position(|&x| x == v)
+            .map_or(0, |i| self.counts[i])
+    }
+
+    /// Number of distinct SA values present.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn distinct(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// The distinct SA values present (arbitrary order).
+    pub fn present_values(&self) -> &[Value] {
+        &self.sa
+    }
+
+    /// The group's pillar values, ascending.
+    pub fn pillars(&self) -> Vec<Value> {
+        let mut out: Vec<Value> = self
+            .sa
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c == self.max_count)
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Definition 2: `|Q| ≥ l · h(Q)`.
+    #[inline]
+    pub fn is_l_eligible(&self, l: u32) -> bool {
+        self.size as u64 >= l as u64 * self.max_count as u64
+    }
+
+    /// *Thin* per §5.3: `|Q| = l · h(Q)` (assumes the group is l-eligible).
+    #[inline]
+    pub fn is_thin(&self, l: u32) -> bool {
+        self.size as u64 == l as u64 * self.max_count as u64
+    }
+
+    /// *Fat* per §5.3: `|Q| ≥ l · h(Q) + 1`.
+    #[inline]
+    pub fn is_fat(&self, l: u32) -> bool {
+        self.size as u64 > l as u64 * self.max_count as u64
+    }
+
+    /// *Conflicting* per §5.3: some pillar of `Q` is also a pillar of `R`.
+    pub fn is_conflicting(&self, residue: &ResidueSet) -> bool {
+        self.sa
+            .iter()
+            .zip(&self.counts)
+            .any(|(&v, &c)| c == self.max_count && residue.is_pillar(v))
+    }
+
+    /// *Dead* per §5.3: thin and conflicting. Dead groups cannot lose tuples
+    /// without raising `h(R)` or breaking their own eligibility. Empty
+    /// groups are vacuously dead.
+    pub fn is_dead(&self, l: u32, residue: &ResidueSet) -> bool {
+        self.is_empty() || (self.is_thin(l) && self.is_conflicting(residue))
+    }
+
+    /// The group's conflicting pillars `C(Q)` (pillars of `Q` that are
+    /// pillars of `R`), ascending — the SET-COVER "sets" of phase 3.
+    pub fn conflicting_pillars(&self, residue: &ResidueSet) -> Vec<Value> {
+        let mut out: Vec<Value> = self
+            .sa
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&v, &c)| c == self.max_count && residue.is_pillar(v))
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Removes one tuple with SA value `v`, returning its row id.
+    /// Panics if `v` is absent.
+    pub fn remove_one(&mut self, v: Value) -> RowId {
+        let i = self
+            .sa
+            .iter()
+            .position(|&x| x == v)
+            .expect("removing SA value absent from group");
+        let row = self.rows[i].pop().expect("counts/rows in sync");
+        let was = self.counts[i];
+        self.counts[i] -= 1;
+        self.size -= 1;
+        if self.counts[i] == 0 {
+            self.sa.swap_remove(i);
+            self.counts.swap_remove(i);
+            self.rows.swap_remove(i);
+        }
+        if was == self.max_count {
+            // The pillar may have shrunk; rescan (bounded by distinct ≤ m).
+            self.max_count = self.counts.iter().copied().max().unwrap_or(0);
+        }
+        row
+    }
+
+    /// Removes one tuple from *each* pillar (the thin-group move of phases
+    /// 2 and 3), pushing the rows straight into the residue. Returns how
+    /// many tuples moved.
+    pub fn remove_one_per_pillar(&mut self, residue: &mut ResidueSet) -> usize {
+        let pillars = self.pillars();
+        for &p in &pillars {
+            let row = self.remove_one(p);
+            residue.push(row, p);
+        }
+        pillars.len()
+    }
+
+    /// Drains every tuple into the residue (phase-1 shortcut for groups
+    /// smaller than `l`, which can only become l-eligible by emptying).
+    pub fn drain_into(&mut self, residue: &mut ResidueSet) -> usize {
+        let mut moved = 0;
+        for (i, &v) in self.sa.iter().enumerate() {
+            for &row in &self.rows[i] {
+                residue.push(row, v);
+                moved += 1;
+            }
+        }
+        self.sa.clear();
+        self.counts.clear();
+        self.rows.clear();
+        self.size = 0;
+        self.max_count = 0;
+        moved
+    }
+
+    /// The remaining row ids (used to emit the final partition).
+    pub fn remaining_rows(&self) -> Vec<RowId> {
+        let mut out = Vec::with_capacity(self.size as usize);
+        for rows in &self.rows {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// A value present in the group minimizing `h(R, v)` among those that
+    /// are *not* pillars of `R` — the fat-group choice in phase 3 step 2.
+    /// Returns `None` when every present value is a pillar of `R` (cannot
+    /// happen for an l-eligible group while `R` is not l-eligible; see the
+    /// phase-3 analysis).
+    pub fn non_residue_pillar_value(&self, residue: &ResidueSet) -> Option<Value> {
+        self.sa
+            .iter()
+            .copied()
+            .filter(|&v| !residue.is_pillar(v))
+            .min_by_key(|&v| (residue.count(v), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(vals: &[Value]) -> Group {
+        Group::from_rows(vals.iter().enumerate().map(|(i, &v)| (i as RowId, v)))
+    }
+
+    #[test]
+    fn construction_counts() {
+        // The §5.3 example Q1 = (3,1,1,2,3): SA 0 ×3, 1 ×1, 2 ×1, 3 ×2, 4 ×3.
+        let g = group(&[0, 0, 0, 1, 2, 3, 3, 4, 4, 4]);
+        assert_eq!(g.size(), 10);
+        assert_eq!(g.pillar_height(), 3);
+        assert_eq!(g.pillars(), vec![0, 4]);
+        assert_eq!(g.count(3), 2);
+        assert_eq!(g.count(9), 0);
+        assert_eq!(g.distinct(), 5);
+        assert!(g.is_l_eligible(3));
+        assert!(!g.is_l_eligible(4));
+    }
+
+    #[test]
+    fn thin_fat_classification() {
+        // size 6, h = 2 → thin for l = 3, fat for l = 2.
+        let g = group(&[0, 0, 1, 1, 2, 3]);
+        assert!(g.is_thin(3));
+        assert!(!g.is_fat(3));
+        assert!(g.is_fat(2));
+    }
+
+    #[test]
+    fn conflict_against_residue() {
+        let g = group(&[0, 0, 1]);
+        let mut r = ResidueSet::new(4);
+        r.push(10, 2);
+        assert!(!g.is_conflicting(&r)); // pillars of R = {2}, of Q = {0}
+        r.push(11, 0);
+        // now pillars of R = {0, 2} (both count 1); Q's pillar 0 conflicts.
+        assert!(g.is_conflicting(&r));
+        assert_eq!(g.conflicting_pillars(&r), vec![0]);
+    }
+
+    #[test]
+    fn remove_one_updates_pillar() {
+        let mut g = group(&[0, 0, 1]);
+        assert_eq!(g.pillar_height(), 2);
+        g.remove_one(0);
+        assert_eq!(g.pillar_height(), 1);
+        assert_eq!(g.size(), 2);
+        g.remove_one(0);
+        assert_eq!(g.count(0), 0);
+        assert_eq!(g.present_values(), &[1]);
+    }
+
+    #[test]
+    fn remove_one_per_pillar_moves_all_pillars() {
+        let mut g = group(&[0, 0, 1, 1, 2]);
+        let mut r = ResidueSet::new(4);
+        let moved = g.remove_one_per_pillar(&mut r);
+        assert_eq!(moved, 2);
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.pillar_height(), 1);
+        assert_eq!(r.count(0), 1);
+        assert_eq!(r.count(1), 1);
+    }
+
+    #[test]
+    fn drain_moves_everything() {
+        let mut g = group(&[0, 1, 2]);
+        let mut r = ResidueSet::new(4);
+        assert_eq!(g.drain_into(&mut r), 3);
+        assert!(g.is_empty());
+        assert_eq!(r.len(), 3);
+        assert!(g.is_dead(2, &r)); // empty ⇒ dead
+    }
+
+    #[test]
+    fn non_residue_pillar_value_prefers_rare() {
+        let g = group(&[0, 1, 2]);
+        let mut r = ResidueSet::new(4);
+        r.push(10, 0);
+        r.push(11, 0);
+        r.push(12, 1);
+        // R pillars = {0}; candidates 1 (h=1) and 2 (h=0) → pick 2.
+        assert_eq!(g.non_residue_pillar_value(&r), Some(2));
+    }
+}

@@ -1,0 +1,269 @@
+//! The residue set `R` with the paper's §5.5 inverted-list structure.
+//!
+//! `R` only ever *gains* tuples, so the structure supports exactly the
+//! queries the three phases need in amortized constant time each:
+//! increment `h(R, v)`, read `h(R, v)`, read the pillar height `h(R)`,
+//! enumerate the pillar set, and test l-eligibility.
+//!
+//! The paper's `A_R` array maps a multiplicity `c` to the list of SA values
+//! with `h(R, v) = c`; we realize each list as an intrusive doubly-linked
+//! list threaded through per-SA `next`/`prev` arrays, with a *pillar
+//! pointer* (`max_count`) that only moves up because counts only grow.
+
+use ldiv_microdata::{RowId, Value};
+
+const NIL: u32 = u32::MAX;
+
+/// The set of removed tuples, with SA-multiplicity bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ResidueSet {
+    /// All removed row ids, in removal order.
+    rows: Vec<RowId>,
+    /// `h(R, v)` per SA value.
+    count: Vec<u32>,
+    /// `bucket_head[c]` = first SA value with count `c` (NIL when empty).
+    bucket_head: Vec<u32>,
+    /// Intrusive links per SA value inside its count bucket.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// The pillar height `h(R)`.
+    max_count: u32,
+}
+
+impl ResidueSet {
+    /// An empty residue over an SA domain of `sa_domain` values.
+    pub fn new(sa_domain: u32) -> Self {
+        let m = sa_domain as usize;
+        ResidueSet {
+            rows: Vec::new(),
+            count: vec![0; m],
+            bucket_head: vec![NIL; 1], // bucket 0 unused (values with count 0 are not threaded)
+            next: vec![NIL; m],
+            prev: vec![NIL; m],
+            max_count: 0,
+        }
+    }
+
+    /// Number of removed tuples `|R|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether `R` is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The removed row ids in removal order.
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// Consumes the structure, returning the removed rows.
+    pub fn into_rows(self) -> Vec<RowId> {
+        self.rows
+    }
+
+    /// `h(R, v)`.
+    #[inline]
+    pub fn count(&self, v: Value) -> u32 {
+        self.count[v as usize]
+    }
+
+    /// The pillar height `h(R)`.
+    #[inline]
+    pub fn pillar_height(&self) -> u32 {
+        self.max_count
+    }
+
+    /// Whether `v` is a pillar of `R` (`h(R, v) = h(R) > 0`).
+    #[inline]
+    pub fn is_pillar(&self, v: Value) -> bool {
+        self.max_count > 0 && self.count[v as usize] == self.max_count
+    }
+
+    /// The pillar values, ascending. `O(#pillars)` via the bucket list.
+    pub fn pillars(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        if self.max_count == 0 {
+            return out;
+        }
+        let mut cur = self.bucket_head[self.max_count as usize];
+        while cur != NIL {
+            out.push(cur as Value);
+            cur = self.next[cur as usize];
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of pillar values. For a non-l-eligible residue this is at most
+    /// `l − 1` (used by the phase-3 SET-COVER bound).
+    pub fn pillar_count(&self) -> usize {
+        let mut n = 0;
+        if self.max_count == 0 {
+            return 0;
+        }
+        let mut cur = self.bucket_head[self.max_count as usize];
+        while cur != NIL {
+            n += 1;
+            cur = self.next[cur as usize];
+        }
+        n
+    }
+
+    /// Definition 2 on `R`: `|R| ≥ l · h(R)`.
+    #[inline]
+    pub fn is_l_eligible(&self, l: u32) -> bool {
+        self.rows.len() as u64 >= l as u64 * self.max_count as u64
+    }
+
+    /// The eligibility gap `Δ(R) = l·h(R) − |R|` (0 when eligible), the
+    /// quantity phase 3 drives to zero (proof of Lemma 9).
+    pub fn gap(&self, l: u32) -> i64 {
+        l as i64 * self.max_count as i64 - self.rows.len() as i64
+    }
+
+    /// Moves one tuple with SA value `v` into `R` — the paper's constant
+    /// time update.
+    pub fn push(&mut self, row: RowId, v: Value) {
+        self.rows.push(row);
+        let vi = v as usize;
+        let c = self.count[vi];
+        if c > 0 {
+            self.unlink(vi, c as usize);
+        }
+        let new_c = c + 1;
+        self.count[vi] = new_c;
+        if new_c as usize >= self.bucket_head.len() {
+            self.bucket_head.resize(new_c as usize + 1, NIL);
+        }
+        self.link(vi, new_c as usize);
+        if new_c > self.max_count {
+            self.max_count = new_c;
+        }
+    }
+
+    #[inline]
+    fn link(&mut self, v: usize, bucket: usize) {
+        let head = self.bucket_head[bucket];
+        self.next[v] = head;
+        self.prev[v] = NIL;
+        if head != NIL {
+            self.prev[head as usize] = v as u32;
+        }
+        self.bucket_head[bucket] = v as u32;
+    }
+
+    #[inline]
+    fn unlink(&mut self, v: usize, bucket: usize) {
+        let p = self.prev[v];
+        let n = self.next[v];
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.bucket_head[bucket] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Exhaustive structural check, used by tests and debug assertions.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut max = 0;
+        let mut total = 0u64;
+        for (v, &c) in self.count.iter().enumerate() {
+            total += c as u64;
+            max = max.max(c);
+            if c > 0 {
+                // v must be threaded in bucket c.
+                let mut cur = self.bucket_head[c as usize];
+                let mut found = false;
+                while cur != NIL {
+                    if cur as usize == v {
+                        found = true;
+                        break;
+                    }
+                    cur = self.next[cur as usize];
+                }
+                assert!(found, "SA {v} with count {c} missing from its bucket");
+            }
+        }
+        assert_eq!(max, self.max_count, "stale pillar pointer");
+        assert_eq!(total as usize, self.rows.len(), "count/row mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_tracks_counts_and_pillars() {
+        let mut r = ResidueSet::new(4);
+        assert!(r.is_l_eligible(5)); // empty R is always eligible
+        for (row, v) in [(0, 1), (1, 1), (2, 3), (3, 1)] {
+            r.push(row, v);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.count(1), 3);
+        assert_eq!(r.pillar_height(), 3);
+        assert_eq!(r.pillars(), vec![1]);
+        assert!(r.is_pillar(1));
+        assert!(!r.is_pillar(3));
+        r.check_invariants();
+    }
+
+    #[test]
+    fn eligibility_and_gap() {
+        let mut r = ResidueSet::new(4);
+        r.push(0, 0);
+        r.push(1, 0);
+        // h = 2, |R| = 2: 2-eligible needs 4.
+        assert!(!r.is_l_eligible(2));
+        assert_eq!(r.gap(2), 2);
+        r.push(2, 1);
+        r.push(3, 2);
+        assert!(r.is_l_eligible(2));
+        assert_eq!(r.gap(2), 0);
+    }
+
+    #[test]
+    fn multiple_pillars_enumerate_sorted() {
+        let mut r = ResidueSet::new(5);
+        for (row, v) in [(0, 4), (1, 2), (2, 0), (3, 4), (4, 2), (5, 0)] {
+            r.push(row, v);
+        }
+        assert_eq!(r.pillars(), vec![0, 2, 4]);
+        assert_eq!(r.pillar_count(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn random_pushes_preserve_invariants(
+            values in proptest::collection::vec(0u16..8, 0..200)
+        ) {
+            let mut r = ResidueSet::new(8);
+            let mut reference = [0u32; 8];
+            for (i, &v) in values.iter().enumerate() {
+                r.push(i as RowId, v);
+                reference[v as usize] += 1;
+            }
+            r.check_invariants();
+            for v in 0..8u16 {
+                prop_assert_eq!(r.count(v), reference[v as usize]);
+            }
+            let expect_max = reference.iter().copied().max().unwrap_or(0);
+            prop_assert_eq!(r.pillar_height(), expect_max);
+            let expect_pillars: Vec<Value> = (0..8u16)
+                .filter(|&v| expect_max > 0 && reference[v as usize] == expect_max)
+                .collect();
+            prop_assert_eq!(r.pillars(), expect_pillars);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The SAL / OCC generators (schema of the paper's Table 6).
+
+use crate::dist::{CategoricalDist, ZipfWeights};
+use ldiv_microdata::{Attribute, Schema, Table, TableBuilder, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// QI attribute names in column order, exactly as the paper's Table 6.
+pub const QI_NAMES: [&str; 7] = [
+    "Age",
+    "Gender",
+    "Race",
+    "Marital Status",
+    "Birth Place",
+    "Education",
+    "Work Class",
+];
+
+/// Domain sizes from the paper's Table 6 (same column order as
+/// [`QI_NAMES`]).
+const QI_DOMAINS: [u32; 7] = [79, 2, 9, 6, 56, 17, 9];
+const SA_DOMAIN: u32 = 50;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AcsConfig {
+    /// Number of rows to generate (the paper uses 600 000).
+    pub rows: usize,
+    /// RNG seed; equal configs produce identical tables.
+    pub seed: u64,
+}
+
+impl Default for AcsConfig {
+    fn default() -> Self {
+        AcsConfig {
+            rows: 600_000,
+            seed: 0xAC5,
+        }
+    }
+}
+
+fn qi_schema(sa_name: &str) -> Schema {
+    Schema::new(
+        QI_NAMES
+            .iter()
+            .zip(QI_DOMAINS)
+            .map(|(name, size)| Attribute::new(*name, size))
+            .collect(),
+        Attribute::new(sa_name, SA_DOMAIN),
+    )
+    .expect("static schema is valid")
+}
+
+/// The SAL schema: the seven Table 6 QIs plus sensitive attribute *Income*.
+pub fn sal_schema() -> Schema {
+    qi_schema("Income")
+}
+
+/// The OCC schema: the seven Table 6 QIs plus sensitive attribute
+/// *Occupation*.
+pub fn occ_schema() -> Schema {
+    qi_schema("Occupation")
+}
+
+/// One latent person profile: the QI vector plus the hidden traits the SA
+/// models condition on.
+struct Profile {
+    qi: [Value; 7],
+}
+
+/// Shared samplers, built once per table.
+struct Samplers {
+    age: CategoricalDist,
+    race: CategoricalDist,
+    birth_place: CategoricalDist,
+    edu_by_age_band: Vec<CategoricalDist>,
+    marital_by_age_band: Vec<CategoricalDist>,
+    work_by_edu_band: Vec<CategoricalDist>,
+}
+
+const AGE_BANDS: usize = 4; // 18-30, 31-45, 46-64, 65+
+const EDU_BANDS: usize = 3; // low / mid / high
+
+fn age_band(age: Value) -> usize {
+    // Age code 0 represents 18; the domain spans 18..97.
+    match age {
+        0..=12 => 0,
+        13..=27 => 1,
+        28..=46 => 2,
+        _ => 3,
+    }
+}
+
+fn edu_band(edu: Value) -> usize {
+    match edu {
+        0..=6 => 0,
+        7..=12 => 1,
+        _ => 2,
+    }
+}
+
+impl Samplers {
+    fn new() -> Self {
+        // Age: working-age plateau with a decline after ~60 (code ~42).
+        let age_weights: Vec<f64> = (0..79)
+            .map(|k| {
+                let k = k as f64;
+                if k < 42.0 {
+                    1.0
+                } else {
+                    (1.0 - (k - 42.0) / 60.0).max(0.15)
+                }
+            })
+            .collect();
+
+        // Education conditioned on age band: older bands skew lower.
+        let edu_by_age_band = (0..AGE_BANDS)
+            .map(|band| {
+                let peak = match band {
+                    0 => 10.0, // young adults: some college
+                    1 => 12.0,
+                    2 => 9.0,
+                    _ => 7.0,
+                };
+                let weights: Vec<f64> = (0..17)
+                    .map(|k| 1.0 / (1.0 + (k as f64 - peak).abs()).powf(1.2))
+                    .collect();
+                CategoricalDist::new(&weights)
+            })
+            .collect();
+
+        // Marital status conditioned on age band (6 codes; code 0 ~ never
+        // married dominates the youngest band, code 1 ~ married dominates
+        // the middle bands).
+        let marital_by_age_band = (0..AGE_BANDS)
+            .map(|band| {
+                let weights = match band {
+                    0 => vec![6.0, 2.0, 0.3, 0.2, 0.1, 0.4],
+                    1 => vec![2.5, 5.0, 1.0, 0.5, 0.2, 0.3],
+                    2 => vec![1.0, 5.5, 1.5, 1.0, 0.6, 0.2],
+                    _ => vec![0.5, 4.0, 1.0, 1.0, 2.5, 0.1],
+                };
+                CategoricalDist::new(&weights)
+            })
+            .collect();
+
+        // Work class conditioned on education band (9 codes: private
+        // sector dominates everywhere; self-employment and government grow
+        // with education).
+        let work_by_edu_band = (0..EDU_BANDS)
+            .map(|band| {
+                let weights = match band {
+                    0 => vec![6.0, 1.0, 0.8, 0.5, 0.5, 0.6, 0.3, 0.8, 0.2],
+                    1 => vec![5.0, 1.5, 1.2, 1.0, 0.8, 0.8, 0.5, 0.4, 0.2],
+                    _ => vec![3.5, 2.0, 1.8, 1.5, 1.2, 1.0, 1.0, 0.2, 0.3],
+                };
+                CategoricalDist::new(&weights)
+            })
+            .collect();
+
+        Samplers {
+            age: CategoricalDist::new(&age_weights),
+            // Heavier skew matches census concentration (most mass on a
+            // few race codes / birth states), keeping high-d projections
+            // from being artificially diverse.
+            race: ZipfWeights { n: 9, s: 1.3 }.dist(),
+            birth_place: ZipfWeights { n: 56, s: 1.5 }.dist(),
+            edu_by_age_band,
+            marital_by_age_band,
+            work_by_edu_band,
+        }
+    }
+
+    fn profile<R: Rng + ?Sized>(&self, rng: &mut R) -> Profile {
+        let age = self.age.sample(rng) as Value;
+        let gender = rng.gen_range(0..2) as Value;
+        let race = self.race.sample(rng) as Value;
+        let edu = self.edu_by_age_band[age_band(age)].sample(rng) as Value;
+        let marital = self.marital_by_age_band[age_band(age)].sample(rng) as Value;
+        let birth_place = self.birth_place.sample(rng) as Value;
+        let work = self.work_by_edu_band[edu_band(edu)].sample(rng) as Value;
+        Profile {
+            qi: [age, gender, race, marital, birth_place, edu, work],
+        }
+    }
+}
+
+/// Income model: a deterministic "core" that rises with education, age and
+/// work class, plus bounded noise, wrapped into the 50-code domain. The
+/// modular wrap mixes the conditional means across the domain, keeping the
+/// *marginal* close to flat (top share ≈ 3%, safely l-eligible for
+/// `l ≤ 10`) while every conditional slice stays strongly concentrated —
+/// exactly the correlation structure the KL experiments need.
+fn income<R: Rng + ?Sized>(p: &Profile, rng: &mut R) -> Value {
+    let [age, _gender, _race, _marital, _bp, edu, work] = p.qi;
+    let core = 2 * edu as i32 + (age as i32) / 6 + 3 * (work as i32 % 3);
+    let noise = rng.gen_range(-3..=3) + rng.gen_range(-2..=2);
+    (core + noise).rem_euclid(SA_DOMAIN as i32) as Value
+}
+
+/// Occupation model: tied primarily to education and work class, with a
+/// race/age seasoning term; same wrap-around construction as [`income`].
+fn occupation<R: Rng + ?Sized>(p: &Profile, rng: &mut R) -> Value {
+    let [age, _gender, race, _marital, _bp, edu, work] = p.qi;
+    let core = 3 * (edu as i32 / 2) + 5 * (work as i32 % 4) + race as i32 + (age as i32) / 16;
+    let noise = rng.gen_range(-2..=2) + rng.gen_range(-2..=2);
+    (core + noise).rem_euclid(SA_DOMAIN as i32) as Value
+}
+
+fn generate(config: &AcsConfig, schema: Schema, sa_of: fn(&Profile, &mut SmallRng) -> Value) -> Table {
+    let samplers = Samplers::new();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut builder = TableBuilder::with_capacity(schema, config.rows);
+    for _ in 0..config.rows {
+        let p = samplers.profile(&mut rng);
+        let sa = sa_of(&p, &mut rng);
+        builder.push_row_unchecked(&p.qi, sa);
+    }
+    builder.build()
+}
+
+/// Generates a SAL table (sensitive attribute Income).
+pub fn sal(config: &AcsConfig) -> Table {
+    generate(config, sal_schema(), income)
+}
+
+/// Generates an OCC table (sensitive attribute Occupation).
+pub fn occ(config: &AcsConfig) -> Table {
+    generate(config, occ_schema(), occupation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rows: usize) -> AcsConfig {
+        AcsConfig { rows, seed: 1234 }
+    }
+
+    #[test]
+    fn schemas_match_table_6() {
+        for schema in [sal_schema(), occ_schema()] {
+            assert_eq!(schema.dimensionality(), 7);
+            let sizes: Vec<u32> = schema
+                .qi_attributes()
+                .iter()
+                .map(|a| a.domain_size())
+                .collect();
+            assert_eq!(sizes, vec![79, 2, 9, 6, 56, 17, 9]);
+            assert_eq!(schema.sa_domain_size(), 50);
+        }
+        assert_eq!(sal_schema().sensitive().name(), "Income");
+        assert_eq!(occ_schema().sensitive().name(), "Occupation");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = sal(&cfg(500));
+        let b = sal(&cfg(500));
+        assert_eq!(a, b);
+        let c = sal(&AcsConfig { rows: 500, seed: 99 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sa_supports_l_up_to_10() {
+        for table in [sal(&cfg(20_000)), occ(&cfg(20_000))] {
+            assert!(
+                table.max_feasible_l() >= 10,
+                "max feasible l = {} on {}",
+                table.max_feasible_l(),
+                table.schema().sensitive().name()
+            );
+        }
+    }
+
+    #[test]
+    fn values_are_in_domain() {
+        let t = occ(&cfg(2_000));
+        for (_, qi, sa) in t.rows() {
+            for (i, &v) in qi.iter().enumerate() {
+                assert!((v as u32) < t.schema().qi_attribute(i).domain_size());
+            }
+            assert!((sa as u32) < 50);
+        }
+    }
+
+    #[test]
+    fn qi_diversity_grows_with_d() {
+        // The §5.6 regime: more QI attributes ⇒ more distinct QI vectors.
+        let t = sal(&cfg(20_000));
+        let d2 = t.project(&[1, 3]).unwrap().distinct_qi_count(); // Gender × Marital = ≤ 12
+        let d4 = t.project(&[0, 1, 3, 5]).unwrap().distinct_qi_count();
+        let d7 = t.distinct_qi_count();
+        assert!(d2 < d4 && d4 < d7, "{d2} {d4} {d7}");
+        // With all 7 QIs most vectors should be distinct.
+        assert!(d7 as f64 > 0.5 * 20_000.0, "d7 = {d7}");
+    }
+
+    #[test]
+    fn income_correlates_with_education() {
+        // Mean income of the top education band must beat the bottom band
+        // by a clear margin (correlation is what the KL experiments need).
+        let t = sal(&cfg(30_000));
+        let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0u64, 0u64, 0u64, 0u64);
+        for (_, qi, sa) in t.rows() {
+            let edu = qi[5];
+            // Compare unwrapped expectation through the modular structure:
+            // use income directly; education bands 0-4 vs 13-16 map to
+            // disjoint core ranges mod 50 before noise for fixed age/work.
+            if edu <= 4 {
+                lo_sum += sa as u64;
+                lo_n += 1;
+            } else if edu >= 13 {
+                hi_sum += sa as u64;
+                hi_n += 1;
+            }
+        }
+        assert!(lo_n > 100 && hi_n > 100);
+        let lo = lo_sum as f64 / lo_n as f64;
+        let hi = hi_sum as f64 / hi_n as f64;
+        assert!(hi - lo > 3.0, "lo = {lo:.1}, hi = {hi:.1}");
+    }
+
+    #[test]
+    fn default_config_targets_paper_scale() {
+        let c = AcsConfig::default();
+        assert_eq!(c.rows, 600_000);
+    }
+}

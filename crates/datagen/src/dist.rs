@@ -1,0 +1,141 @@
+//! Seeded categorical sampling utilities.
+
+use rand::Rng;
+
+/// A categorical distribution sampled by binary search over the cumulative
+/// weight table. Construction is `O(k)`, sampling `O(log k)`.
+#[derive(Debug, Clone)]
+pub struct CategoricalDist {
+    cumulative: Vec<f64>,
+}
+
+impl CategoricalDist {
+    /// Builds from non-negative weights (not necessarily normalized).
+    /// Panics when all weights are zero or any is negative/NaN.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        CategoricalDist { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero categories (never true — the
+    /// constructor rejects it; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        // partition_point: first index with cumulative > x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability of one category.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let hi = self.cumulative[i];
+        let lo = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (hi - lo) / total
+    }
+}
+
+/// Zipf-like weights `w_k = 1 / (k + 1)^s` over `n` categories.
+///
+/// The exponent controls skew; `s = 0.5` keeps the top share of a 50-value
+/// domain under 8%, which is what the SA attributes need for the paper's
+/// `l ≤ 10` sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfWeights {
+    /// Number of categories.
+    pub n: usize,
+    /// Skew exponent `s ≥ 0` (0 = uniform).
+    pub s: f64,
+}
+
+impl ZipfWeights {
+    /// Materializes the weight vector.
+    pub fn weights(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(self.s))
+            .collect()
+    }
+
+    /// Builds the categorical distribution directly.
+    pub fn dist(&self) -> CategoricalDist {
+        CategoricalDist::new(&self.weights())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_zero_weights() {
+        let d = CategoricalDist::new(&[0.0, 1.0, 0.0, 2.0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = d.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = CategoricalDist::new(&[1.0, 2.0, 3.0, 4.0]);
+        let total: f64 = (0..4).map(|i| d.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((d.probability(3) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_weights() {
+        let d = CategoricalDist::new(&[1.0, 3.0]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let hits = (0..20_000).filter(|_| d.sample(&mut rng) == 1).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.75).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_weights_rejected() {
+        CategoricalDist::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_top_share_is_bounded_for_mild_skew() {
+        let d = ZipfWeights { n: 50, s: 0.5 }.dist();
+        assert!(d.probability(0) < 0.10, "top share {}", d.probability(0));
+        // And uniform when s = 0.
+        let u = ZipfWeights { n: 4, s: 0.0 }.dist();
+        assert!((u.probability(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = ZipfWeights { n: 10, s: 1.0 }.dist();
+        let seq = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..32).map(|_| d.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+    }
+}

@@ -1,0 +1,125 @@
+//! Projection families (`SAL-d` / `OCC-d`) and row sampling.
+//!
+//! The paper builds, for each `d ∈ [1, 7]`, all `C(7, d)` projections of
+//! SAL (and OCC) onto `d` of the seven QI attributes plus the SA, and
+//! reports averages over the family. [`projection_sets`] enumerates the
+//! index sets in lexicographic order; [`sample_rows`] implements the
+//! cardinality sweep of Figure 6 (100k–600k samples).
+
+use ldiv_microdata::{RowId, Table};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// All `C(total, d)` sorted index subsets in lexicographic order.
+pub fn projection_sets(total: usize, d: usize) -> Vec<Vec<usize>> {
+    assert!(d >= 1 && d <= total, "need 1 ≤ d ≤ {total}");
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..d).collect();
+    loop {
+        out.push(cur.clone());
+        // Advance to the next combination.
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if cur[i] != i + total - d {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        cur[i] += 1;
+        for j in i + 1..d {
+            cur[j] = cur[j - 1] + 1;
+        }
+    }
+}
+
+/// Materializes the full `SAL-d`-style family: every `d`-subset projection
+/// of the table's QI attributes.
+pub fn project_family(table: &Table, d: usize) -> Vec<Table> {
+    projection_sets(table.dimensionality(), d)
+        .iter()
+        .map(|idx| table.project(idx).expect("indices in range"))
+        .collect()
+}
+
+/// A uniform random sample (without replacement) of `k` rows, renumbered,
+/// deterministic given the seed. `k` is clamped to the table size.
+pub fn sample_rows(table: &Table, k: usize, seed: u64) -> Table {
+    let n = table.len();
+    let k = k.min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Partial Fisher–Yates over the id vector: O(n) memory, O(k) swaps.
+    let mut ids: Vec<RowId> = (0..n as RowId).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.sort_unstable(); // keep source order for cache-friendly copying
+    table.select_rows(&ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acs::{sal, AcsConfig};
+
+    #[test]
+    fn binomial_counts() {
+        assert_eq!(projection_sets(7, 1).len(), 7);
+        assert_eq!(projection_sets(7, 4).len(), 35);
+        assert_eq!(projection_sets(7, 7).len(), 1);
+    }
+
+    #[test]
+    fn subsets_are_sorted_unique_lexicographic() {
+        let sets = projection_sets(5, 3);
+        assert_eq!(sets.len(), 10);
+        assert_eq!(sets[0], vec![0, 1, 2]);
+        assert_eq!(sets[9], vec![2, 3, 4]);
+        for w in sets.windows(2) {
+            assert!(w[0] < w[1], "not lexicographically increasing");
+        }
+        for s in &sets {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn family_projects_each_subset() {
+        let t = sal(&AcsConfig { rows: 200, seed: 3 });
+        let fam = project_family(&t, 2);
+        assert_eq!(fam.len(), 21);
+        for p in &fam {
+            assert_eq!(p.dimensionality(), 2);
+            assert_eq!(p.len(), 200);
+        }
+        // First family member is the {Age, Gender} projection.
+        assert_eq!(fam[0].schema().qi_attribute(0).name(), "Age");
+        assert_eq!(fam[0].schema().qi_attribute(1).name(), "Gender");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let t = sal(&AcsConfig { rows: 1000, seed: 5 });
+        let a = sample_rows(&t, 300, 11);
+        let b = sample_rows(&t, 300, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 300);
+        let c = sample_rows(&t, 300, 12);
+        assert_ne!(a, c);
+        // Oversized requests clamp.
+        assert_eq!(sample_rows(&t, 5000, 1).len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1")]
+    fn zero_d_rejected() {
+        projection_sets(7, 0);
+    }
+}

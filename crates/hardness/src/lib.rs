@@ -1,0 +1,40 @@
+//! The NP-hardness apparatus of Section 4 of the paper, plus exhaustive
+//! reference solvers used as ground-truth oracles across the workspace.
+//!
+//! The paper proves that optimal l-diverse generalization (star
+//! minimization, Problem 1) is NP-hard for any `m ≥ l ≥ 3` by reducing from
+//! 3-dimensional matching (3DM): a 3DM instance with `n` values per
+//! dimension and `d` points becomes a `3n`-row, `d`-attribute microdata
+//! table such that the instance has a perfect matching **iff** the optimal
+//! 3-diverse generalization uses exactly `3n(d − 1)` stars (Lemma 3).
+//!
+//! This crate implements:
+//!
+//! * [`ThreeDimMatching`] — 3DM instances with an exhaustive decision
+//!   procedure;
+//! * [`reduction_table`] — the §4 construction, including the three-case
+//!   selection of the filler value `u`, reproducing the paper's Figure 1
+//!   bit for bit (see the tests);
+//! * [`KDimMatching`] / [`reduction_table_kdm`] — the `l > 3` extension via
+//!   l-dimensional matching (Theorem 1);
+//! * [`optimal_stars`] / [`optimal_tuples`] — exhaustive optimal star /
+//!   tuple minimization for small tables, used to validate Lemma 3 here and
+//!   the approximation guarantees of the TP algorithm in the workspace
+//!   integration tests;
+//! * property checkers for Properties 1–4 of the reduction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod exhaustive;
+mod properties;
+mod reduction;
+mod tdm;
+
+pub use exhaustive::{optimal_star_partition, optimal_stars, optimal_tuples};
+pub use properties::{check_properties, PropertyReport};
+pub use reduction::{
+    reduction_star_target, reduction_table, reduction_table_kdm, verify_reduction_shape,
+    HardnessError,
+};
+pub use tdm::{KDimMatching, ThreeDimMatching};

@@ -1,0 +1,369 @@
+//! The §4 reduction: 3DM instance → microdata table.
+
+use crate::tdm::{KDimMatching, ThreeDimMatching};
+use ldiv_microdata::{Attribute, Schema, Table, TableBuilder, Value};
+use std::fmt;
+
+/// Errors constructing a reduction table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HardnessError {
+    /// The matching instance failed validation.
+    InvalidInstance(
+        /// Description from the instance validator.
+        String,
+    ),
+    /// `m` outside the legal range `[k, k·n]` (the paper needs `m ≥ l = k`
+    /// distinct SA values and has only `k·n` rows).
+    InvalidM {
+        /// The rejected value.
+        m: usize,
+        /// Lower bound (`k`).
+        lo: usize,
+        /// Upper bound (`k·n`).
+        hi: usize,
+    },
+    /// The filler-value assignment failed its validity check (reachable
+    /// only for `k > 3` with parameter combinations where no disjoint
+    /// per-domain value sets of total size `m` exist).
+    UnsatisfiableAssignment(
+        /// Description of the failed constraint.
+        String,
+    ),
+}
+
+impl fmt::Display for HardnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardnessError::InvalidInstance(s) => write!(f, "invalid matching instance: {s}"),
+            HardnessError::InvalidM { m, lo, hi } => {
+                write!(f, "m = {m} outside legal range [{lo}, {hi}]")
+            }
+            HardnessError::UnsatisfiableAssignment(s) => {
+                write!(f, "filler assignment unsatisfiable: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HardnessError {}
+
+/// The star count that witnesses a perfect matching (Lemma 3):
+/// `3n(d − 1)` for the 3-dimensional reduction, `k·n·(d − 1)` in general.
+pub fn reduction_star_target(k: usize, n: usize, d: usize) -> usize {
+    k * n * (d.saturating_sub(1))
+}
+
+/// Builds the paper's reduction table from a 3DM instance with the exact
+/// three-case filler (`u`) selection of §4.
+///
+/// The table has `3n` rows and `d = |S|` QI attributes; row `j`
+/// (1-based) corresponds to domain value `v_j` and attribute `A_i` to point
+/// `p_i`; `t_j[A_i] = 0` iff `v_j` is a coordinate of `p_i`, else the
+/// row's filler `u`, which is also its SA value. SA codes are the paper's
+/// `1..m` (code 0 is reserved for the QI marker), so the whole alphabet has
+/// size `m + 1`.
+pub fn reduction_table(instance: &ThreeDimMatching, m: usize) -> Result<Table, HardnessError> {
+    instance
+        .validate()
+        .map_err(HardnessError::InvalidInstance)?;
+    let n = instance.n;
+    if m < 3 || m > 3 * n {
+        return Err(HardnessError::InvalidM {
+            m,
+            lo: 3,
+            hi: 3 * n,
+        });
+    }
+
+    // The paper's u-selection. Rows are 1-based: j ∈ [1, 3n].
+    let u_of = |j: usize| -> usize {
+        if j <= m - 2 {
+            return j;
+        }
+        if m - 1 > 2 * n {
+            // Case 1: all remaining rows live in D3.
+            if j < 3 * n {
+                m - 1
+            } else {
+                m
+            }
+        } else if m - 1 > n {
+            // Case 2: remaining rows span D2 and D3.
+            if j <= 2 * n {
+                m - 1
+            } else {
+                m
+            }
+        } else {
+            // Case 3: remaining rows span all three domains.
+            if j <= n {
+                m - 2
+            } else if j <= 2 * n {
+                m - 1
+            } else {
+                m
+            }
+        }
+    };
+
+    let fillers: Vec<usize> = (1..=3 * n).map(u_of).collect();
+    let coords: Vec<Vec<usize>> = instance.points.iter().map(|p| p.to_vec()).collect();
+    build(3, n, &coords, m, &fillers)
+}
+
+/// The `l > 3` extension (Theorem 1): builds the reduction table from a
+/// k-dimensional matching instance.
+///
+/// The filler assignment generalizes the paper's three cases: each domain
+/// receives a budget of fresh SA values (domains are disjoint in SA, every
+/// value of `1..m` appears, later rows of a domain reuse its last value).
+/// For `k = 3` this produces a table with the same structural properties
+/// as [`reduction_table`] (the hardness argument only needs those), though
+/// not necessarily the identical filler pattern.
+pub fn reduction_table_kdm(instance: &KDimMatching, m: usize) -> Result<Table, HardnessError> {
+    instance
+        .validate()
+        .map_err(HardnessError::InvalidInstance)?;
+    let (k, n) = (instance.k, instance.n);
+    if m < k || m > k * n {
+        return Err(HardnessError::InvalidM { m, lo: k, hi: k * n });
+    }
+
+    // Distribute m distinct values over k domains: every domain gets at
+    // least one and at most n fresh values; leftover rows repeat the
+    // domain's last fresh value.
+    let mut budgets = vec![1usize; k];
+    let mut spare = m - k;
+    for b in budgets.iter_mut() {
+        let take = spare.min(n - 1);
+        *b += take;
+        spare -= take;
+    }
+    if spare > 0 {
+        return Err(HardnessError::UnsatisfiableAssignment(format!(
+            "cannot place {m} values into {k} domains of {n} rows"
+        )));
+    }
+    let mut fillers = Vec::with_capacity(k * n);
+    let mut next_value = 1usize;
+    for &b in &budgets {
+        let first = next_value;
+        for row_in_domain in 0..n {
+            let v = if row_in_domain < b {
+                first + row_in_domain
+            } else {
+                first + b - 1
+            };
+            fillers.push(v);
+        }
+        next_value += b;
+    }
+    debug_assert_eq!(next_value - 1, m);
+
+    build(k, n, &instance.points, m, &fillers)
+}
+
+/// Shared assembly: rows from fillers + zero pattern.
+fn build(
+    k: usize,
+    n: usize,
+    points: &[Vec<usize>],
+    m: usize,
+    fillers: &[usize],
+) -> Result<Table, HardnessError> {
+    let d = points.len();
+    let domain_size = (m + 1) as u32; // alphabet {0} ∪ {1..m}
+    let schema = Schema::new(
+        (0..d)
+            .map(|i| Attribute::new(format!("A{}", i + 1), domain_size))
+            .collect(),
+        Attribute::new("B", domain_size),
+    )
+    .expect("reduction schema is valid");
+
+    let mut builder = TableBuilder::with_capacity(schema, k * n);
+    let mut qi = vec![0 as Value; d];
+    for (j0, &u) in fillers.iter().enumerate() {
+        // Row j0 (0-based) encodes domain value: dimension = j0 / n,
+        // value-within-dimension = j0 % n.
+        let dim = j0 / n;
+        let val = j0 % n;
+        for (i, p) in points.iter().enumerate() {
+            qi[i] = if p[dim] == val { 0 } else { u as Value };
+        }
+        builder
+            .push_row(&qi, u as Value)
+            .expect("construction stays in domain");
+    }
+    let table = builder.build();
+    verify_reduction_shape(&table, k, n, m)
+        .map_err(HardnessError::UnsatisfiableAssignment)?;
+    Ok(table)
+}
+
+/// Checks the structural invariants the §4 proof relies on:
+///
+/// 1. **Property 1**: every QI column has exactly `k` zeros;
+/// 2. every non-zero QI value of a row equals the row's SA value;
+/// 3. all `m` SA values `1..m` occur;
+/// 4. rows of different domains carry different SA values.
+pub fn verify_reduction_shape(
+    table: &Table,
+    k: usize,
+    n: usize,
+    m: usize,
+) -> Result<(), String> {
+    if table.len() != k * n {
+        return Err(format!("expected {} rows, found {}", k * n, table.len()));
+    }
+    let d = table.dimensionality();
+    for attr in 0..d {
+        let zeros = (0..table.len() as u32)
+            .filter(|&r| table.qi_value(r, attr) == 0)
+            .count();
+        if zeros != k {
+            return Err(format!(
+                "Property 1 violated: column {attr} has {zeros} zeros, expected {k}"
+            ));
+        }
+    }
+    let mut present = vec![false; m + 1];
+    for (row, qi, sa) in table.rows() {
+        if sa == 0 || sa as usize > m {
+            return Err(format!("row {row}: SA value {sa} outside 1..{m}"));
+        }
+        present[sa as usize] = true;
+        for &v in qi {
+            if v != 0 && v != sa {
+                return Err(format!("row {row}: QI value {v} is neither 0 nor SA {sa}"));
+            }
+        }
+    }
+    if let Some(missing) = (1..=m).find(|&v| !present[v]) {
+        return Err(format!("SA value {missing} never occurs"));
+    }
+    for a in 0..table.len() as u32 {
+        for b in 0..table.len() as u32 {
+            let (da, db) = (a as usize / n, b as usize / n);
+            if da != db && table.sa_value(a) == table.sa_value(b) {
+                return Err(format!(
+                    "rows {a} and {b} in different domains share SA value {}",
+                    table.sa_value(a)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1(b): the table built from the Figure 1(a)
+    /// instance with m = 8, rendered as (A1..A6, B) rows.
+    #[test]
+    fn figure_1b_reproduced_exactly() {
+        let inst = ThreeDimMatching::figure_1_example();
+        let t = reduction_table(&inst, 8).unwrap();
+        let expected: [[u16; 7]; 12] = [
+            // A1 A2 A3 A4 A5 A6  B
+            [0, 0, 1, 1, 1, 1, 1], // 1
+            [2, 2, 0, 0, 2, 2, 2], // 2
+            [3, 3, 3, 3, 0, 3, 3], // 3
+            [4, 4, 4, 4, 4, 0, 4], // 4
+            [0, 5, 5, 5, 5, 5, 5], // a
+            [6, 0, 6, 0, 0, 6, 6], // b
+            [7, 7, 0, 7, 7, 7, 7], // c
+            [7, 7, 7, 7, 7, 0, 7], // d
+            [8, 8, 0, 0, 8, 8, 8], // α
+            [8, 8, 8, 8, 8, 0, 8], // β
+            [8, 0, 8, 8, 0, 8, 8], // γ
+            [0, 8, 8, 8, 8, 8, 8], // δ
+        ];
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.dimensionality(), 6);
+        for (row, exp) in expected.iter().enumerate() {
+            let r = row as u32;
+            assert_eq!(t.qi_row(r), &exp[..6], "row {}", row + 1);
+            assert_eq!(t.sa_value(r), exp[6], "row {} SA", row + 1);
+        }
+        // Alphabet size m + 1 = 9, as the paper points out.
+        assert_eq!(t.schema().sa_domain_size(), 9);
+    }
+
+    #[test]
+    fn u_selection_case_1() {
+        // m − 1 > 2n: n = 2, m = 6 → rows 1..4 get u = j, row 5 gets 5,
+        // row 6 gets 6.
+        let inst = ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 0], [1, 1, 1]],
+        };
+        let t = reduction_table(&inst, 6).unwrap();
+        let sa: Vec<u16> = (0..6).map(|r| t.sa_value(r)).collect();
+        assert_eq!(sa, vec![1, 2, 3, 4, 5, 6]);
+        verify_reduction_shape(&t, 3, 2, 6).unwrap();
+    }
+
+    #[test]
+    fn u_selection_case_3() {
+        // n ≥ m − 1: n = 4, m = 4 → rows 1..2 get u = j; rows 3..4 get
+        // m − 2 = 2; rows 5..8 get 3; rows 9..12 get 4.
+        let inst = ThreeDimMatching {
+            n: 4,
+            points: vec![[0, 0, 0], [1, 1, 1], [2, 2, 2], [3, 3, 3]],
+        };
+        let t = reduction_table(&inst, 4).unwrap();
+        let sa: Vec<u16> = (0..12).map(|r| t.sa_value(r)).collect();
+        assert_eq!(sa, vec![1, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4]);
+        verify_reduction_shape(&t, 3, 4, 4).unwrap();
+    }
+
+    #[test]
+    fn m_out_of_range_rejected() {
+        let inst = ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 0], [1, 1, 1]],
+        };
+        assert!(matches!(
+            reduction_table(&inst, 2),
+            Err(HardnessError::InvalidM { .. })
+        ));
+        assert!(matches!(
+            reduction_table(&inst, 7),
+            Err(HardnessError::InvalidM { .. })
+        ));
+    }
+
+    #[test]
+    fn kdm_reduction_validates_for_k_4() {
+        let inst = KDimMatching {
+            k: 4,
+            n: 3,
+            points: vec![
+                vec![0, 0, 0, 0],
+                vec![1, 1, 1, 1],
+                vec![2, 2, 2, 2],
+                vec![0, 1, 2, 0],
+            ],
+        };
+        for m in [4usize, 6, 9, 12] {
+            let t = reduction_table_kdm(&inst, m).unwrap();
+            verify_reduction_shape(&t, 4, 3, m).unwrap();
+            assert_eq!(t.len(), 12);
+        }
+    }
+
+    #[test]
+    fn kdm_matches_paper_for_k_3_shape() {
+        let inst3 = ThreeDimMatching::figure_1_example();
+        let kinst = KDimMatching {
+            k: 3,
+            n: 4,
+            points: inst3.points.iter().map(|p| p.to_vec()).collect(),
+        };
+        let t = reduction_table_kdm(&kinst, 8).unwrap();
+        verify_reduction_shape(&t, 3, 4, 8).unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! k-dimensional matching instances and exhaustive decision.
+
+/// A 3-dimensional matching instance: three disjoint domains of size `n`
+/// and a set of distinct points in their product space (coordinates are
+/// 0-based, `< n` per dimension).
+///
+/// The decision question: is there a subset of `n` points covering every
+/// domain value exactly once?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreeDimMatching {
+    /// Domain size per dimension.
+    pub n: usize,
+    /// The point set (the paper's `S`, `|S| = d ≥ n`).
+    pub points: Vec<[usize; 3]>,
+}
+
+impl ThreeDimMatching {
+    /// Validates coordinates and distinctness.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.points {
+            if p.iter().any(|&c| c >= self.n) {
+                return Err(format!("point {p:?} out of domain [0, {})", self.n));
+            }
+            if !seen.insert(*p) {
+                return Err(format!("duplicate point {p:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustive decision by backtracking over the points. Returns a
+    /// witness (indices into `points`) when a perfect matching exists.
+    pub fn solve(&self) -> Option<Vec<usize>> {
+        let general = KDimMatching {
+            k: 3,
+            n: self.n,
+            points: self.points.iter().map(|p| p.to_vec()).collect(),
+        };
+        general.solve()
+    }
+
+    /// The paper's example instance from Figure 1(a): `n = 4`, six points.
+    ///
+    /// Domains are coded `D1 = {1,2,3,4} → 0..4`, `D2 = {a,b,c,d} → 0..4`,
+    /// `D3 = {α,β,γ,δ} → 0..4`.
+    pub fn figure_1_example() -> Self {
+        ThreeDimMatching {
+            n: 4,
+            points: vec![
+                [0, 0, 3], // p1 = (1, a, δ)
+                [0, 1, 2], // p2 = (1, b, γ)
+                [1, 2, 0], // p3 = (2, c, α)
+                [1, 1, 0], // p4 = (2, b, α)
+                [2, 1, 2], // p5 = (3, b, γ)
+                [3, 3, 1], // p6 = (4, d, β)
+            ],
+        }
+    }
+}
+
+/// A k-dimensional matching instance (`k ≥ 2`), the substrate of the
+/// Theorem 1 extension to `l > 3`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KDimMatching {
+    /// Number of dimensions.
+    pub k: usize,
+    /// Domain size per dimension.
+    pub n: usize,
+    /// Distinct points; every point has `k` coordinates `< n`.
+    pub points: Vec<Vec<usize>>,
+}
+
+impl KDimMatching {
+    /// Validates shape, coordinates and distinctness.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k < 2 {
+            return Err("need k ≥ 2 dimensions".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.points {
+            if p.len() != self.k {
+                return Err(format!("point {p:?} has {} coordinates, need {}", p.len(), self.k));
+            }
+            if p.iter().any(|&c| c >= self.n) {
+                return Err(format!("point {p:?} out of domain [0, {})", self.n));
+            }
+            if !seen.insert(p.clone()) {
+                return Err(format!("duplicate point {p:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exhaustive decision: find `n` points covering every value of every
+    /// dimension exactly once. Backtracks on the first dimension's values
+    /// in order, pruning on coordinate clashes.
+    pub fn solve(&self) -> Option<Vec<usize>> {
+        // Points bucketed by first coordinate — we pick exactly one per
+        // bucket value.
+        let mut by_first: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for (i, p) in self.points.iter().enumerate() {
+            by_first[p[0]].push(i);
+        }
+        if by_first.iter().any(Vec::is_empty) {
+            return None;
+        }
+        let mut used = vec![vec![false; self.n]; self.k];
+        let mut chosen = Vec::with_capacity(self.n);
+        if self.backtrack(0, &by_first, &mut used, &mut chosen) {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(
+        &self,
+        value: usize,
+        by_first: &[Vec<usize>],
+        used: &mut [Vec<bool>],
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        if value == self.n {
+            return true;
+        }
+        'candidates: for &pi in &by_first[value] {
+            let p = &self.points[pi];
+            for (dim, &c) in p.iter().enumerate() {
+                if used[dim][c] {
+                    continue 'candidates;
+                }
+            }
+            for (dim, &c) in p.iter().enumerate() {
+                used[dim][c] = true;
+            }
+            chosen.push(pi);
+            if self.backtrack(value + 1, by_first, used, chosen) {
+                return true;
+            }
+            chosen.pop();
+            for (dim, &c) in p.iter().enumerate() {
+                used[dim][c] = false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_instance_is_yes() {
+        let inst = ThreeDimMatching::figure_1_example();
+        inst.validate().unwrap();
+        let sol = inst.solve().expect("paper says yes");
+        // The paper's witness: {p1, p3, p5, p6} = indices {0, 2, 4, 5}.
+        let mut witness = sol.clone();
+        witness.sort_unstable();
+        assert_eq!(witness, vec![0, 2, 4, 5]);
+    }
+
+    #[test]
+    fn missing_value_is_no() {
+        // No point uses value 1 in dimension 1.
+        let inst = ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 0], [0, 1, 1]],
+        };
+        assert!(inst.solve().is_none());
+    }
+
+    #[test]
+    fn shared_coordinate_is_no() {
+        // All points collide on dimension 2's value 0.
+        let inst = ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 0], [1, 0, 1], [0, 0, 1]],
+        };
+        inst.validate().unwrap();
+        assert!(inst.solve().is_none());
+    }
+
+    #[test]
+    fn simple_yes_instance() {
+        let inst = ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 0], [1, 1, 1], [0, 1, 0]],
+        };
+        let sol = inst.solve().unwrap();
+        assert_eq!(sol.len(), 2);
+        // Chosen points must be disjoint in every dimension.
+        for dim in 0..3 {
+            let mut vals: Vec<usize> =
+                sol.iter().map(|&i| inst.points[i][dim]).collect();
+            vals.sort_unstable();
+            assert_eq!(vals, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        assert!(ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 2]],
+        }
+        .validate()
+        .is_err());
+        assert!(ThreeDimMatching {
+            n: 2,
+            points: vec![[0, 0, 0], [0, 0, 0]],
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn four_dimensional_matching() {
+        let inst = KDimMatching {
+            k: 4,
+            n: 3,
+            points: vec![
+                vec![0, 0, 0, 0],
+                vec![1, 1, 1, 1],
+                vec![2, 2, 2, 2],
+                vec![0, 1, 2, 0],
+            ],
+        };
+        inst.validate().unwrap();
+        let sol = inst.solve().unwrap();
+        let mut s = sol;
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+
+        let no = KDimMatching {
+            k: 4,
+            n: 2,
+            points: vec![vec![0, 0, 0, 0], vec![1, 1, 1, 0]],
+        };
+        assert!(no.solve().is_none());
+    }
+}

@@ -1,0 +1,352 @@
+//! Curve-ordered l-diverse grouping (the "Hilbert" baseline, §6.1).
+
+use crate::curve::HilbertCurve;
+use ldiv_core::ResiduePartitioner;
+use ldiv_microdata::{Partition, RowId, SuppressedTable, Table, Value};
+use std::collections::BTreeSet;
+
+/// One group being assembled: its rows, an SA multiplicity sketch and its
+/// span on the curve (for nearest-group queries during leftover
+/// assignment).
+struct OpenGroup {
+    rows: Vec<RowId>,
+    /// `(sa, count)` pairs — groups hold ~l distinct values, so a compact
+    /// vector beats a dense histogram.
+    sa_counts: Vec<(Value, u32)>,
+    center: u128,
+}
+
+impl OpenGroup {
+    fn count(&self, v: Value) -> u32 {
+        self.sa_counts
+            .iter()
+            .find(|&&(s, _)| s == v)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    fn add(&mut self, row: RowId, v: Value) {
+        self.rows.push(row);
+        match self.sa_counts.iter_mut().find(|(s, _)| *s == v) {
+            Some((_, c)) => *c += 1,
+            None => self.sa_counts.push((v, 1)),
+        }
+    }
+
+    /// Whether adding one `v` tuple keeps the group l-eligible:
+    /// `l · (h(G, v) + 1) ≤ |G| + 1` — adding can only raise the pillar
+    /// through `v` itself.
+    fn accepts(&self, v: Value, l: u32) -> bool {
+        let new_count = (self.count(v) + 1) as u64;
+        let max_other = self
+            .sa_counts
+            .iter()
+            .filter(|&&(s, _)| s != v)
+            .map(|&(_, c)| c as u64)
+            .max()
+            .unwrap_or(0);
+        l as u64 * new_count.max(max_other) <= self.rows.len() as u64 + 1
+    }
+}
+
+/// Partitions the given rows of a table into l-eligible groups that are
+/// compact along the Hilbert curve over the QI space.
+///
+/// Returns groups covering exactly `rows`. The caller is responsible for
+/// the feasibility precondition (the row multiset must be l-eligible);
+/// when it is violated the final groups may fail eligibility, which
+/// [`hilbert_anonymize`] and the TP+ driver both check.
+pub fn hilbert_partition(table: &Table, rows: &[RowId], l: u32) -> Partition {
+    assert!(l >= 1, "l must be positive");
+    if rows.is_empty() {
+        return Partition::default();
+    }
+    let curve = curve_for(table);
+    let m = table.schema().sa_domain_size() as usize;
+
+    // Bucket rows by SA value, ordered by Hilbert index.
+    let mut buckets: Vec<BTreeSet<(u128, RowId)>> = vec![BTreeSet::new(); m];
+    let mut axes = vec![0u32; table.dimensionality()];
+    for &r in rows {
+        for (a, &v) in axes.iter_mut().zip(table.qi_row(r)) {
+            *a = v as u32;
+        }
+        let h = curve.index_of(&axes);
+        buckets[table.sa_value(r) as usize].insert((h, r));
+    }
+
+    let mut groups: Vec<OpenGroup> = Vec::with_capacity(rows.len() / l as usize + 1);
+
+    // Frequency-balanced draining: while at least l buckets are non-empty,
+    // form one group from the l fullest buckets.
+    loop {
+        let mut order: Vec<usize> = (0..m).filter(|&v| !buckets[v].is_empty()).collect();
+        if (order.len() as u32) < l {
+            break;
+        }
+        // l fullest buckets; ties by SA id for determinism.
+        order.sort_by_key(|&v| (std::cmp::Reverse(buckets[v].len()), v));
+        order.truncate(l as usize);
+
+        // Seed: the earliest remaining tuple (on the curve) in the chosen
+        // buckets; then take each bucket's tuple nearest the seed.
+        let seed = order
+            .iter()
+            .map(|&v| *buckets[v].first().expect("chosen buckets non-empty"))
+            .min()
+            .expect("l ≥ 1 buckets chosen");
+        let mut group = OpenGroup {
+            rows: Vec::with_capacity(l as usize),
+            sa_counts: Vec::with_capacity(l as usize),
+            center: seed.0,
+        };
+        for &v in &order {
+            let (h, r) = take_nearest(&mut buckets[v], seed.0);
+            group.add(r, v as Value);
+            group.center = group.center / 2 + h / 2; // running midpoint
+        }
+        groups.push(group);
+    }
+
+    // Leftover assignment: fewer than l non-empty buckets remain. Attach
+    // each leftover tuple to the nearest group that stays l-eligible,
+    // fullest buckets first.
+    let mut unplaced: Vec<(u128, RowId, Value)> = Vec::new();
+    let mut leftovers: Vec<(usize, usize)> = (0..m)
+        .filter(|&v| !buckets[v].is_empty())
+        .map(|v| (buckets[v].len(), v))
+        .collect();
+    leftovers.sort_unstable_by_key(|&(len, v)| (std::cmp::Reverse(len), v));
+    for (_, v) in leftovers {
+        while let Some(&(h, r)) = buckets[v].first() {
+            buckets[v].remove(&(h, r));
+            let best = groups
+                .iter_mut()
+                .filter(|g| g.accepts(v as Value, l))
+                .min_by_key(|g| {
+                    let c = g.center;
+                    c.abs_diff(h)
+                });
+            match best {
+                Some(g) => g.add(r, v as Value),
+                None => unplaced.push((h, r, v as Value)),
+            }
+        }
+    }
+
+    // Unplaced tuples (no group could absorb them — only possible when the
+    // input multiset was not l-eligible, or in degenerate tiny inputs):
+    // keep them together as their own trailing group. The callers verify
+    // overall eligibility and fall back as needed.
+    if !unplaced.is_empty() {
+        let center = unplaced[0].0;
+        let mut g = OpenGroup {
+            rows: Vec::new(),
+            sa_counts: Vec::new(),
+            center,
+        };
+        for (_, r, v) in unplaced {
+            g.add(r, v);
+        }
+        groups.push(g);
+    }
+
+    let mut out: Vec<Vec<RowId>> = groups
+        .into_iter()
+        .map(|g| {
+            let mut rows = g.rows;
+            rows.sort_unstable();
+            rows
+        })
+        .collect();
+    out.retain(|g| !g.is_empty());
+    Partition::new_unchecked(out)
+}
+
+/// Removes and returns the element of `set` nearest to `target`
+/// (predecessor/successor probe on the ordered set).
+fn take_nearest(set: &mut BTreeSet<(u128, RowId)>, target: u128) -> (u128, RowId) {
+    let succ = set.range((target, 0)..).next().copied();
+    let pred = set.range(..(target, 0)).next_back().copied();
+    let chosen = match (pred, succ) {
+        (Some(p), Some(s)) => {
+            if target - p.0 <= s.0 - target {
+                p
+            } else {
+                s
+            }
+        }
+        (Some(p), None) => p,
+        (None, Some(s)) => s,
+        (None, None) => unreachable!("take_nearest on empty set"),
+    };
+    set.remove(&chosen);
+    chosen
+}
+
+fn curve_for(table: &Table) -> HilbertCurve {
+    let domains: Vec<u32> = table
+        .schema()
+        .qi_attributes()
+        .iter()
+        .map(|a| a.domain_size())
+        .collect();
+    HilbertCurve::for_domains(&domains)
+}
+
+/// The full-table Hilbert suppression baseline: partitions every row and
+/// publishes per Definition 1.
+///
+/// Returns the partition and the published table. The partition is
+/// guaranteed l-diverse whenever the table itself is l-eligible; this is
+/// checked and a single-group fallback applied otherwise-infeasible inputs
+/// would violate it.
+pub fn hilbert_anonymize(table: &Table, l: u32) -> (Partition, SuppressedTable) {
+    let rows: Vec<RowId> = (0..table.len() as RowId).collect();
+    let mut partition = hilbert_partition(table, &rows, l);
+    if !partition.is_l_diverse(table, l) {
+        // Defensive fallback, reachable only on non-l-eligible inputs or
+        // pathological tiny leftovers: one group is l-diverse iff the whole
+        // table is l-eligible.
+        partition = Partition::new_unchecked(vec![rows]);
+    }
+    let published = table.generalize(&partition);
+    (partition, published)
+}
+
+/// [`ResiduePartitioner`] adapter: running
+/// [`ldiv_core::anonymize`] with this strategy is the paper's **TP+**.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HilbertResidue;
+
+impl ResiduePartitioner for HilbertResidue {
+    fn partition_residue(&self, table: &Table, residue: &[RowId], l: u32) -> Partition {
+        hilbert_partition(table, residue, l)
+    }
+
+    fn name(&self) -> &'static str {
+        "hilbert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_datagen::{sal, AcsConfig};
+    use ldiv_microdata::samples;
+    use proptest::prelude::*;
+
+    fn validate(table: &Table, partition: &Partition, l: u32) {
+        partition.validate_cover(table).unwrap();
+        assert!(
+            partition.is_l_diverse(table, l),
+            "partition not {l}-diverse"
+        );
+    }
+
+    #[test]
+    fn hospital_2_diverse() {
+        let t = samples::hospital();
+        let (p, published) = hilbert_anonymize(&t, 2);
+        validate(&t, &p, 2);
+        assert!(published.is_l_diverse(&t, 2));
+        // Each group formed by draining has exactly 2 distinct diseases,
+        // so group sizes are 2 apart from leftover absorption.
+        assert!(p.group_count() >= 3);
+    }
+
+    #[test]
+    fn acs_sample_is_l_diverse_and_compact() {
+        let t = sal(&AcsConfig {
+            rows: 3_000,
+            seed: 42,
+        });
+        for l in [2u32, 5, 10] {
+            let (p, published) = hilbert_anonymize(&t, l);
+            validate(&t, &p, l);
+            // Spatial coherence pays off as fewer stars than one big group.
+            let single = t.generalize(&Partition::new_unchecked(vec![
+                (0..t.len() as RowId).collect(),
+            ]));
+            assert!(published.star_count() < single.star_count());
+        }
+    }
+
+    #[test]
+    fn residue_partitioner_matches_partition_fn() {
+        let t = sal(&AcsConfig {
+            rows: 1_000,
+            seed: 7,
+        });
+        let rows: Vec<RowId> = (0..500).collect();
+        let a = HilbertResidue.partition_residue(&t, &rows, 3);
+        let b = hilbert_partition(&t, &rows, 3);
+        assert_eq!(a.groups(), b.groups());
+        assert_eq!(HilbertResidue.name(), "hilbert");
+    }
+
+    #[test]
+    fn tp_plus_improves_on_tp() {
+        let t = sal(&AcsConfig {
+            rows: 4_000,
+            seed: 9,
+        });
+        let plain = ldiv_core::anonymize(&t, 4, &ldiv_core::SingleGroupResidue).unwrap();
+        let hybrid = ldiv_core::anonymize(&t, 4, &HilbertResidue).unwrap();
+        assert!(!hybrid.fell_back);
+        assert!(hybrid.star_count() <= plain.star_count());
+        validate(&t, &hybrid.partition, 4);
+    }
+
+    #[test]
+    fn empty_row_set_yields_empty_partition() {
+        let t = samples::hospital();
+        let p = hilbert_partition(&t, &[], 2);
+        assert_eq!(p.group_count(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random l-eligible row multisets always produce valid l-diverse
+        /// partitions (exercises draining, leftover assignment, fallbacks).
+        #[test]
+        fn random_tables_produce_valid_partitions(
+            sa in proptest::collection::vec(0u16..6, 4..60),
+            qi_a in proptest::collection::vec(0u16..4, 4..60),
+            qi_b in proptest::collection::vec(0u16..4, 4..60),
+            l in 2u32..4,
+        ) {
+            use ldiv_microdata::{Attribute, Schema, TableBuilder};
+            let n = sa.len().min(qi_a.len()).min(qi_b.len());
+            let schema = Schema::new(
+                vec![Attribute::new("a", 4), Attribute::new("b", 4)],
+                Attribute::new("sa", 6),
+            ).unwrap();
+            let mut b = TableBuilder::new(schema);
+            for i in 0..n {
+                b.push_row(&[qi_a[i], qi_b[i]], sa[i]).unwrap();
+            }
+            let t = b.build();
+            prop_assume!(t.check_l_feasible(l).is_ok());
+            let (p, published) = hilbert_anonymize(&t, l);
+            p.validate_cover(&t).unwrap();
+            prop_assert!(p.is_l_diverse(&t, l));
+            prop_assert!(published.is_l_diverse(&t, l));
+        }
+
+        /// The residue partitioner never drops or duplicates rows even on
+        /// arbitrary (possibly ineligible) row subsets.
+        #[test]
+        fn partition_covers_exactly_the_rows(
+            picks in proptest::collection::btree_set(0u32..10, 1..10),
+        ) {
+            let t = samples::hospital();
+            let rows: Vec<RowId> = picks.into_iter().collect();
+            let p = hilbert_partition(&t, &rows, 2);
+            let mut covered: Vec<RowId> =
+                p.groups().iter().flatten().copied().collect();
+            covered.sort_unstable();
+            prop_assert_eq!(covered, rows);
+        }
+    }
+}

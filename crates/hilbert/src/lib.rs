@@ -1,0 +1,35 @@
+//! The Hilbert-curve baseline of the paper's evaluation (§6.1).
+//!
+//! Ghinita et al. (VLDB 2007) anonymize by mapping the multi-dimensional QI
+//! space to one dimension with a Hilbert space-filling curve and solving the
+//! resulting 1-D problem. The paper modifies that method into a
+//! *suppression* algorithm and uses it both as the baseline ("Hilbert") and
+//! as the residue refiner inside the hybrid ("TP+"). This crate provides:
+//!
+//! * [`HilbertCurve`] — a from-scratch d-dimensional Hilbert encoder
+//!   (Skilling's transpose algorithm), the spatial substrate;
+//! * [`hilbert_anonymize`] — the full-table baseline: tuples are ordered
+//!   along the curve and grouped into l-eligible QI-groups that stay
+//!   compact on the curve;
+//! * [`HilbertResidue`] — the same grouping as a
+//!   [`ResiduePartitioner`](ldiv_core::ResiduePartitioner), which turns
+//!   [`ldiv_core::anonymize`] into the paper's TP+.
+//!
+//! # Grouping strategy
+//!
+//! Tuples are bucketed by SA value, each bucket ordered by Hilbert index.
+//! Groups of `l` tuples with `l` distinct SA values are formed by
+//! repeatedly draining the `l` currently most frequent buckets
+//! (frequency-balanced draining, the standard feasibility device from the
+//! Anatomy/m-invariance line of work) and picking, within each bucket, the
+//! tuple closest on the curve to the group's seed. The ≤ `l − 1` leftover
+//! tuples are attached to the nearest group that stays l-eligible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod curve;
+mod grouping;
+
+pub use curve::HilbertCurve;
+pub use grouping::{hilbert_anonymize, hilbert_partition, HilbertResidue};

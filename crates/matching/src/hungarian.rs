@@ -1,0 +1,184 @@
+//! The Hungarian algorithm (Kuhn–Munkres) with potentials, `O(n³)`.
+
+/// Solves the square assignment problem: given an `n × n` cost matrix,
+/// returns `(assignment, total_cost)` where `assignment[row] = col` is a
+/// minimum-cost perfect matching.
+///
+/// Costs may be any `i64` (negative allowed); overflow-safe for totals up
+/// to `i64::MAX / 4`. Panics when the matrix is empty or not square.
+pub fn min_cost_assignment(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let n = cost.len();
+    assert!(n > 0, "empty cost matrix");
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+    const INF: i64 = i64::MAX / 4;
+
+    // 1-based potentials over rows (u) and columns (v); p[j] is the row
+    // matched to column j (0 = none); way[j] is the previous column on the
+    // augmenting path.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut total = 0i64;
+    for j in 1..=n {
+        assignment[p[j] - 1] = j - 1;
+        total += cost[p[j] - 1][j - 1];
+    }
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute force over all permutations, for cross-checking.
+    fn brute_force(cost: &[Vec<i64>]) -> i64 {
+        let n = cost.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = i64::MAX;
+        permute(&mut cols, 0, &mut |perm| {
+            let total: i64 = perm.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+            best = best.min(total);
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let (a, c) = min_cost_assignment(&[vec![7]]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(c, 7);
+    }
+
+    #[test]
+    fn textbook_3x3() {
+        // Optimal: (0,1), (1,0), (2,2) with cost 1 + 2 + 3 = 6... verify by
+        // brute force instead of trusting arithmetic.
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+        let (assignment, total) = min_cost_assignment(&cost);
+        assert_eq!(total, brute_force(&cost));
+        // assignment is a permutation
+        let mut seen = [false; 3];
+        for &c in &assignment {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+        let recomputed: i64 = assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| cost[r][c])
+            .sum();
+        assert_eq!(recomputed, total);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![vec![-5, 3], vec![2, -4]];
+        let (_, total) = min_cost_assignment(&cost);
+        assert_eq!(total, -9);
+    }
+
+    #[test]
+    fn identity_is_found_when_diagonal_dominates() {
+        let n = 8;
+        let cost: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0 } else { 100 }).collect())
+            .collect();
+        let (assignment, total) = min_cost_assignment(&cost);
+        assert_eq!(total, 0);
+        assert_eq!(assignment, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_ragged_matrix() {
+        min_cost_assignment(&[vec![1, 2], vec![3]]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Agreement with brute force on random matrices up to 6×6.
+        #[test]
+        fn matches_brute_force(
+            n in 1usize..7,
+            seed in proptest::collection::vec(-50i64..50, 36),
+        ) {
+            let cost: Vec<Vec<i64>> = (0..n)
+                .map(|i| (0..n).map(|j| seed[i * 6 + j]).collect())
+                .collect();
+            let (assignment, total) = min_cost_assignment(&cost);
+            prop_assert_eq!(total, brute_force(&cost));
+            let mut seen = vec![false; n];
+            for &c in &assignment {
+                prop_assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+    }
+}

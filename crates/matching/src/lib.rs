@@ -1,0 +1,25 @@
+//! Minimum-cost perfect matching and the polynomial-time optimal solver for
+//! `m = 2` (Section 4 of the paper).
+//!
+//! For a table with exactly two distinct SA values, the only useful
+//! diversity level is `l = 2`, and the paper observes that an optimal
+//! 2-diverse generalization can be found in polynomial time: split the
+//! tuples into `S_1` and `S_2` by SA value (2-eligibility forces
+//! `|S_1| = |S_2|`), build the complete bipartite graph whose edge
+//! `(t_1, t_2)` weighs the stars needed to merge the two tuples into one
+//! QI-group, and take a minimum-weight perfect matching.
+//!
+//! The matching substrate is a from-scratch Hungarian algorithm
+//! ([`min_cost_assignment`], `O(n³)`), usable on any square cost matrix.
+//! [`optimal_two_diversity`] wraps it into the end-to-end solver, which the
+//! test suites use as a ground-truth oracle for the approximation
+//! guarantees of the three-phase algorithm.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod hungarian;
+mod two_diversity;
+
+pub use hungarian::min_cost_assignment;
+pub use two_diversity::{optimal_two_diversity, TwoDiversityError};

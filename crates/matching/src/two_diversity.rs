@@ -1,0 +1,228 @@
+//! The optimal 2-diverse generalization for two-valued SAs (paper §4).
+
+use crate::hungarian::min_cost_assignment;
+use ldiv_microdata::{Partition, RowId, Table};
+use std::fmt;
+
+/// Why the optimal m = 2 solver cannot run on a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwoDiversityError {
+    /// The table does not have exactly two distinct SA values.
+    NotTwoValued(
+        /// The number of distinct SA values found.
+        usize,
+    ),
+    /// The two SA classes differ in size, so the table is not 2-eligible
+    /// and no 2-diverse generalization exists.
+    Unbalanced(
+        /// Size of the first class.
+        usize,
+        /// Size of the second class.
+        usize,
+    ),
+    /// The table is empty.
+    Empty,
+}
+
+impl fmt::Display for TwoDiversityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoDiversityError::NotTwoValued(m) => {
+                write!(f, "table has {m} distinct SA values, need exactly 2")
+            }
+            TwoDiversityError::Unbalanced(a, b) => write!(
+                f,
+                "SA classes have sizes {a} and {b}; a 2-eligible table needs them equal"
+            ),
+            TwoDiversityError::Empty => write!(f, "table is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TwoDiversityError {}
+
+/// Computes an *optimal* 2-diverse generalization of a table with exactly
+/// two distinct SA values, per the bipartite-matching argument of §4.
+///
+/// Returns the partition into two-tuple QI-groups and its exact star count.
+/// Runs in `O(n³)` time (`n = |T|`), so it serves as a ground-truth oracle
+/// for moderate sizes rather than a production path.
+pub fn optimal_two_diversity(table: &Table) -> Result<(Partition, usize), TwoDiversityError> {
+    if table.is_empty() {
+        return Err(TwoDiversityError::Empty);
+    }
+    // Split rows by SA value.
+    let hist = table.sa_histogram();
+    let present: Vec<u16> = hist.present_values().map(|(v, _)| v).collect();
+    if present.len() != 2 {
+        return Err(TwoDiversityError::NotTwoValued(present.len()));
+    }
+    let mut s1: Vec<RowId> = Vec::new();
+    let mut s2: Vec<RowId> = Vec::new();
+    for row in 0..table.len() as RowId {
+        if table.sa_value(row) == present[0] {
+            s1.push(row);
+        } else {
+            s2.push(row);
+        }
+    }
+    if s1.len() != s2.len() {
+        return Err(TwoDiversityError::Unbalanced(s1.len(), s2.len()));
+    }
+
+    // Edge weight: stars to generalize the pair into one QI-group — every
+    // attribute on which the tuples differ costs a star in *both* rows.
+    let n = s1.len();
+    let cost: Vec<Vec<i64>> = s1
+        .iter()
+        .map(|&a| {
+            let qa = table.qi_row(a);
+            s2.iter()
+                .map(|&b| {
+                    let qb = table.qi_row(b);
+                    2 * qa.iter().zip(qb).filter(|(x, y)| x != y).count() as i64
+                })
+                .collect()
+        })
+        .collect();
+    let (assignment, total) = min_cost_assignment(&cost);
+
+    let groups: Vec<Vec<RowId>> = (0..n)
+        .map(|i| {
+            let mut g = vec![s1[i], s2[assignment[i]]];
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    Ok((Partition::new_unchecked(groups), total as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::{Attribute, Schema, TableBuilder, Value};
+    use proptest::prelude::*;
+
+    fn two_valued_table(rows: &[([Value; 2], Value)]) -> Table {
+        let schema = Schema::new(
+            vec![Attribute::new("a", 8), Attribute::new("b", 8)],
+            Attribute::new("sa", 2),
+        )
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (qi, sa) in rows {
+            b.push_row(qi, *sa).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfect_twins_cost_zero() {
+        let t = two_valued_table(&[
+            ([1, 1], 0),
+            ([1, 1], 1),
+            ([2, 2], 0),
+            ([2, 2], 1),
+        ]);
+        let (p, stars) = optimal_two_diversity(&t).unwrap();
+        assert_eq!(stars, 0);
+        assert!(p.is_l_diverse(&t, 2));
+        assert_eq!(t.generalize(&p).star_count(), 0);
+    }
+
+    #[test]
+    fn reported_stars_match_generalization() {
+        let t = two_valued_table(&[
+            ([1, 2], 0),
+            ([1, 3], 1),
+            ([4, 4], 0),
+            ([5, 4], 1),
+        ]);
+        let (p, stars) = optimal_two_diversity(&t).unwrap();
+        // Best pairing: (0,1) differs on b → 2 stars; (2,3) differs on a →
+        // 2 stars.
+        assert_eq!(stars, 4);
+        assert_eq!(t.generalize(&p).star_count(), 4);
+        assert!(p.is_l_diverse(&t, 2));
+        p.validate_cover(&t).unwrap();
+    }
+
+    #[test]
+    fn error_cases() {
+        let t = two_valued_table(&[([0, 0], 0), ([0, 0], 0)]);
+        assert_eq!(
+            optimal_two_diversity(&t),
+            Err(TwoDiversityError::NotTwoValued(1))
+        );
+        let t = two_valued_table(&[([0, 0], 0), ([0, 0], 0), ([1, 1], 1)]);
+        assert_eq!(
+            optimal_two_diversity(&t),
+            Err(TwoDiversityError::Unbalanced(2, 1))
+        );
+    }
+
+    /// Exhaustive optimal stars over all pairings, for cross-checking.
+    fn brute_force_stars(table: &Table) -> usize {
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for r in 0..table.len() as RowId {
+            if table.sa_value(r) == table.sa_value(0) {
+                s1.push(r);
+            } else {
+                s2.push(r);
+            }
+        }
+        fn rec(
+            table: &Table,
+            s1: &[RowId],
+            s2: &mut Vec<RowId>,
+            k: usize,
+            acc: usize,
+            best: &mut usize,
+        ) {
+            if k == s1.len() {
+                *best = (*best).min(acc);
+                return;
+            }
+            for i in k..s2.len() {
+                s2.swap(k, i);
+                let cost = 2 * table
+                    .qi_row(s1[k])
+                    .iter()
+                    .zip(table.qi_row(s2[k]))
+                    .filter(|(a, b)| a != b)
+                    .count();
+                rec(table, s1, s2, k + 1, acc + cost, best);
+                s2.swap(k, i);
+            }
+        }
+        let mut best = usize::MAX;
+        rec(table, &s1, &mut s2, 0, 0, &mut best);
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The matching solver equals the exhaustive optimum on random
+        /// balanced two-valued tables.
+        #[test]
+        fn optimality_on_random_tables(
+            qi in proptest::collection::vec((0u16..4, 0u16..4), 2..12),
+        ) {
+            let n = qi.len() / 2 * 2;
+            prop_assume!(n >= 2);
+            let rows: Vec<([Value; 2], Value)> = qi[..n]
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| ([a, b], (i % 2) as Value))
+                .collect();
+            let t = two_valued_table(&rows);
+            let (p, stars) = optimal_two_diversity(&t).unwrap();
+            prop_assert_eq!(stars, brute_force_stars(&t));
+            prop_assert_eq!(t.generalize(&p).star_count(), stars);
+            prop_assert!(p.is_l_diverse(&t, 2));
+            p.validate_cover(&t).unwrap();
+        }
+    }
+}

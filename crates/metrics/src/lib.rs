@@ -1,0 +1,32 @@
+//! Information-loss metrics for anonymized microdata.
+//!
+//! Two families of measurements back the paper's evaluation:
+//!
+//! * **Star accounting** (§6.1) — star counts and suppression ratios are
+//!   provided by `ldiv-microdata`; [`PublicationSummary`] bundles them with
+//!   group-shape statistics for the experiment harness.
+//! * **KL-divergence** (§6.2, Eq. 2) — the similarity between the pdf `f`
+//!   induced by the microdata over `Ω = A_1 × … × A_d × B` and the pdf
+//!   `f*` induced by the anonymized table, where a suppressed value
+//!   spreads uniformly over its attribute domain and a coarsened value
+//!   spreads uniformly over its sub-domain.
+//!
+//! Computing `KL(f, f*)` naively is `Σ_p`-over-support × `Σ`-over-groups.
+//! [`kl_divergence_suppressed`] instead indexes generalized rows by *star
+//! pattern* (there are at most `2^d` patterns, typically a handful), so
+//! each support point probes one hash map per pattern.
+//! [`kl_divergence_recoded`] exploits that single-dimensional (global)
+//! recoding sends every support point to exactly one generalized cell.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod kl;
+mod loss;
+mod recode;
+mod stats;
+
+pub use kl::{kl_divergence_coarse_suppressed, kl_divergence_recoded, kl_divergence_suppressed};
+pub use loss::{discernibility, ncp_recoded, ncp_suppressed};
+pub use recode::Recoding;
+pub use stats::PublicationSummary;

@@ -1,0 +1,166 @@
+//! Single-dimensional (global) recoding descriptions.
+
+use ldiv_microdata::{Schema, Table, Value};
+
+/// A global recoding of the QI attributes: every attribute's domain is
+/// partitioned into sub-domains ("buckets"), and each value maps to its
+/// bucket. This is the output shape of single-dimensional generalization
+/// (the paper's Table 4, and the TDS baseline of §6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recoding {
+    /// `bucket_of[attr][value]` = bucket id of a value.
+    bucket_of: Vec<Vec<u32>>,
+    /// `bucket_size[attr][bucket]` = number of domain values in the bucket.
+    bucket_size: Vec<Vec<u32>>,
+}
+
+impl Recoding {
+    /// Builds a recoding from per-attribute bucket assignments. Bucket ids
+    /// per attribute must be dense (`0..#buckets`); every domain value gets
+    /// an assignment.
+    pub fn new(bucket_of: Vec<Vec<u32>>) -> Self {
+        let bucket_size = bucket_of
+            .iter()
+            .map(|assign| {
+                let buckets = assign.iter().copied().max().map_or(0, |m| m + 1);
+                let mut sizes = vec![0u32; buckets as usize];
+                for &b in assign {
+                    sizes[b as usize] += 1;
+                }
+                assert!(
+                    sizes.iter().all(|&s| s > 0),
+                    "bucket ids must be dense (an empty bucket exists)"
+                );
+                sizes
+            })
+            .collect();
+        Recoding {
+            bucket_of,
+            bucket_size,
+        }
+    }
+
+    /// The identity recoding for a schema (every value its own bucket).
+    pub fn identity(schema: &Schema) -> Self {
+        Recoding::new(
+            schema
+                .qi_attributes()
+                .iter()
+                .map(|a| (0..a.domain_size()).collect())
+                .collect(),
+        )
+    }
+
+    /// The fully generalized recoding (one bucket per attribute) — the
+    /// TDS starting point.
+    pub fn full(schema: &Schema) -> Self {
+        Recoding::new(
+            schema
+                .qi_attributes()
+                .iter()
+                .map(|a| vec![0; a.domain_size() as usize])
+                .collect(),
+        )
+    }
+
+    /// Number of QI attributes covered.
+    pub fn dimensionality(&self) -> usize {
+        self.bucket_of.len()
+    }
+
+    /// Bucket id of a value.
+    #[inline]
+    pub fn bucket(&self, attr: usize, value: Value) -> u32 {
+        self.bucket_of[attr][value as usize]
+    }
+
+    /// Number of domain values inside a value's bucket (the sub-domain
+    /// size the value spreads over under Eq. 2 semantics).
+    #[inline]
+    pub fn bucket_width(&self, attr: usize, value: Value) -> u32 {
+        self.bucket_size[attr][self.bucket(attr, value) as usize]
+    }
+
+    /// Number of buckets of one attribute.
+    pub fn bucket_count(&self, attr: usize) -> usize {
+        self.bucket_size[attr].len()
+    }
+
+    /// Recodes a QI row into bucket ids (buffer variant, no allocation).
+    pub fn apply_into(&self, qi: &[Value], out: &mut [u32]) {
+        for (a, (&v, o)) in qi.iter().zip(out.iter_mut()).enumerate() {
+            *o = self.bucket(a, v);
+        }
+    }
+
+    /// Buckets every row of a table, returning the groups of rows sharing
+    /// a recoded QI vector — the QI-groups the recoding induces.
+    pub fn induced_groups(&self, table: &Table) -> Vec<Vec<ldiv_microdata::RowId>> {
+        use std::collections::HashMap;
+        let d = table.dimensionality();
+        assert_eq!(d, self.dimensionality());
+        let mut key = vec![0u32; d];
+        let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut groups: Vec<Vec<ldiv_microdata::RowId>> = Vec::new();
+        for (row, qi, _) in table.rows() {
+            self.apply_into(qi, &mut key);
+            match index.get(&key) {
+                Some(&g) => groups[g].push(row),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push(vec![row]);
+                }
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::samples;
+
+    #[test]
+    fn identity_has_unit_buckets() {
+        let r = Recoding::identity(&samples::hospital_schema());
+        assert_eq!(r.dimensionality(), 3);
+        assert_eq!(r.bucket_width(0, 2), 1);
+        assert_eq!(r.bucket_count(0), 3);
+    }
+
+    #[test]
+    fn full_recoding_is_one_bucket() {
+        let r = Recoding::full(&samples::hospital_schema());
+        assert_eq!(r.bucket_count(0), 1);
+        assert_eq!(r.bucket_width(0, 1), 3);
+        let t = samples::hospital();
+        let groups = r.induced_groups(&t);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 10);
+    }
+
+    #[test]
+    fn induced_groups_follow_buckets() {
+        // Coarsen Age into {<30, ≥30} like the paper's Table 4 coarsens
+        // domains; keep Gender and Education exact.
+        let r = Recoding::new(vec![
+            vec![0, 1, 1],       // Age: <30 | {[30,50), ≥50}
+            vec![0, 1],          // Gender identity
+            vec![0, 1, 2],       // Education identity
+        ]);
+        let t = samples::hospital();
+        let groups = r.induced_groups(&t);
+        // Buckets: rows 0,1 (young M master) | row 2 (young M bachelor) |
+        // row 3 (old M bachelor) | rows 4-7 (old F bachelor) |
+        // rows 8,9 (old F high school).
+        assert_eq!(groups.len(), 5);
+        assert_eq!(groups[3], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_bucket_ids_rejected() {
+        Recoding::new(vec![vec![0, 2]]);
+    }
+}

@@ -1,0 +1,273 @@
+//! l-eligibility (Definition 2) and SA histograms.
+//!
+//! A set `S` of tuples is *l-eligible* when at most `|S| / l` of them share
+//! any single SA value, i.e. `l · h(S) ≤ |S|` where `h(S)` is the paper's
+//! *pillar height*: the multiplicity of the most frequent SA value.
+
+use crate::{Table, Value};
+
+/// A dense histogram over the SA domain with an exact maximum-count query.
+///
+/// This is the bookkeeping object behind every `h(Q, v)` / `h(Q)` expression
+/// in the paper. The maximum is maintained lazily: increments can only push
+/// it up by one, and after a decrement a linear rescan re-establishes it only
+/// when the last pillar shrank. For the heavy, incremental use inside the
+/// three-phase algorithm the `ldiv-core` crate layers the paper's §5.5
+/// bucket-list structure on top; this type is for whole-set queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaHistogram {
+    counts: Vec<u32>,
+    total: usize,
+    max_count: u32,
+    distinct: usize,
+}
+
+impl SaHistogram {
+    /// An empty histogram over an SA domain of the given size.
+    pub fn new(domain_size: u32) -> Self {
+        SaHistogram {
+            counts: vec![0; domain_size as usize],
+            total: 0,
+            max_count: 0,
+            distinct: 0,
+        }
+    }
+
+    /// Builds a histogram from an iterator of SA values.
+    pub fn from_values(domain_size: u32, values: impl IntoIterator<Item = Value>) -> Self {
+        let mut h = SaHistogram::new(domain_size);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Histogram of one group of rows of a table.
+    pub fn of_rows(table: &Table, rows: &[crate::RowId]) -> Self {
+        Self::from_values(
+            table.schema().sa_domain_size(),
+            rows.iter().map(|&r| table.sa_value(r)),
+        )
+    }
+
+    /// Adds one occurrence of `v`.
+    pub fn add(&mut self, v: Value) {
+        let c = &mut self.counts[v as usize];
+        if *c == 0 {
+            self.distinct += 1;
+        }
+        *c += 1;
+        if *c > self.max_count {
+            self.max_count = *c;
+        }
+        self.total += 1;
+    }
+
+    /// Removes one occurrence of `v`. Panics if `v` is absent.
+    pub fn remove(&mut self, v: Value) {
+        let c = &mut self.counts[v as usize];
+        assert!(*c > 0, "removing absent SA value {v}");
+        let was = *c;
+        *c -= 1;
+        if *c == 0 {
+            self.distinct -= 1;
+        }
+        self.total -= 1;
+        if was == self.max_count {
+            // The decremented value may have been the unique pillar.
+            self.max_count = self.counts.iter().copied().max().unwrap_or(0);
+        }
+    }
+
+    /// Multiplicity of a value: the paper's `h(S, v)`.
+    #[inline]
+    pub fn count(&self, v: Value) -> u32 {
+        self.counts[v as usize]
+    }
+
+    /// The pillar height `h(S)`: multiplicity of the most frequent value.
+    #[inline]
+    pub fn max_count(&self) -> usize {
+        self.max_count as usize
+    }
+
+    /// Total number of tuples `|S|`.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct values present.
+    #[inline]
+    pub fn distinct_count(&self) -> usize {
+        self.distinct
+    }
+
+    /// All pillar values (those with multiplicity `h(S)`), ascending.
+    pub fn pillars(&self) -> Vec<Value> {
+        if self.max_count == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == self.max_count)
+            .map(|(v, _)| v as Value)
+            .collect()
+    }
+
+    /// Values present (count > 0), ascending.
+    pub fn present_values(&self) -> impl Iterator<Item = (Value, u32)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as Value, c))
+    }
+
+    /// Definition 2: `l · h(S) ≤ |S|`.
+    #[inline]
+    pub fn is_l_eligible(&self, l: u32) -> bool {
+        (self.max_count as u128) * (l as u128) <= self.total as u128
+    }
+
+    /// Merges another histogram in (used to test Lemma 1, monotonicity).
+    pub fn merge(&mut self, other: &SaHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (v, &c) in other.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mine = &mut self.counts[v];
+            if *mine == 0 {
+                self.distinct += 1;
+            }
+            *mine += c;
+            if *mine > self.max_count {
+                self.max_count = *mine;
+            }
+            self.total += c as usize;
+        }
+    }
+}
+
+/// Definition 2 over a slice of SA values: at most `|S|/l` tuples may share
+/// an SA value. An empty set is l-eligible for every `l`.
+pub fn is_l_eligible(domain_size: u32, values: &[Value], l: u32) -> bool {
+    SaHistogram::from_values(domain_size, values.iter().copied()).is_l_eligible(l)
+}
+
+/// Builds the histogram of a row set and reports its eligibility in one pass.
+pub fn l_eligible_histogram(
+    table: &Table,
+    rows: &[crate::RowId],
+    l: u32,
+) -> (SaHistogram, bool) {
+    let hist = SaHistogram::of_rows(table, rows);
+    let ok = hist.is_l_eligible(l);
+    (hist, ok)
+}
+
+/// The largest `l` for which this value multiset is l-eligible
+/// (`floor(|S| / h(S))`; 0 for an empty set's degenerate case is mapped to
+/// `u32::MAX` since every constraint holds vacuously).
+pub fn max_l_for(domain_size: u32, values: &[Value]) -> u32 {
+    let hist = SaHistogram::from_values(domain_size, values.iter().copied());
+    if hist.total() == 0 {
+        return u32::MAX;
+    }
+    (hist.total() / hist.max_count()) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_tracks_counts_and_max() {
+        let mut h = SaHistogram::new(4);
+        for v in [0, 1, 1, 2, 1] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.max_count(), 3);
+        assert_eq!(h.distinct_count(), 3);
+        assert_eq!(h.pillars(), vec![1]);
+        h.remove(1);
+        assert_eq!(h.max_count(), 2);
+        h.remove(1);
+        // Now 0, 1, 2 all have count 1.
+        assert_eq!(h.max_count(), 1);
+        assert_eq!(h.pillars(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn removing_absent_value_panics() {
+        let mut h = SaHistogram::new(2);
+        h.remove(1);
+    }
+
+    #[test]
+    fn eligibility_matches_definition_2() {
+        // {HIV, HIV, pneumonia, bronchitis}: h = 2, |S| = 4 → 2-eligible.
+        assert!(is_l_eligible(3, &[0, 0, 1, 2], 2));
+        // but not 3-eligible: 3·2 > 4.
+        assert!(!is_l_eligible(3, &[0, 0, 1, 2], 3));
+        // Empty sets are always eligible.
+        assert!(is_l_eligible(3, &[], 7));
+    }
+
+    #[test]
+    fn max_l_is_floor_n_over_h() {
+        assert_eq!(max_l_for(3, &[0, 0, 1, 2]), 2);
+        assert_eq!(max_l_for(3, &[0, 1, 2]), 3);
+        assert_eq!(max_l_for(3, &[]), u32::MAX);
+    }
+
+    proptest! {
+        /// Lemma 1 (monotonicity): the union of two disjoint l-eligible sets
+        /// is l-eligible.
+        #[test]
+        fn lemma_1_union_preserves_eligibility(
+            s1 in proptest::collection::vec(0u16..6, 0..40),
+            s2 in proptest::collection::vec(0u16..6, 0..40),
+            l in 1u32..5,
+        ) {
+            let h1 = SaHistogram::from_values(6, s1.iter().copied());
+            let h2 = SaHistogram::from_values(6, s2.iter().copied());
+            prop_assume!(h1.is_l_eligible(l) && h2.is_l_eligible(l));
+            let mut merged = h1.clone();
+            merged.merge(&h2);
+            prop_assert!(merged.is_l_eligible(l));
+        }
+
+        /// Incremental add/remove bookkeeping agrees with a rebuild.
+        #[test]
+        fn incremental_matches_rebuild(
+            ops in proptest::collection::vec((0u16..5, any::<bool>()), 0..100)
+        ) {
+            let mut h = SaHistogram::new(5);
+            let mut reference: Vec<Value> = Vec::new();
+            for (v, add) in ops {
+                if add || reference.iter().filter(|&&x| x == v).count() == 0 {
+                    h.add(v);
+                    reference.push(v);
+                } else {
+                    h.remove(v);
+                    let pos = reference.iter().position(|&x| x == v).unwrap();
+                    reference.swap_remove(pos);
+                }
+            }
+            let rebuilt = SaHistogram::from_values(5, reference.iter().copied());
+            prop_assert_eq!(h.total(), rebuilt.total());
+            prop_assert_eq!(h.max_count(), rebuilt.max_count());
+            prop_assert_eq!(h.distinct_count(), rebuilt.distinct_count());
+            for v in 0..5u16 {
+                prop_assert_eq!(h.count(v), rebuilt.count(v));
+            }
+        }
+    }
+}

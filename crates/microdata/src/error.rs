@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Errors raised while constructing or validating microdata structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicrodataError {
+    /// A value code is outside its attribute's declared domain.
+    ValueOutOfDomain {
+        /// Attribute name (or `"<sensitive>"`).
+        attribute: String,
+        /// The offending code.
+        value: u32,
+        /// The domain cardinality it must be below.
+        domain_size: u32,
+    },
+    /// A row had the wrong number of QI values for the schema.
+    ArityMismatch {
+        /// Number of QI attributes the schema declares.
+        expected: usize,
+        /// Number of QI values supplied.
+        got: usize,
+    },
+    /// A partition referenced a row id not in the table, or twice, or
+    /// missed one.
+    InvalidPartition(
+        /// Human-readable description of the violation.
+        String,
+    ),
+    /// A schema was declared with no QI attributes or an empty domain.
+    InvalidSchema(
+        /// Human-readable description of the violation.
+        String,
+    ),
+    /// The requested l-diverse anonymization cannot exist because the table
+    /// itself is not l-eligible (corollary of Lemma 1 in the paper).
+    Infeasible {
+        /// The diversity parameter requested.
+        l: u32,
+        /// Table cardinality `n`.
+        n: usize,
+        /// Height of the most frequent SA value.
+        max_sa_count: usize,
+    },
+    /// Malformed CSV input.
+    Csv(
+        /// Human-readable description of the parse failure.
+        String,
+    ),
+}
+
+impl fmt::Display for MicrodataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicrodataError::ValueOutOfDomain {
+                attribute,
+                value,
+                domain_size,
+            } => write!(
+                f,
+                "value {value} out of domain for attribute '{attribute}' (domain size {domain_size})"
+            ),
+            MicrodataError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} QI values but the schema declares {expected}")
+            }
+            MicrodataError::InvalidPartition(msg) => write!(f, "invalid partition: {msg}"),
+            MicrodataError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            MicrodataError::Infeasible { l, n, max_sa_count } => write!(
+                f,
+                "no {l}-diverse generalization exists: {max_sa_count} rows share an SA value \
+                 but only n/l = {}/{l} are allowed (n = {n})",
+                *n as u32 / l
+            ),
+            MicrodataError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MicrodataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MicrodataError::Infeasible {
+            l: 3,
+            n: 10,
+            max_sa_count: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3-diverse"));
+        assert!(s.contains('5'));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(MicrodataError::Csv("bad".into()));
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Suppression-based generalization (Definition 1 of the paper).
+//!
+//! A partition determines the published table: inside each QI-group, every
+//! attribute on which the group is not uniform is replaced by a star. The
+//! [`SuppressedTable`] captures the result compactly — one [`GroupShape`]
+//! per group (the star mask plus the retained values) — from which star
+//! counts, suppressed-tuple counts and the full published rows can all be
+//! derived.
+
+use crate::eligibility::SaHistogram;
+use crate::{Partition, RowId, Table, Value};
+
+/// Textual form of a suppressed value.
+pub const STAR_TEXT: &str = "*";
+
+/// The generalized form shared by all tuples of one QI-group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupShape {
+    /// `stars[i]` is true when attribute `i` was suppressed in this group.
+    stars: Vec<bool>,
+    /// The retained value per attribute; meaningful only where
+    /// `stars[i]` is false (it holds the group's uniform value there).
+    values: Vec<Value>,
+    /// Rows of the group (ids into the source table).
+    rows: Vec<RowId>,
+}
+
+impl GroupShape {
+    /// Star mask over the QI attributes.
+    pub fn stars(&self) -> &[bool] {
+        &self.stars
+    }
+
+    /// Number of starred attributes in this group's shape.
+    pub fn starred_attr_count(&self) -> usize {
+        self.stars.iter().filter(|&&s| s).count()
+    }
+
+    /// Stars contributed by the whole group: starred attributes × group size.
+    pub fn star_count(&self) -> usize {
+        self.starred_attr_count() * self.rows.len()
+    }
+
+    /// The group's rows.
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// The retained (uniform) value of an attribute, or `None` if starred.
+    pub fn value(&self, attr: usize) -> Option<Value> {
+        if self.stars[attr] {
+            None
+        } else {
+            Some(self.values[attr])
+        }
+    }
+
+    /// Whether every tuple in the group is suppressed (≥ 1 star), i.e. the
+    /// group counts toward the tuple-minimization objective.
+    pub fn is_suppressed(&self) -> bool {
+        self.stars.iter().any(|&s| s)
+    }
+
+    /// Whether the group retains no QI information at all — the paper's
+    /// *futile* groups (Section 4).
+    pub fn is_futile(&self) -> bool {
+        self.stars.iter().all(|&s| s)
+    }
+}
+
+/// A published table: the source rows grouped and star-masked per
+/// Definition 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressedTable {
+    dimensionality: usize,
+    n: usize,
+    groups: Vec<GroupShape>,
+}
+
+impl SuppressedTable {
+    /// Applies `partition` to `table` (Definition 1).
+    pub(crate) fn build(table: &Table, partition: &Partition) -> SuppressedTable {
+        let d = table.dimensionality();
+        let mut groups = Vec::with_capacity(partition.group_count());
+        for g in partition.groups() {
+            let mut stars = vec![false; d];
+            let first = table.qi_row(g[0]);
+            let mut values = first.to_vec();
+            for &r in &g[1..] {
+                let qi = table.qi_row(r);
+                for a in 0..d {
+                    if !stars[a] && qi[a] != values[a] {
+                        stars[a] = true;
+                    }
+                }
+            }
+            // Normalize: a starred slot keeps a value only for debugging; zero
+            // it so equal shapes compare equal.
+            for a in 0..d {
+                if stars[a] {
+                    values[a] = 0;
+                }
+            }
+            groups.push(GroupShape {
+                stars,
+                values,
+                rows: g.clone(),
+            });
+        }
+        SuppressedTable {
+            dimensionality: d,
+            n: partition.covered_rows(),
+            groups,
+        }
+    }
+
+    /// Number of QI attributes.
+    pub fn dimensionality(&self) -> usize {
+        self.dimensionality
+    }
+
+    /// Number of published rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the published table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The generalized groups.
+    pub fn groups(&self) -> &[GroupShape] {
+        &self.groups
+    }
+
+    /// Total stars — the objective of Problem 1 (star minimization).
+    pub fn star_count(&self) -> usize {
+        self.groups.iter().map(GroupShape::star_count).sum()
+    }
+
+    /// Number of suppressed tuples — the objective of Problem 2 (tuple
+    /// minimization). A tuple is suppressed as soon as one of its QI values
+    /// became a star.
+    pub fn suppressed_tuple_count(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| g.is_suppressed())
+            .map(|g| g.rows().len())
+            .sum()
+    }
+
+    /// Verifies Definition 2 on the published table.
+    pub fn is_l_diverse(&self, table: &Table, l: u32) -> bool {
+        self.groups
+            .iter()
+            .all(|g| SaHistogram::of_rows(table, g.rows()).is_l_eligible(l))
+    }
+
+    /// The published QI row of a source row, with `None` for stars.
+    ///
+    /// Linear in the number of groups; intended for tests, examples and CSV
+    /// export, not hot paths (those work group-wise via [`Self::groups`]).
+    pub fn published_row(&self, row: RowId) -> Option<Vec<Option<Value>>> {
+        self.groups
+            .iter()
+            .find(|g| g.rows().contains(&row))
+            .map(|g| {
+                (0..self.dimensionality)
+                    .map(|a| g.value(a))
+                    .collect::<Vec<_>>()
+            })
+    }
+
+    /// Renders the published table as an aligned text listing, one line per
+    /// row in source-row order, for examples and debugging.
+    pub fn render(&self, table: &Table) -> String {
+        use std::fmt::Write as _;
+        let schema = table.schema();
+        let mut rows: Vec<(RowId, String)> = Vec::with_capacity(self.n);
+        for (gid, g) in self.groups.iter().enumerate() {
+            for &r in g.rows() {
+                let mut line = String::new();
+                for a in 0..self.dimensionality {
+                    let cell = match g.value(a) {
+                        Some(v) => schema.qi_attribute(a).label(v),
+                        None => STAR_TEXT.to_string(),
+                    };
+                    let _ = write!(line, "{cell:>14}");
+                }
+                let _ = write!(
+                    line,
+                    "{:>14}  (group {gid})",
+                    schema.sensitive().label(table.sa_value(r))
+                );
+                rows.push((r, line));
+            }
+        }
+        rows.sort_by_key(|(r, _)| *r);
+        let mut out = String::new();
+        for a in 0..self.dimensionality {
+            let _ = write!(out, "{:>14}", schema.qi_attribute(a).name());
+        }
+        let _ = writeln!(out, "{:>14}", schema.sensitive().name());
+        for (_, line) in rows {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples, Attribute, Schema, TableBuilder};
+
+    #[test]
+    fn paper_table_2_star_count() {
+        // Table 2 of the paper: the 2-anonymous partition {1,2},{3,4},{5..8},{9,10}
+        // (0-based: {0,1},{2,3},{4..7},{8,9}) suppresses only Age of Calvin
+        // and Danny: 2 stars.
+        let t = samples::hospital();
+        let p = Partition::new(vec![vec![0, 1], vec![2, 3], vec![4, 5, 6, 7], vec![8, 9]])
+            .unwrap();
+        let g = t.generalize(&p);
+        assert_eq!(g.star_count(), 2);
+        assert_eq!(g.suppressed_tuple_count(), 2);
+        // 2-anonymous but not 2-diverse (first group is both HIV).
+        assert!(p.is_k_anonymous(2));
+        assert!(!g.is_l_diverse(&t, 2));
+    }
+
+    #[test]
+    fn paper_table_3_star_count() {
+        // Table 3: QI-group 1 = tuples 1-4, group 2 = 5-8, group 3 = 9-10.
+        // Stars: group 1 suppresses Age and Education for 4 tuples = 8 stars.
+        let t = samples::hospital();
+        let p =
+            Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
+        let g = t.generalize(&p);
+        assert_eq!(g.star_count(), 8);
+        assert_eq!(g.suppressed_tuple_count(), 4);
+        assert!(g.is_l_diverse(&t, 2));
+    }
+
+    #[test]
+    fn group_shape_reports_mask_and_values() {
+        let t = samples::hospital();
+        let p = Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
+        let g = t.generalize(&p);
+        let g0 = &g.groups()[0];
+        // Age starred, Gender uniform (M), Education starred.
+        assert_eq!(g0.stars(), &[true, false, true]);
+        assert_eq!(g0.value(1), Some(samples::GENDER_M));
+        assert_eq!(g0.value(0), None);
+        assert!(g0.is_suppressed());
+        assert!(!g0.is_futile());
+    }
+
+    #[test]
+    fn futile_group_detection() {
+        let schema = Schema::new(
+            vec![Attribute::new("a", 4), Attribute::new("b", 4)],
+            Attribute::new("sa", 4),
+        )
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&[0, 1], 0).unwrap();
+        b.push_row(&[1, 0], 1).unwrap();
+        let t = b.build();
+        let g = t.generalize(&Partition::new(vec![vec![0, 1]]).unwrap());
+        assert!(g.groups()[0].is_futile());
+        assert_eq!(g.star_count(), 4);
+    }
+
+    #[test]
+    fn published_row_lookup() {
+        let t = samples::hospital();
+        let p = Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
+        let g = t.generalize(&p);
+        let row = g.published_row(2).unwrap();
+        assert_eq!(row[0], None); // Age starred
+        assert_eq!(row[1], Some(samples::GENDER_M));
+        assert!(g.published_row(99).is_none());
+    }
+
+    #[test]
+    fn render_contains_stars_and_headers() {
+        let t = samples::hospital();
+        let p = Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
+        let text = t.generalize(&p).render(&t);
+        assert!(text.contains('*'));
+        assert!(text.contains("Age"));
+        assert!(text.contains("pneumonia"));
+    }
+
+    #[test]
+    fn singleton_groups_have_no_stars() {
+        let t = samples::hospital();
+        let groups: Vec<Vec<RowId>> = (0..t.len() as RowId).map(|r| vec![r]).collect();
+        let g = t.generalize(&Partition::new(groups).unwrap());
+        assert_eq!(g.star_count(), 0);
+        assert_eq!(g.suppressed_tuple_count(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+use crate::eligibility::SaHistogram;
+use crate::{MicrodataError, RowId, Table};
+
+/// A partition of a table's rows into QI-groups.
+///
+/// Groups are non-empty and disjoint; together with a [`Table`] a partition
+/// determines a generalization per Definition 1 of the paper. Partitions are
+/// *not* required to cover every row of the table they are checked against —
+/// sub-partitions of a residue set are first-class citizens — but
+/// [`Partition::validate_cover`] checks the full-cover property the paper
+/// requires for published tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Partition {
+    groups: Vec<Vec<RowId>>,
+}
+
+impl Partition {
+    /// Builds a partition from groups, rejecting empty groups and duplicate
+    /// row ids.
+    pub fn new(groups: Vec<Vec<RowId>>) -> Result<Self, MicrodataError> {
+        let mut seen = std::collections::HashSet::new();
+        for (i, g) in groups.iter().enumerate() {
+            if g.is_empty() {
+                return Err(MicrodataError::InvalidPartition(format!(
+                    "group {i} is empty"
+                )));
+            }
+            for &r in g {
+                if !seen.insert(r) {
+                    return Err(MicrodataError::InvalidPartition(format!(
+                        "row {r} appears in more than one group"
+                    )));
+                }
+            }
+        }
+        Ok(Partition { groups })
+    }
+
+    /// Builds a partition without validation (used by the algorithms, whose
+    /// outputs are disjoint by construction; debug builds re-validate).
+    pub fn new_unchecked(groups: Vec<Vec<RowId>>) -> Self {
+        debug_assert!(Partition::new(groups.clone()).is_ok());
+        Partition { groups }
+    }
+
+    /// A single group containing the given rows.
+    pub fn single_group(rows: Vec<RowId>) -> Result<Self, MicrodataError> {
+        Partition::new(vec![rows])
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[Vec<RowId>] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of rows covered.
+    pub fn covered_rows(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Checks that the partition covers rows `0..table.len()` exactly.
+    pub fn validate_cover(&self, table: &Table) -> Result<(), MicrodataError> {
+        let n = table.len();
+        let mut seen = vec![false; n];
+        let mut count = 0usize;
+        for g in &self.groups {
+            for &r in g {
+                let idx = r as usize;
+                if idx >= n {
+                    return Err(MicrodataError::InvalidPartition(format!(
+                        "row {r} out of range (n = {n})"
+                    )));
+                }
+                if seen[idx] {
+                    return Err(MicrodataError::InvalidPartition(format!(
+                        "row {r} covered twice"
+                    )));
+                }
+                seen[idx] = true;
+                count += 1;
+            }
+        }
+        if count != n {
+            return Err(MicrodataError::InvalidPartition(format!(
+                "{count} of {n} rows covered"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Definition 2 lifted to partitions: every group must be l-eligible.
+    pub fn is_l_diverse(&self, table: &Table, l: u32) -> bool {
+        self.groups
+            .iter()
+            .all(|g| SaHistogram::of_rows(table, g).is_l_eligible(l))
+    }
+
+    /// The largest `l` for which the partition is l-diverse (the minimum
+    /// over groups of `floor(|G| / h(G))`).
+    pub fn diversity(&self, table: &Table) -> u32 {
+        self.groups
+            .iter()
+            .map(|g| {
+                let h = SaHistogram::of_rows(table, g);
+                (h.total() / h.max_count().max(1)) as u32
+            })
+            .min()
+            .unwrap_or(u32::MAX)
+    }
+
+    /// k-anonymity check (every group has at least `k` rows). Provided for
+    /// the baselines' ancestry and comparison experiments.
+    pub fn is_k_anonymous(&self, k: usize) -> bool {
+        self.groups.iter().all(|g| g.len() >= k)
+    }
+
+    /// Extends this partition with the groups of another (e.g. TP's
+    /// star-free groups plus a partitioned residue set).
+    pub fn extend(&mut self, other: Partition) {
+        self.groups.extend(other.groups);
+    }
+
+    /// Appends one group.
+    pub fn push_group(&mut self, rows: Vec<RowId>) {
+        debug_assert!(!rows.is_empty());
+        self.groups.push(rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Schema, TableBuilder, Value};
+
+    fn table(rows: &[([Value; 2], Value)]) -> Table {
+        let schema = Schema::new(
+            vec![Attribute::new("a", 8), Attribute::new("b", 8)],
+            Attribute::new("sa", 4),
+        )
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (qi, sa) in rows {
+            b.push_row(qi, *sa).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rejects_empty_group() {
+        assert!(Partition::new(vec![vec![0], vec![]]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_row() {
+        assert!(Partition::new(vec![vec![0, 1], vec![1]]).is_err());
+    }
+
+    #[test]
+    fn validate_cover_detects_missing_rows() {
+        let t = table(&[([0, 0], 0), ([1, 1], 1), ([2, 2], 2)]);
+        let p = Partition::new(vec![vec![0, 1]]).unwrap();
+        assert!(p.validate_cover(&t).is_err());
+        let p = Partition::new(vec![vec![0, 1], vec![2]]).unwrap();
+        assert!(p.validate_cover(&t).is_ok());
+    }
+
+    #[test]
+    fn validate_cover_detects_out_of_range() {
+        let t = table(&[([0, 0], 0)]);
+        let p = Partition::new(vec![vec![0, 5]]).unwrap();
+        assert!(p.validate_cover(&t).is_err());
+    }
+
+    #[test]
+    fn diversity_is_min_over_groups() {
+        let t = table(&[
+            ([0, 0], 0),
+            ([0, 0], 1),
+            ([0, 0], 2), // group of 3 distinct: 3-eligible
+            ([1, 1], 3),
+            ([1, 1], 3), // group with h = 2, size 2: only 1-eligible
+        ]);
+        let p = Partition::new(vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(p.diversity(&t), 1);
+        assert!(p.is_l_diverse(&t, 1));
+        assert!(!p.is_l_diverse(&t, 2));
+    }
+
+    #[test]
+    fn k_anonymity_counts_sizes() {
+        let p = Partition::new(vec![vec![0, 1], vec![2, 3, 4]]).unwrap();
+        assert!(p.is_k_anonymous(2));
+        assert!(!p.is_k_anonymous(3));
+    }
+
+    #[test]
+    fn extend_concatenates_groups() {
+        let mut p = Partition::new(vec![vec![0]]).unwrap();
+        p.extend(Partition::new(vec![vec![1], vec![2]]).unwrap());
+        assert_eq!(p.group_count(), 3);
+        assert_eq!(p.covered_rows(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! The worked example datasets from the paper, usable in tests and docs.
+//!
+//! [`hospital`] reproduces Table 1 of the paper (ten patients, QI
+//! attributes Age/Gender/Education, sensitive attribute Disease) with the
+//! exact label spellings the paper uses, so the examples can render the
+//! paper's Tables 2 and 3 verbatim.
+
+use crate::{Attribute, Schema, Table, TableBuilder, Value};
+
+/// Age codes used by [`hospital`].
+pub const AGE_UNDER_30: Value = 0;
+/// `[30, 50)` in the paper's Table 1.
+pub const AGE_30_TO_50: Value = 1;
+/// `≥ 50` in the paper's Table 1.
+pub const AGE_50_PLUS: Value = 2;
+
+/// Gender code `M`.
+pub const GENDER_M: Value = 0;
+/// Gender code `F`.
+pub const GENDER_F: Value = 1;
+
+/// Education code for "High Sch.".
+pub const EDU_HIGH_SCHOOL: Value = 0;
+/// Education code for "Bachelor".
+pub const EDU_BACHELOR: Value = 1;
+/// Education code for "Master".
+pub const EDU_MASTER: Value = 2;
+
+/// Disease code for HIV.
+pub const DIS_HIV: Value = 0;
+/// Disease code for pneumonia.
+pub const DIS_PNEUMONIA: Value = 1;
+/// Disease code for bronchitis.
+pub const DIS_BRONCHITIS: Value = 2;
+/// Disease code for dyspepsia.
+pub const DIS_DYSPEPSIA: Value = 3;
+
+/// Schema of the paper's Table 1.
+pub fn hospital_schema() -> Schema {
+    Schema::new(
+        vec![
+            Attribute::with_labels(
+                "Age",
+                vec!["< 30".into(), "[30, 50)".into(), ">= 50".into()],
+            ),
+            Attribute::with_labels("Gender", vec!["M".into(), "F".into()]),
+            Attribute::with_labels(
+                "Education",
+                vec!["High Sch.".into(), "Bachelor".into(), "Master".into()],
+            ),
+        ],
+        Attribute::with_labels(
+            "Disease",
+            vec![
+                "HIV".into(),
+                "pneumonia".into(),
+                "bronchitis".into(),
+                "dyspepsia".into(),
+            ],
+        ),
+    )
+    .expect("hospital schema is valid")
+}
+
+/// The microdata of the paper's Table 1 (rows 0..10 are Adam..Jane).
+pub fn hospital() -> Table {
+    let mut b = TableBuilder::with_capacity(hospital_schema(), 10);
+    let rows: [([Value; 3], Value); 10] = [
+        ([AGE_UNDER_30, GENDER_M, EDU_MASTER], DIS_HIV), // 1 Adam
+        ([AGE_UNDER_30, GENDER_M, EDU_MASTER], DIS_HIV), // 2 Bob
+        ([AGE_UNDER_30, GENDER_M, EDU_BACHELOR], DIS_PNEUMONIA), // 3 Calvin
+        ([AGE_30_TO_50, GENDER_M, EDU_BACHELOR], DIS_BRONCHITIS), // 4 Danny
+        ([AGE_30_TO_50, GENDER_F, EDU_BACHELOR], DIS_PNEUMONIA), // 5 Eva
+        ([AGE_30_TO_50, GENDER_F, EDU_BACHELOR], DIS_BRONCHITIS), // 6 Fiona
+        ([AGE_30_TO_50, GENDER_F, EDU_BACHELOR], DIS_BRONCHITIS), // 7 Ginny
+        ([AGE_30_TO_50, GENDER_F, EDU_BACHELOR], DIS_PNEUMONIA), // 8 Helen
+        ([AGE_50_PLUS, GENDER_F, EDU_HIGH_SCHOOL], DIS_DYSPEPSIA), // 9 Ivy
+        ([AGE_50_PLUS, GENDER_F, EDU_HIGH_SCHOOL], DIS_PNEUMONIA), // 10 Jane
+    ];
+    for (qi, sa) in rows {
+        b.push_row(&qi, sa).expect("hospital rows fit schema");
+    }
+    b.build()
+}
+
+/// Names of the ten patients, aligned with row ids, for rendering examples.
+pub fn hospital_names() -> [&'static str; 10] {
+    [
+        "Adam", "Bob", "Calvin", "Danny", "Eva", "Fiona", "Ginny", "Helen", "Ivy", "Jane",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_matches_paper_table_1() {
+        let t = hospital();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.dimensionality(), 3);
+        // m = 4 distinct diseases, pillar = pneumonia (4 occurrences).
+        assert_eq!(t.distinct_sa_count(), 4);
+        let h = t.sa_histogram();
+        assert_eq!(h.count(DIS_PNEUMONIA), 4);
+        assert_eq!(h.count(DIS_BRONCHITIS), 3);
+        assert_eq!(h.count(DIS_HIV), 2);
+        assert_eq!(h.count(DIS_DYSPEPSIA), 1);
+        // The paper anonymizes it 2-diversely; check feasibility bound.
+        assert_eq!(t.max_feasible_l(), 2);
+    }
+
+    #[test]
+    fn initial_qi_groups_match_section_5_2() {
+        // §5.2: "Initially we have 4 QI-groups: {1,2}, {3}, {4}, {5,6,7,8},
+        // {9,10}" (the text says 4 but lists the 5 groups of distinct QI
+        // vectors; rows 2 and 3 differ on Age).
+        let t = hospital();
+        let groups = t.group_by_qi();
+        assert_eq!(
+            groups,
+            vec![
+                vec![0, 1],
+                vec![2],
+                vec![3],
+                vec![4, 5, 6, 7],
+                vec![8, 9]
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_render_like_the_paper() {
+        let s = hospital_schema();
+        assert_eq!(s.qi_attribute(0).label(AGE_30_TO_50), "[30, 50)");
+        assert_eq!(s.sensitive().label(DIS_DYSPEPSIA), "dyspepsia");
+    }
+}

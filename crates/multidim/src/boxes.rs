@@ -1,0 +1,351 @@
+//! Range-generalized publications and the §6.2 transformation.
+
+use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table, Value};
+use std::collections::HashMap;
+
+/// An inclusive range of domain codes `[lo, hi]` published for one
+/// attribute of one QI-group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrRange {
+    /// Smallest covered code.
+    pub lo: Value,
+    /// Largest covered code.
+    pub hi: Value,
+}
+
+impl AttrRange {
+    /// Number of covered codes.
+    pub fn width(&self) -> u32 {
+        (self.hi - self.lo) as u32 + 1
+    }
+
+    /// Whether a code falls inside the range.
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether the range is a single exact value.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// One group of a multi-dimensional generalization: its rows and the
+/// published range per attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxGroup {
+    /// Published range per QI attribute.
+    pub ranges: Vec<AttrRange>,
+    /// The group's rows.
+    pub rows: Vec<RowId>,
+}
+
+impl BoxGroup {
+    /// Number of attributes published as non-trivial ranges (width > 1).
+    pub fn generalized_attr_count(&self) -> usize {
+        self.ranges.iter().filter(|r| !r.is_exact()).count()
+    }
+}
+
+/// A multi-dimensional generalization of a table: per group, each QI
+/// attribute is published as a covering range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxTable {
+    dimensionality: usize,
+    n: usize,
+    groups: Vec<BoxGroup>,
+}
+
+impl BoxTable {
+    /// Builds the tightest range publication of a partition: each group
+    /// publishes, per attribute, the min..max of its values.
+    pub fn from_partition(table: &Table, partition: &Partition) -> BoxTable {
+        let d = table.dimensionality();
+        let groups = partition
+            .groups()
+            .iter()
+            .map(|g| {
+                let first = table.qi_row(g[0]);
+                let mut ranges: Vec<AttrRange> = first
+                    .iter()
+                    .map(|&v| AttrRange { lo: v, hi: v })
+                    .collect();
+                for &r in &g[1..] {
+                    for (range, &v) in ranges.iter_mut().zip(table.qi_row(r)) {
+                        range.lo = range.lo.min(v);
+                        range.hi = range.hi.max(v);
+                    }
+                }
+                BoxGroup {
+                    ranges,
+                    rows: g.clone(),
+                }
+            })
+            .collect();
+        BoxTable {
+            dimensionality: d,
+            n: partition.covered_rows(),
+            groups,
+        }
+    }
+
+    /// The §6.2 transformation: replace every star of a suppression-based
+    /// publication with the tightest sub-domain covering the group's
+    /// values, keeping retained values exact.
+    ///
+    /// The result is the same partition published with strictly more
+    /// information, so its KL-divergence never exceeds the suppressed
+    /// table's (the dominance claim of §6.2, asserted in tests).
+    pub fn from_suppressed(table: &Table, published: &SuppressedTable) -> BoxTable {
+        let partition = Partition::new_unchecked(
+            published.groups().iter().map(|g| g.rows().to_vec()).collect(),
+        );
+        // The tightest covering range of a retained value is the value
+        // itself, so `from_partition` computes exactly the transformation.
+        BoxTable::from_partition(table, &partition)
+    }
+
+    /// Number of QI attributes.
+    pub fn dimensionality(&self) -> usize {
+        self.dimensionality
+    }
+
+    /// Number of published rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the publication is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[BoxGroup] {
+        &self.groups
+    }
+
+    /// Definition 2 on the underlying partition.
+    pub fn is_l_diverse(&self, table: &Table, l: u32) -> bool {
+        self.groups
+            .iter()
+            .all(|g| SaHistogram::of_rows(table, &g.rows).is_l_eligible(l))
+    }
+
+    /// Total published *imprecision*: the sum over rows and attributes of
+    /// `width − 1` (0 = exact publication everywhere). The range analogue
+    /// of the star count.
+    pub fn imprecision(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| {
+                let per_row: u64 = g.ranges.iter().map(|r| (r.width() - 1) as u64).sum();
+                per_row * g.rows.len() as u64
+            })
+            .sum()
+    }
+
+    /// `KL(f, f*)` of Eq. (2) for the range semantics: each published row
+    /// spreads uniformly over its group's box, keeping its own SA value.
+    ///
+    /// Exact but `O(|support| · #groups)` in the worst case (boxes may
+    /// overlap arbitrarily after `from_suppressed`); fine for the tens of
+    /// thousands of rows the comparisons run at. Mondrian outputs are
+    /// disjoint boxes, for which a kd lookup would be possible, but the
+    /// general path keeps one code path for both.
+    pub fn kl_divergence(&self, table: &Table) -> f64 {
+        assert_eq!(self.dimensionality, table.dimensionality());
+        assert_eq!(self.n, table.len(), "publication must cover the table");
+        let d = self.dimensionality;
+        let n = table.len() as f64;
+        if table.is_empty() {
+            return 0.0;
+        }
+
+        // Per group and SA value: mass × uniform spread over the box.
+        struct GroupMass {
+            ranges: Vec<AttrRange>,
+            by_sa: HashMap<Value, f64>,
+        }
+        let masses: Vec<GroupMass> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let spread: f64 = g.ranges.iter().map(|r| 1.0 / r.width() as f64).product();
+                let mut by_sa: HashMap<Value, f64> = HashMap::new();
+                for &r in &g.rows {
+                    *by_sa.entry(table.sa_value(r)).or_insert(0.0) += spread;
+                }
+                GroupMass {
+                    ranges: g.ranges.clone(),
+                    by_sa,
+                }
+            })
+            .collect();
+
+        // Distinct support points of f.
+        let mut support: HashMap<Vec<Value>, u32> = HashMap::with_capacity(table.len());
+        let mut key = vec![0 as Value; d + 1];
+        for (_, qi, sa) in table.rows() {
+            key[..d].copy_from_slice(qi);
+            key[d] = sa;
+            *support.entry(key.clone()).or_insert(0) += 1;
+        }
+
+        let mut kl = 0.0;
+        for (point, &count) in &support {
+            let f_p = count as f64 / n;
+            let mut fstar = 0.0;
+            for gm in &masses {
+                if gm
+                    .ranges
+                    .iter()
+                    .zip(&point[..d])
+                    .all(|(r, &v)| r.contains(v))
+                {
+                    if let Some(&m) = gm.by_sa.get(&point[d]) {
+                        fstar += m;
+                    }
+                }
+            }
+            let fstar_p = fstar / n;
+            debug_assert!(fstar_p > 0.0, "f* must cover the support");
+            kl += f_p * (f_p / fstar_p).ln();
+        }
+        kl
+    }
+
+    /// Renders the publication like the paper's Table 5, using attribute
+    /// labels for exact values and `label(lo)..label(hi)` for ranges.
+    pub fn render(&self, table: &Table) -> String {
+        use std::fmt::Write as _;
+        let schema = table.schema();
+        let mut rows: Vec<(RowId, String)> = Vec::with_capacity(self.n);
+        for (gid, g) in self.groups.iter().enumerate() {
+            for &r in &g.rows {
+                let mut line = String::new();
+                for (a, range) in g.ranges.iter().enumerate() {
+                    let cell = if range.is_exact() {
+                        schema.qi_attribute(a).label(range.lo)
+                    } else {
+                        format!(
+                            "{}..{}",
+                            schema.qi_attribute(a).label(range.lo),
+                            schema.qi_attribute(a).label(range.hi)
+                        )
+                    };
+                    let _ = write!(line, "{cell:>22}");
+                }
+                let _ = write!(
+                    line,
+                    "{:>14}  (group {gid})",
+                    schema.sensitive().label(table.sa_value(r))
+                );
+                rows.push((r, line));
+            }
+        }
+        rows.sort_by_key(|(r, _)| *r);
+        let mut out = String::new();
+        for a in 0..self.dimensionality {
+            let _ = write!(out, "{:>22}", schema.qi_attribute(a).name());
+        }
+        let _ = writeln!(out, "{:>14}", schema.sensitive().name());
+        for (_, line) in rows {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::samples;
+
+    fn table3_partition() -> Partition {
+        Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]])
+    }
+
+    #[test]
+    fn paper_table_5_from_table_3() {
+        // §6.2: replacing Table 3's stars with covering sub-domains yields
+        // Table 5: QI-group 1 publishes Age "<50" (codes 0..1) and
+        // Education "Bachelor or above" (codes 1..2), Gender exactly M.
+        let t = samples::hospital();
+        let suppressed = t.generalize(&table3_partition());
+        let boxed = BoxTable::from_suppressed(&t, &suppressed);
+        let g1 = &boxed.groups()[0];
+        assert_eq!(
+            g1.ranges[0],
+            AttrRange {
+                lo: samples::AGE_UNDER_30,
+                hi: samples::AGE_30_TO_50
+            }
+        );
+        assert_eq!(
+            g1.ranges[1],
+            AttrRange {
+                lo: samples::GENDER_M,
+                hi: samples::GENDER_M
+            }
+        );
+        assert_eq!(
+            g1.ranges[2],
+            AttrRange {
+                lo: samples::EDU_BACHELOR,
+                hi: samples::EDU_MASTER
+            }
+        );
+        // Groups 2 and 3 are untouched (exact everywhere).
+        assert_eq!(boxed.groups()[1].generalized_attr_count(), 0);
+        assert_eq!(boxed.groups()[2].generalized_attr_count(), 0);
+        assert!(boxed.is_l_diverse(&t, 2));
+        // Rendering mentions the range form.
+        let text = boxed.render(&t);
+        assert!(text.contains("< 30..[30, 50)"), "{text}");
+    }
+
+    #[test]
+    fn dominance_over_suppression_on_table_3() {
+        // §6.2: T*' always incurs less information loss than T*.
+        let t = samples::hospital();
+        let suppressed = t.generalize(&table3_partition());
+        let boxed = BoxTable::from_suppressed(&t, &suppressed);
+        let kl_star = ldiv_metrics::kl_divergence_suppressed(&t, &suppressed);
+        let kl_box = boxed.kl_divergence(&t);
+        assert!(
+            kl_box <= kl_star + 1e-12,
+            "kl_box = {kl_box} > kl_star = {kl_star}"
+        );
+        assert!(kl_box > 0.0); // still lossy: ranges are wider than points
+    }
+
+    #[test]
+    fn exact_publication_has_zero_divergence_and_imprecision() {
+        let t = samples::hospital();
+        let singletons =
+            Partition::new_unchecked((0..10 as RowId).map(|r| vec![r]).collect());
+        let boxed = BoxTable::from_partition(&t, &singletons);
+        assert_eq!(boxed.imprecision(), 0);
+        assert!(boxed.kl_divergence(&t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imprecision_counts_range_widths() {
+        let t = samples::hospital();
+        let boxed = BoxTable::from_partition(&t, &table3_partition());
+        // Group 1: Age range width 2 (−1 = 1), Education width 2 (−1 = 1)
+        // per row × 4 rows = 8; other groups exact.
+        assert_eq!(boxed.imprecision(), 8);
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = AttrRange { lo: 2, hi: 5 };
+        assert_eq!(r.width(), 4);
+        assert!(r.contains(2) && r.contains(5) && !r.contains(6));
+        assert!(!r.is_exact());
+        assert!(AttrRange { lo: 3, hi: 3 }.is_exact());
+    }
+}

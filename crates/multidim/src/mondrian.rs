@@ -1,0 +1,221 @@
+//! Mondrian multi-dimensional partitioning for l-diversity.
+//!
+//! LeFevre, DeWitt, Ramakrishnan (ICDE 2006) — the paper's reference [27]
+//! and one of the three state-of-the-art generalization methods its §6.1
+//! examined. Mondrian recursively splits the row set like a kd-tree:
+//! choose the attribute whose *present* values span the widest normalized
+//! range, split at the median value, and recurse while both halves remain
+//! private. The original gate is k-anonymity (`|half| ≥ k`); following the
+//! paper's adaptation methodology (footnote 3 and §6.1), ours is
+//! l-eligibility of both halves.
+
+use crate::boxes::BoxTable;
+use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table};
+
+/// Partitions the table with l-diversity-gated Mondrian splits.
+///
+/// Deterministic: candidate attributes are ordered by normalized spread
+/// with index tie-break, and median splits put ties on the low side.
+pub fn mondrian_partition(table: &Table, l: u32) -> Partition {
+    assert!(l >= 1, "l must be positive");
+    let mut groups: Vec<Vec<RowId>> = Vec::new();
+    let all: Vec<RowId> = (0..table.len() as RowId).collect();
+    if all.is_empty() {
+        return Partition::default();
+    }
+    split_recursive(table, l, all, &mut groups);
+    Partition::new_unchecked(groups)
+}
+
+fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, out: &mut Vec<Vec<RowId>>) {
+    let d = table.dimensionality();
+
+    // Attributes ordered by normalized span of present values, widest
+    // first (the Mondrian "choose dimension" heuristic).
+    let mut spans: Vec<(f64, usize)> = (0..d)
+        .map(|a| {
+            let mut lo = u16::MAX;
+            let mut hi = 0u16;
+            for &r in &rows {
+                let v = table.qi_value(r, a);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let domain = table.schema().qi_attribute(a).domain_size() as f64;
+            (f64::from(hi.saturating_sub(lo)) / domain, a)
+        })
+        .collect();
+    spans.sort_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+
+    for &(span, a) in &spans {
+        if span == 0.0 {
+            break; // no attribute with at least two present values remains
+        }
+        // Median split on attribute a: low half = values ≤ median of the
+        // multiset (ties low).
+        let mut values: Vec<u16> = rows.iter().map(|&r| table.qi_value(r, a)).collect();
+        values.sort_unstable();
+        let median = values[values.len() / 2];
+        // Ensure both sides are non-empty: if the median equals the max,
+        // step the threshold down to the largest value strictly below it.
+        let threshold = if median == *values.last().expect("non-empty") {
+            match values.iter().rev().find(|&&v| v < median) {
+                Some(&v) => v,
+                None => continue, // all values equal (span said otherwise; defensive)
+            }
+        } else {
+            median
+        };
+        let (low, high): (Vec<RowId>, Vec<RowId>) = rows
+            .iter()
+            .partition(|&&r| table.qi_value(r, a) <= threshold);
+        if low.is_empty() || high.is_empty() {
+            continue;
+        }
+        let low_ok = SaHistogram::of_rows(table, &low).is_l_eligible(l);
+        let high_ok = SaHistogram::of_rows(table, &high).is_l_eligible(l);
+        if low_ok && high_ok {
+            split_recursive(table, l, low, out);
+            split_recursive(table, l, high, out);
+            return;
+        }
+    }
+    out.push(rows);
+}
+
+/// Runs Mondrian and publishes both forms: the native multi-dimensional
+/// range table and the suppression rendering of the same partition (for
+/// star-count comparisons against the suppression algorithms).
+pub fn mondrian_anonymize(table: &Table, l: u32) -> (Partition, BoxTable, SuppressedTable) {
+    let partition = mondrian_partition(table, l);
+    let boxed = BoxTable::from_partition(table, &partition);
+    let suppressed = table.generalize(&partition);
+    (partition, boxed, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_datagen::{sal, AcsConfig};
+    use ldiv_microdata::samples;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hospital_partition_is_l_diverse_and_splits() {
+        let t = samples::hospital();
+        let (p, boxed, suppressed) = mondrian_anonymize(&t, 2);
+        p.validate_cover(&t).unwrap();
+        assert!(p.is_l_diverse(&t, 2));
+        assert!(boxed.is_l_diverse(&t, 2));
+        assert!(suppressed.is_l_diverse(&t, 2));
+        // The hospital table splits at least once (it is not one block).
+        assert!(p.group_count() >= 2, "groups = {}", p.group_count());
+    }
+
+    #[test]
+    fn infeasible_split_keeps_single_group() {
+        // All-same SA forces l = 1 only; with l = 1 every split is allowed
+        // down to singletons, with l = 2 the table is infeasible and the
+        // function is simply never gated — construct a 2-eligible table
+        // that cannot split: two rows with identical SA... that is NOT
+        // 2-eligible. Use 4 rows: (sa 0, sa 1) × 2 with QI forcing any
+        // axis split to separate the pairs unevenly.
+        let t = {
+            use ldiv_microdata::{Attribute, Schema, TableBuilder};
+            let schema = Schema::new(
+                vec![Attribute::new("a", 4)],
+                Attribute::new("sa", 2),
+            )
+            .unwrap();
+            let mut b = TableBuilder::new(schema);
+            // Values 0,1,2,3 with SA 0,0,1,1: the median split (≤ 1) gives
+            // halves {0,0} and {1,1} — homogeneous, rejected; other
+            // thresholds likewise. No valid split exists.
+            b.push_row(&[0], 0).unwrap();
+            b.push_row(&[1], 0).unwrap();
+            b.push_row(&[2], 1).unwrap();
+            b.push_row(&[3], 1).unwrap();
+            b.build()
+        };
+        let p = mondrian_partition(&t, 2);
+        assert_eq!(p.group_count(), 1);
+        assert!(p.is_l_diverse(&t, 2));
+    }
+
+    #[test]
+    fn splits_reduce_imprecision_monotonically_vs_single_group() {
+        let t = sal(&AcsConfig { rows: 2_000, seed: 31 })
+            .project(&[0, 1, 5])
+            .unwrap();
+        for l in [2u32, 5] {
+            let (p, boxed, _) = mondrian_anonymize(&t, l);
+            assert!(p.is_l_diverse(&t, l));
+            let single = BoxTable::from_partition(
+                &t,
+                &Partition::new_unchecked(vec![(0..t.len() as RowId).collect()]),
+            );
+            assert!(boxed.imprecision() < single.imprecision());
+            assert!(boxed.kl_divergence(&t) < single.kl_divergence(&t));
+        }
+    }
+
+    #[test]
+    fn native_boxes_dominate_own_suppression_rendering() {
+        // §6.2 dominance on Mondrian's own output.
+        let t = sal(&AcsConfig { rows: 1_500, seed: 32 })
+            .project(&[0, 3])
+            .unwrap();
+        let (_, boxed, suppressed) = mondrian_anonymize(&t, 3);
+        let kl_box = boxed.kl_divergence(&t);
+        let kl_star = ldiv_metrics::kl_divergence_suppressed(&t, &suppressed);
+        assert!(kl_box <= kl_star + 1e-9, "{kl_box} vs {kl_star}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = sal(&AcsConfig { rows: 1_000, seed: 33 })
+            .project(&[0, 2, 5])
+            .unwrap();
+        let a = mondrian_partition(&t, 3);
+        let b = mondrian_partition(&t, 3);
+        assert_eq!(a.groups(), b.groups());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random l-eligible tables always yield valid l-diverse Mondrian
+        /// partitions covering every row.
+        #[test]
+        fn random_tables_produce_valid_partitions(
+            sa in proptest::collection::vec(0u16..5, 4..50),
+            qi_a in proptest::collection::vec(0u16..6, 4..50),
+            qi_b in proptest::collection::vec(0u16..6, 4..50),
+            l in 2u32..4,
+        ) {
+            use ldiv_microdata::{Attribute, Schema, TableBuilder};
+            let n = sa.len().min(qi_a.len()).min(qi_b.len());
+            let schema = Schema::new(
+                vec![Attribute::new("a", 6), Attribute::new("b", 6)],
+                Attribute::new("sa", 5),
+            ).unwrap();
+            let mut b = TableBuilder::new(schema);
+            for i in 0..n {
+                b.push_row(&[qi_a[i], qi_b[i]], sa[i]).unwrap();
+            }
+            let t = b.build();
+            prop_assume!(t.check_l_feasible(l).is_ok());
+            let (p, boxed, _) = mondrian_anonymize(&t, l);
+            p.validate_cover(&t).unwrap();
+            prop_assert!(p.is_l_diverse(&t, l));
+            // Every row lies inside its group's box.
+            for g in boxed.groups() {
+                for &r in &g.rows {
+                    for (range, &v) in g.ranges.iter().zip(t.qi_row(r)) {
+                        prop_assert!(range.contains(v));
+                    }
+                }
+            }
+        }
+    }
+}

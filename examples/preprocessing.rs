@@ -1,0 +1,68 @@
+//! The §5.6 preprocessing trade-off: coarsening QI domains with a
+//! single-dimensional recoding before running TP+ trades suppression
+//! (stars) against value precision (wider published sub-domains).
+//!
+//! This reproduces the workflow the paper sketches in its §5.6 closing
+//! paragraph: sweep the preprocessing level, inspect the output, pick the
+//! level that optimizes the utility of the l-diverse table.
+//!
+//! Run with: `cargo run --release --example preprocessing`
+
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::pipeline::{preprocessing_sweep, SweepConfig};
+
+fn main() {
+    // Age × Birth Place: the §5.6 worst case — two large-domain QIs make
+    // most tuples unique, so plain TP suppresses nearly everything.
+    let table = sal(&AcsConfig {
+        rows: 2_000,
+        seed: 17,
+    })
+    .project(&[0, 4])
+    .expect("valid projection");
+    let l = 6;
+
+    println!(
+        "workload: Age × Birth Place, n = {}, distinct QI vectors = {} ({:.0}%)\n",
+        table.len(),
+        table.distinct_qi_count(),
+        100.0 * table.distinct_qi_count() as f64 / table.len() as f64
+    );
+    println!(
+        "{:>5} {:>12} {:>10} {:>12} {:>10}",
+        "depth", "buckets", "stars", "suppressed", "KL"
+    );
+
+    let points = preprocessing_sweep(
+        &table,
+        &SweepConfig {
+            l,
+            fanout: 2,
+            max_depth: 10,
+        },
+    )
+    .expect("feasible workload");
+
+    let mut best = (f64::INFINITY, 0usize);
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "{:>5} {:>12} {:>10} {:>12} {:>10.4}",
+            p.depth, p.total_buckets, p.stars, p.suppressed_tuples, p.kl
+        );
+        if p.kl < best.0 {
+            best = (p.kl, i);
+        }
+    }
+    let chosen = &points[best.1];
+    println!("\nbest utility at depth {} (KL = {:.4})", chosen.depth, chosen.kl);
+    if best.1 == 0 {
+        println!("the fully coarse table wins here — suppression is so costly that");
+        println!("giving up all precision beats starring; typical of tiny samples.");
+    } else if best.1 == points.len() - 1 {
+        println!("the identity wins here — at this density plain TP already");
+        println!("suppresses little, so preprocessing only costs precision.");
+    } else {
+        println!("an interior depth wins: neither the fully coarse nor the identity");
+        println!("level is optimal — the sweep finds the §5.6 sweet spot.");
+    }
+}

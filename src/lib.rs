@@ -1,0 +1,72 @@
+//! **ldiversity** — a from-scratch Rust implementation of
+//! *The Hardness and Approximation Algorithms for L-Diversity*
+//! (Xiao, Yi, Tao; EDBT 2010).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`microdata`] | `ldiv-microdata` | tables, partitions, suppression generalization, l-eligibility |
+//! | [`core`] | `ldiv-core` | the three-phase TP algorithm, TP+ hybrid hook, certificates |
+//! | [`hilbert`] | `ldiv-hilbert` | Hilbert curve + the Hilbert suppression baseline |
+//! | [`tds`] | `ldiv-tds` | Top-Down Specialization (single-dimensional) baseline |
+//! | [`matching`] | `ldiv-matching` | Hungarian matching; optimal `m = 2` solver |
+//! | [`hardness`] | `ldiv-hardness` | 3DM reduction, exhaustive reference solvers |
+//! | [`datagen`] | `ldiv-datagen` | synthetic ACS-like SAL/OCC datasets |
+//! | [`metrics`] | `ldiv-metrics` | star accounting and the Eq. (2) KL-divergence |
+//! | [`pipeline`] | `ldiv-pipeline` | §5.6 preprocessing workflows and the utility sweep |
+//! | [`multidim`] | `ldiv-multidim` | Mondrian and the §6.2 star→sub-domain transformation |
+//! | [`anatomy`] | `ldiv-anatomy` | Anatomy (QI/SA table separation), the §2 alternative methodology |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ldiversity::core::{anonymize, SingleGroupResidue};
+//! use ldiversity::hilbert::HilbertResidue;
+//! use ldiversity::microdata::samples;
+//!
+//! let table = samples::hospital(); // the paper's Table 1
+//!
+//! // Plain TP: the residue set is published as one suppressed group.
+//! let tp = anonymize(&table, 2, &SingleGroupResidue).unwrap();
+//! // TP+: the residue is re-partitioned along a Hilbert curve (§5.6).
+//! let tp_plus = anonymize(&table, 2, &HilbertResidue).unwrap();
+//!
+//! assert!(tp_plus.star_count() <= tp.star_count());
+//! assert!(tp_plus.published.is_l_diverse(&table, 2));
+//! ```
+
+#![warn(missing_docs)]
+
+/// Microdata model: tables, schemas, partitions, generalization.
+pub use ldiv_microdata as microdata;
+
+/// The three-phase approximation algorithm (TP) and the TP+ hybrid hook.
+pub use ldiv_core as core;
+
+/// Hilbert curve substrate and the Hilbert suppression baseline.
+pub use ldiv_hilbert as hilbert;
+
+/// Top-Down Specialization, adapted to l-diversity.
+pub use ldiv_tds as tds;
+
+/// Minimum-cost matching and the optimal `m = 2` solver.
+pub use ldiv_matching as matching;
+
+/// The §4 NP-hardness reduction and exhaustive reference solvers.
+pub use ldiv_hardness as hardness;
+
+/// Synthetic ACS-like dataset generation (SAL / OCC families).
+pub use ldiv_datagen as datagen;
+
+/// Information-loss metrics (stars, KL-divergence of Eq. 2).
+pub use ldiv_metrics as metrics;
+
+/// §5.6 workflows: preprocessing before TP and the utility sweep.
+pub use ldiv_pipeline as pipeline;
+
+/// Multi-dimensional generalization: Mondrian and the §6.2 transformation.
+pub use ldiv_multidim as multidim;
+
+/// Anatomy: l-diverse publication via QI/SA table separation (§2).
+pub use ldiv_anatomy as anatomy;

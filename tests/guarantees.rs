@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the paper's quality guarantees checked
+//! against the exhaustive reference solvers and the optimal matching
+//! oracle.
+
+use ldiversity::core::{anonymize, tuple_minimize, Phase, SingleGroupResidue};
+use ldiversity::hardness::{optimal_stars, optimal_tuples};
+use ldiversity::hilbert::HilbertResidue;
+use ldiversity::matching::optimal_two_diversity;
+use ldiversity::microdata::{Attribute, Schema, Table, TableBuilder, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_table(
+    rng: &mut SmallRng,
+    n: usize,
+    qi_domains: &[u32],
+    sa_domain: u32,
+) -> Table {
+    let schema = Schema::new(
+        qi_domains
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Attribute::new(format!("q{i}"), s))
+            .collect(),
+        Attribute::new("sa", sa_domain),
+    )
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    let mut qi = vec![0 as Value; qi_domains.len()];
+    for _ in 0..n {
+        for (v, &dom) in qi.iter_mut().zip(qi_domains) {
+            *v = rng.gen_range(0..dom) as Value;
+        }
+        b.push_row(&qi, rng.gen_range(0..sa_domain) as Value).unwrap();
+    }
+    b.build()
+}
+
+/// Theorem 3 + Corollaries 1 and 3, validated against the exhaustive
+/// optimal tuple counts over many random small tables.
+#[test]
+fn tuple_minimization_guarantees_hold_on_random_tables() {
+    let mut rng = SmallRng::seed_from_u64(0xAB);
+    let mut phase_counts = [0usize; 3];
+    let mut checked = 0;
+    for trial in 0..300 {
+        let n = rng.gen_range(4..14);
+        let t = random_table(&mut rng, n, &[3, 3], 4);
+        let l = rng.gen_range(2..4);
+        if t.check_l_feasible(l).is_err() {
+            continue;
+        }
+        let out = tuple_minimize(&t, l).unwrap();
+        let opt = optimal_tuples(&t, l).expect("feasible");
+        match out.stats.termination_phase {
+            Phase::One => {
+                phase_counts[0] += 1;
+                assert_eq!(out.residue.len(), opt, "trial {trial}: phase 1 must be optimal");
+            }
+            Phase::Two => {
+                phase_counts[1] += 1;
+                assert!(
+                    out.residue.len() < opt + l as usize,
+                    "trial {trial}: phase 2 exceeded OPT + l − 1"
+                );
+            }
+            Phase::Three => {
+                phase_counts[2] += 1;
+                assert!(
+                    out.residue.len() <= l as usize * opt,
+                    "trial {trial}: phase 3 exceeded l · OPT"
+                );
+            }
+        }
+        // The lower-bound certificate never exceeds the true optimum.
+        assert!(out.stats.optimal_lower_bound() <= opt, "trial {trial}");
+        checked += 1;
+    }
+    assert!(checked > 100, "too few feasible trials ({checked})");
+    // The sweep must exercise at least phases one and two.
+    assert!(phase_counts[0] > 0 && phase_counts[1] > 0, "{phase_counts:?}");
+}
+
+/// Lemma 2: TP's star count is within `l · d` of the optimal star count
+/// (checked exhaustively on tiny tables).
+#[test]
+fn star_minimization_ratio_l_times_d() {
+    let mut rng = SmallRng::seed_from_u64(0xCD);
+    let mut checked = 0;
+    for _ in 0..120 {
+        let n = rng.gen_range(4..10);
+        let t = random_table(&mut rng, n, &[2, 3], 3);
+        let l = 2;
+        if t.check_l_feasible(l).is_err() {
+            continue;
+        }
+        let d = t.dimensionality();
+        let result = anonymize(&t, l, &SingleGroupResidue).unwrap();
+        let opt = optimal_stars(&t, l).expect("feasible");
+        assert!(
+            result.star_count() <= l as usize * d * opt.max(1),
+            "stars {} > l·d·OPT = {}·{}·{}",
+            result.star_count(),
+            l,
+            d,
+            opt
+        );
+        checked += 1;
+    }
+    assert!(checked > 40, "too few feasible trials ({checked})");
+}
+
+/// Theorem 2 against the m = 2 matching oracle: for two-valued SAs, TP
+/// terminates by phase two and suppresses at most OPT + 1 tuples; the
+/// matching solver gives the exact optimal stars for cross-checking the
+/// hybrid's stars.
+#[test]
+fn two_valued_tables_match_the_bipartite_oracle() {
+    let mut rng = SmallRng::seed_from_u64(0xEF);
+    let mut checked = 0;
+    for _ in 0..200 {
+        let half = rng.gen_range(2..7);
+        // Balanced two-valued SA: build explicitly.
+        let schema = Schema::new(
+            vec![Attribute::new("a", 3), Attribute::new("b", 3)],
+            Attribute::new("sa", 2),
+        )
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..half * 2 {
+            let qi = [rng.gen_range(0..3) as Value, rng.gen_range(0..3) as Value];
+            b.push_row(&qi, (i % 2) as Value).unwrap();
+        }
+        let t = b.build();
+
+        let out = tuple_minimize(&t, 2).unwrap();
+        assert!(
+            out.stats.termination_phase <= Phase::Two,
+            "Theorem 2 violated: phase {:?}",
+            out.stats.termination_phase
+        );
+        if t.len() <= 14 {
+            let opt_tuples = optimal_tuples(&t, 2).expect("balanced tables are 2-eligible");
+            assert!(out.residue.len() <= opt_tuples + 1, "Theorem 2 bound");
+        }
+
+        // The matching oracle's stars are optimal; every algorithm's stars
+        // are ≥ that.
+        let (_, opt_stars) = optimal_two_diversity(&t).expect("balanced");
+        let tp = anonymize(&t, 2, &SingleGroupResidue).unwrap();
+        let tp_plus = anonymize(&t, 2, &HilbertResidue).unwrap();
+        assert!(tp.star_count() >= opt_stars);
+        assert!(tp_plus.star_count() >= opt_stars);
+        assert!(tp_plus.star_count() <= tp.star_count());
+        checked += 1;
+    }
+    assert!(checked > 100);
+}
+
+/// The full pipeline on a moderately sized random table: validity of every
+/// published artifact.
+#[test]
+fn publications_are_always_valid() {
+    let mut rng = SmallRng::seed_from_u64(0x11);
+    for _ in 0..20 {
+        let n = rng.gen_range(50..400);
+        let t = random_table(&mut rng, n, &[5, 4, 3], 6);
+        for l in [2u32, 3] {
+            if t.check_l_feasible(l).is_err() {
+                continue;
+            }
+            for result in [
+                anonymize(&t, l, &SingleGroupResidue).unwrap(),
+                anonymize(&t, l, &HilbertResidue).unwrap(),
+            ] {
+                result.partition.validate_cover(&t).unwrap();
+                assert!(result.published.is_l_diverse(&t, l));
+                assert_eq!(result.published.len(), t.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-methodology integration tests: suppression vs single-dimensional
+//! recoding vs multi-dimensional generalization vs anatomy, on shared
+//! workloads — the §2/§6.2 comparisons.
+
+use ldiversity::anatomy::{anatomize, kl_divergence_anatomy};
+use ldiversity::core::{anonymize, SingleGroupResidue};
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::hilbert::{hilbert_anonymize, HilbertResidue};
+use ldiversity::metrics::kl_divergence_suppressed;
+use ldiversity::microdata::principles;
+use ldiversity::multidim::{mondrian_anonymize, BoxTable};
+
+fn workload() -> ldiversity::microdata::Table {
+    sal(&AcsConfig { rows: 5_000, seed: 77 })
+        .project(&[0, 1, 3, 5])
+        .unwrap()
+}
+
+/// §6.2's dominance claim, on every suppression algorithm's real output:
+/// replacing stars with covering sub-domains never increases KL.
+#[test]
+fn box_transformation_dominates_suppression_everywhere() {
+    let t = workload();
+    for l in [2u32, 5] {
+        let outputs = vec![
+            ("TP", anonymize(&t, l, &SingleGroupResidue).unwrap().published),
+            ("TP+", anonymize(&t, l, &HilbertResidue).unwrap().published),
+            ("Hilbert", hilbert_anonymize(&t, l).1),
+        ];
+        for (name, published) in outputs {
+            let kl_star = kl_divergence_suppressed(&t, &published);
+            let boxed = BoxTable::from_suppressed(&t, &published);
+            let kl_box = boxed.kl_divergence(&t);
+            assert!(
+                kl_box <= kl_star + 1e-9,
+                "{name} l = {l}: boxes {kl_box:.4} > stars {kl_star:.4}"
+            );
+            assert!(boxed.is_l_diverse(&t, l));
+        }
+    }
+}
+
+/// Mondrian's native partition is l-diverse and its boxes carry less
+/// information loss than any of our suppression publications at small `l`
+/// (multi-dimensional recoding is the most flexible methodology).
+#[test]
+fn mondrian_leads_the_generalization_methodologies() {
+    let t = workload();
+    let l = 2;
+    let (p, boxed, _) = mondrian_anonymize(&t, l);
+    p.validate_cover(&t).unwrap();
+    assert!(p.is_l_diverse(&t, l));
+    let kl_mondrian = boxed.kl_divergence(&t);
+    let tp_plus = anonymize(&t, l, &HilbertResidue).unwrap();
+    let kl_tp_plus = kl_divergence_suppressed(&t, &tp_plus.published);
+    assert!(
+        kl_mondrian < kl_tp_plus,
+        "mondrian {kl_mondrian:.4} vs TP+ {kl_tp_plus:.4}"
+    );
+}
+
+/// Anatomy publishes exact QI values, so at moderate diversity levels its
+/// information loss undercuts suppression-based generalization; and its
+/// grouping passes the full principle audit at level l.
+#[test]
+fn anatomy_trades_linkage_for_utility() {
+    let t = workload();
+    for l in [4u32, 8] {
+        let a = anatomize(&t, l).unwrap();
+        let audit = principles::satisfied_principles(&t, a.partition());
+        assert!(audit.frequency_l >= l, "audit: {audit:?}");
+        assert!(audit.k_anonymity >= l as usize); // groups hold ≥ l tuples
+
+        let kl_anatomy = kl_divergence_anatomy(&t, &a);
+        let tp_plus = anonymize(&t, l, &HilbertResidue).unwrap();
+        let kl_tp_plus = kl_divergence_suppressed(&t, &tp_plus.published);
+        assert!(
+            kl_anatomy < kl_tp_plus,
+            "l = {l}: anatomy {kl_anatomy:.4} vs TP+ {kl_tp_plus:.4}"
+        );
+    }
+}
+
+/// The §5.6 preprocessing trade-off on the diverse-QI worst case: the
+/// best coarsening depth is strictly *interior* — neither the fully
+/// generalized table nor the untouched one wins, exactly the trade-off the
+/// paper's closing §5.6 paragraph describes.
+#[test]
+fn preprocessing_optimum_is_interior_on_diverse_qi() {
+    use ldiversity::pipeline::{preprocessing_sweep, SweepConfig};
+    // Age × Birth Place: the §5.6 worst case.
+    let t = sal(&AcsConfig { rows: 2_000, seed: 78 })
+        .project(&[0, 4])
+        .unwrap();
+    let points = preprocessing_sweep(
+        &t,
+        &SweepConfig {
+            l: 6,
+            fanout: 2,
+            max_depth: 10,
+        },
+    )
+    .unwrap();
+    assert!(points.len() >= 4, "sweep too short: {}", points.len());
+    let best = points
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.kl.total_cmp(&b.1.kl))
+        .map(|(i, _)| i)
+        .unwrap();
+    assert!(
+        best != 0 && best != points.len() - 1,
+        "best depth must be interior, got index {best} of {:?}",
+        points.iter().map(|p| p.kl).collect::<Vec<_>>()
+    );
+    // Spot-check the §5.6 mechanics on the extremes: coarser cuts mean
+    // fewer stars but wider published sub-domains.
+    assert_eq!(points[0].stars, 0);
+    assert!(points.last().unwrap().stars > 0);
+}
+
+/// Principle audits across methodologies: all groupings reach frequency
+/// level l; entropy diversity is strictly stronger and fails for some
+/// (expected — the paper's Definition 2 is the frequency interpretation).
+#[test]
+fn principle_audits_are_consistent_across_methodologies() {
+    let t = workload();
+    let l = 3;
+    let tp = anonymize(&t, l, &SingleGroupResidue).unwrap();
+    let (mondrian_p, _, _) = mondrian_anonymize(&t, l);
+    let anatomy = anatomize(&t, l).unwrap();
+
+    for (name, partition) in [
+        ("tp", &tp.partition),
+        ("mondrian", &mondrian_p),
+        ("anatomy", anatomy.partition()),
+    ] {
+        let audit = principles::satisfied_principles(&t, partition);
+        assert!(audit.frequency_l >= l, "{name}: {audit:?}");
+        // (α = 1/l, k = 1)-anonymity is implied by frequency l-diversity.
+        assert!(
+            principles::is_alpha_k_anonymous(&t, partition, 1.0 / l as f64, 1),
+            "{name}"
+        );
+    }
+}
