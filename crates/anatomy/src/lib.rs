@@ -10,6 +10,8 @@
 //!
 //! This crate provides:
 //!
+//! * [`AnatomyMechanism`] — the unified-API face (`ldiv_api::Mechanism`),
+//!   registered as `"anatomy"` in the workspace registry;
 //! * [`anatomize`] — the bucketization algorithm: frequency-balanced
 //!   draining into groups of `l` distinct SA values plus residue
 //!   assignment (the same feasibility device as the Hilbert baseline's
@@ -29,20 +31,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use ldiv_api::{AnatomyTables, LdivError, Mechanism, Params, Payload, Publication};
 use ldiv_microdata::{MicrodataError, Partition, RowId, SaHistogram, Table, Value};
 use std::collections::HashMap;
 use std::io::Write;
 
-/// One ST row: `(group id, SA value, count)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SensitiveEntry {
-    /// Group identifier.
-    pub group: u32,
-    /// The sensitive value.
-    pub value: Value,
-    /// Number of group tuples carrying the value.
-    pub count: u32,
-}
+/// Re-export: the ST row type now lives in the `ldiv-api` contract crate
+/// (it is part of the anatomy publication payload); the old
+/// `ldiv_anatomy::SensitiveEntry` path keeps working.
+pub use ldiv_api::SensitiveEntry;
 
 /// An anatomized publication: the grouping plus the two published tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +76,19 @@ impl AnatomizedTable {
     /// Definition 2 on the grouping.
     pub fn is_l_diverse(&self, table: &Table, l: u32) -> bool {
         self.partition.is_l_diverse(table, l)
+    }
+
+    /// Converts into the unified [`Publication`] (payload: the QIT group
+    /// column plus the sensitive table).
+    pub fn to_publication(&self) -> Publication {
+        Publication::new(
+            "anatomy",
+            self.partition.clone(),
+            Payload::Anatomy(AnatomyTables {
+                group_of: self.group_of.clone(),
+                entries: self.st.clone(),
+            }),
+        )
     }
 
     /// Writes the QIT as CSV: the exact QI values plus a `GroupId` column
@@ -130,7 +140,9 @@ impl AnatomizedTable {
 /// them. Fails when the table is not l-eligible.
 pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataError> {
     if l == 0 {
-        return Err(MicrodataError::InvalidPartition("l must be positive".into()));
+        return Err(MicrodataError::InvalidPartition(
+            "l must be positive".into(),
+        ));
     }
     table.check_l_feasible(l)?;
     let m = table.schema().sa_domain_size() as usize;
@@ -158,8 +170,8 @@ pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataErro
 
     // Residue assignment (Anatomy's "residue" step): each leftover joins a
     // group currently lacking its value, largest leftover buckets first.
-    for v in 0..m {
-        while let Some(row) = buckets[v].pop() {
+    for (v, bucket) in buckets.iter_mut().enumerate() {
+        while let Some(row) = bucket.pop() {
             let slot = groups.iter_mut().find(|g| {
                 let mut hist = SaHistogram::of_rows(table, g);
                 hist.add(v as Value);
@@ -217,69 +229,39 @@ pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataErro
 /// `KL(f, f*)` of Eq. (2) under anatomy's semantics: each published tuple
 /// keeps its exact QI vector, and its SA value spreads over the group's
 /// published SA distribution (`count / |group|`).
+///
+/// Thin wrapper over the uniform metric
+/// ([`ldiv_metrics::kl_divergence_anatomy_tables`]); equivalent to
+/// `ldiv_metrics::kl_divergence(table, &published.to_publication())`.
 pub fn kl_divergence_anatomy(table: &Table, published: &AnatomizedTable) -> f64 {
-    let d = table.dimensionality();
-    let n = table.len() as f64;
-    if table.is_empty() {
-        return 0.0;
+    let tables = AnatomyTables {
+        group_of: published.group_of.clone(),
+        entries: published.st.clone(),
+    };
+    ldiv_metrics::kl_divergence_anatomy_tables(table, &published.partition, &tables)
+}
+
+/// Anatomy through the unified [`Mechanism`] trait (registry name
+/// `"anatomy"`).
+pub struct AnatomyMechanism;
+
+impl Mechanism for AnatomyMechanism {
+    fn name(&self) -> &str {
+        "anatomy"
     }
 
-    // Per group: SA distribution.
-    let group_sizes: Vec<f64> = published
-        .partition
-        .groups()
-        .iter()
-        .map(|g| g.len() as f64)
-        .collect();
-    let mut sa_share: HashMap<(u32, Value), f64> = HashMap::new();
-    for e in &published.st {
-        sa_share.insert(
-            (e.group, e.value),
-            e.count as f64 / group_sizes[e.group as usize],
-        );
+    fn description(&self) -> &str {
+        "QI/SA table separation: exact QIT plus an l-eligible sensitive table (§2)"
     }
 
-    // f*(q, s) = Σ_{rows r with qi = q} share(group(r), s) / n. Aggregate
-    // rows by (QI vector, group) first.
-    let mut qi_group_count: HashMap<(Vec<Value>, u32), u32> = HashMap::new();
-    for (row, qi, _) in table.rows() {
-        *qi_group_count
-            .entry((qi.to_vec(), published.group_of(row)))
-            .or_insert(0) += 1;
+    fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
+        params.validate_for(table)?;
+        let published = anatomize(table, params.l)?;
+        let groups = published.group_count();
+        Ok(published
+            .to_publication()
+            .with_note(format!("{groups} anatomy groups, exact QIT")))
     }
-    // Index by QI vector for lookup.
-    let mut by_qi: HashMap<Vec<Value>, Vec<(u32, u32)>> = HashMap::new();
-    for ((qi, g), c) in qi_group_count {
-        by_qi.entry(qi).or_default().push((g, c));
-    }
-
-    // Support of f.
-    let mut support: HashMap<Vec<Value>, u32> = HashMap::with_capacity(table.len());
-    let mut key = vec![0 as Value; d + 1];
-    for (_, qi, sa) in table.rows() {
-        key[..d].copy_from_slice(qi);
-        key[d] = sa;
-        *support.entry(key.clone()).or_insert(0) += 1;
-    }
-
-    let mut kl = 0.0;
-    for (point, &count) in &support {
-        let f_p = count as f64 / n;
-        let qi = &point[..d];
-        let s = point[d];
-        let mut fstar = 0.0;
-        if let Some(entries) = by_qi.get(qi) {
-            for &(g, c) in entries {
-                if let Some(&share) = sa_share.get(&(g, s)) {
-                    fstar += c as f64 * share;
-                }
-            }
-        }
-        let fstar_p = fstar / n;
-        debug_assert!(fstar_p > 0.0, "f* must cover the support");
-        kl += f_p * (f_p / fstar_p).ln();
-    }
-    kl
 }
 
 #[cfg(test)]
@@ -315,6 +297,24 @@ mod tests {
     }
 
     #[test]
+    fn mechanism_face_matches_anatomize() {
+        let t = samples::hospital();
+        let direct = anatomize(&t, 2).unwrap();
+        let publication = AnatomyMechanism.anonymize(&t, &Params::new(2)).unwrap();
+        assert_eq!(publication.mechanism(), "anatomy");
+        assert_eq!(
+            publication.partition().groups(),
+            direct.partition().groups()
+        );
+        assert_eq!(publication.star_count(), 0); // anatomy never stars
+        publication.validate(&t, 2).unwrap();
+        // The uniform KL equals the crate-local wrapper.
+        let uniform = ldiv_metrics::kl_divergence(&t, &publication);
+        let local = kl_divergence_anatomy(&t, &direct);
+        assert!((uniform - local).abs() < 1e-12);
+    }
+
+    #[test]
     fn csv_outputs_are_consistent() {
         let t = samples::hospital();
         let a = anatomize(&t, 2).unwrap();
@@ -343,9 +343,12 @@ mod tests {
     fn anatomy_beats_generalization_on_information_loss() {
         // The anatomy paper's headline: publishing exact QI values loses
         // far less information than generalization at the same l.
-        let t = sal(&AcsConfig { rows: 4_000, seed: 41 })
-            .project(&[0, 1, 3, 5])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 4_000,
+            seed: 41,
+        })
+        .project(&[0, 1, 3, 5])
+        .unwrap();
         for l in [2u32, 6] {
             let a = anatomize(&t, l).unwrap();
             let kl_anatomy = kl_divergence_anatomy(&t, &a);
@@ -367,11 +370,7 @@ mod tests {
         // opposite sanity case instead: one homogeneous-QI table — KL is 0
         // because the QI no longer discriminates.
         use ldiv_microdata::{Attribute, Schema, TableBuilder};
-        let schema = Schema::new(
-            vec![Attribute::new("q", 2)],
-            Attribute::new("sa", 4),
-        )
-        .unwrap();
+        let schema = Schema::new(vec![Attribute::new("q", 2)], Attribute::new("sa", 4)).unwrap();
         let mut b = TableBuilder::new(schema);
         for i in 0..8u16 {
             b.push_row(&[0], i % 4).unwrap();

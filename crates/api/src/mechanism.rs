@@ -1,0 +1,31 @@
+//! The trait every publication method implements.
+
+use crate::{LdivError, Params, Publication};
+use ldiv_microdata::Table;
+
+/// A publication mechanism: anything that turns a microdata table into an
+/// l-diverse [`Publication`].
+///
+/// Implementations live next to their algorithms — `ldiv-core` (TP),
+/// `ldiv-hilbert` (TP+, Hilbert), `ldiv-anatomy`, `ldiv-multidim`
+/// (Mondrian) and `ldiv-tds` — and are collected into a
+/// [`MechanismRegistry`](crate::MechanismRegistry) for string-keyed
+/// dispatch. The trait is object-safe and `Send + Sync` so registries can
+/// be shared across request-serving threads.
+pub trait Mechanism: Send + Sync {
+    /// The registry key and display name (`"tp"`, `"tp+"`, `"anatomy"`,
+    /// `"mondrian"`, `"hilbert"`, `"tds"`, …). Lower-case by convention.
+    fn name(&self) -> &str;
+
+    /// Produces an l-diverse publication of `table` under `params`.
+    ///
+    /// Implementations must validate feasibility (most call
+    /// [`Params::validate_for`] first) and return a publication whose
+    /// partition covers the table exactly.
+    fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError>;
+
+    /// One-line human description for help output and reports.
+    fn description(&self) -> &str {
+        ""
+    }
+}

@@ -1,0 +1,79 @@
+//! The shared parameter bag every mechanism receives.
+
+use crate::LdivError;
+use ldiv_microdata::Table;
+
+/// Parameters common to every publication mechanism.
+///
+/// Mechanisms read what applies to them: all of them honour [`l`](Params::l);
+/// taxonomy-based methods (TDS, §5.6 preprocessing) also honour
+/// [`fanout`](Params::fanout). Unknown-to-a-mechanism fields are ignored by
+/// design, so one `Params` value can drive a whole registry sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// The diversity requirement (Definition 2). Must be ≥ 1; ≥ 2 to be
+    /// useful.
+    pub l: u32,
+    /// Fanout of generated balanced taxonomies (TDS and preprocessing).
+    pub fanout: u32,
+}
+
+impl Params {
+    /// Parameters at diversity `l` with default fanout 2.
+    pub fn new(l: u32) -> Self {
+        Params { l, fanout: 2 }
+    }
+
+    /// Replaces the taxonomy fanout.
+    pub fn with_fanout(mut self, fanout: u32) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Checks that the parameters are internally valid and feasible for a
+    /// table: `l ≥ 1`, `fanout ≥ 2`, and the table is l-eligible.
+    pub fn validate_for(&self, table: &Table) -> Result<(), LdivError> {
+        if self.l == 0 {
+            return Err(LdivError::InvalidL(self.l));
+        }
+        if self.fanout < 2 {
+            return Err(LdivError::InvalidParams(format!(
+                "taxonomy fanout must be at least 2, got {}",
+                self.fanout
+            )));
+        }
+        table.check_l_feasible(self.l)?;
+        Ok(())
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::samples;
+
+    #[test]
+    fn validation_catches_bad_l_and_fanout() {
+        let t = samples::hospital();
+        assert!(matches!(
+            Params::new(0).validate_for(&t),
+            Err(LdivError::InvalidL(0))
+        ));
+        assert!(matches!(
+            Params::new(2).with_fanout(1).validate_for(&t),
+            Err(LdivError::InvalidParams(_))
+        ));
+        assert!(Params::new(2).validate_for(&t).is_ok());
+        // The hospital table is not 3-eligible (HIV appears 4× in 10 rows).
+        assert!(matches!(
+            Params::new(4).validate_for(&t),
+            Err(LdivError::Infeasible(_))
+        ));
+    }
+}

@@ -145,9 +145,9 @@ mod tests {
         // Coarsen Age into {<30, ≥30} like the paper's Table 4 coarsens
         // domains; keep Gender and Education exact.
         let r = Recoding::new(vec![
-            vec![0, 1, 1],       // Age: <30 | {[30,50), ≥50}
-            vec![0, 1],          // Gender identity
-            vec![0, 1, 2],       // Education identity
+            vec![0, 1, 1], // Age: <30 | {[30,50), ≥50}
+            vec![0, 1],    // Gender identity
+            vec![0, 1, 2], // Education identity
         ]);
         let t = samples::hospital();
         let groups = r.induced_groups(&t);

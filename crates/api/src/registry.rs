@@ -1,0 +1,147 @@
+//! String-keyed mechanism dispatch.
+
+use crate::{LdivError, Mechanism, Params, Publication};
+use ldiv_microdata::Table;
+use std::collections::BTreeMap;
+
+/// A name → [`Mechanism`] table.
+///
+/// Keys are the mechanisms' own [`names`](Mechanism::name), matched
+/// case-insensitively. The populated standard registry (all six names:
+/// `tp`, `tp+`, `anatomy`, `mondrian`, `hilbert`, `tds`) is built by the
+/// facade crate's `standard_registry()`, which can see every
+/// implementation; this type itself is mechanism-agnostic so downstream
+/// crates can extend or restrict the set.
+#[derive(Default)]
+pub struct MechanismRegistry {
+    by_name: BTreeMap<String, Box<dyn Mechanism>>,
+}
+
+impl MechanismRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a mechanism under its own name, replacing any previous
+    /// holder of that name (latest registration wins).
+    pub fn register(&mut self, mechanism: Box<dyn Mechanism>) -> &mut Self {
+        self.by_name
+            .insert(mechanism.name().to_ascii_lowercase(), mechanism);
+        self
+    }
+
+    /// Builder-style [`register`](Self::register).
+    pub fn with(mut self, mechanism: Box<dyn Mechanism>) -> Self {
+        self.register(mechanism);
+        self
+    }
+
+    /// Looks a mechanism up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&dyn Mechanism> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .map(|b| b.as_ref())
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.by_name.values().map(|m| m.name()).collect()
+    }
+
+    /// Iterates the registered mechanisms in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Mechanism> {
+        self.by_name.values().map(|b| b.as_ref())
+    }
+
+    /// Number of registered mechanisms.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Resolves `name` and runs it, reporting
+    /// [`LdivError::UnknownMechanism`] (with the known names) when the
+    /// lookup fails.
+    pub fn run(
+        &self,
+        name: &str,
+        table: &Table,
+        params: &Params,
+    ) -> Result<Publication, LdivError> {
+        let mechanism = self.get(name).ok_or_else(|| LdivError::UnknownMechanism {
+            requested: name.to_string(),
+            known: self.names().iter().map(|s| s.to_string()).collect(),
+        })?;
+        mechanism.anonymize(table, params)
+    }
+}
+
+impl std::fmt::Debug for MechanismRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MechanismRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::{samples, Partition};
+
+    struct Fixed(&'static str);
+
+    impl Mechanism for Fixed {
+        fn name(&self) -> &str {
+            self.0
+        }
+
+        fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
+            params.validate_for(table)?;
+            let partition = Partition::new_unchecked(vec![(0..table.len() as u32).collect()]);
+            Ok(Publication::suppressed(self.0, table, partition))
+        }
+    }
+
+    #[test]
+    fn register_lookup_and_names_round_trip() {
+        let mut reg = MechanismRegistry::new();
+        reg.register(Box::new(Fixed("tp")))
+            .register(Box::new(Fixed("tp+")));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["tp", "tp+"]);
+        for name in reg.names() {
+            assert_eq!(reg.get(name).unwrap().name(), name);
+        }
+        // Case-insensitive lookup.
+        assert!(reg.get("TP+").is_some());
+    }
+
+    #[test]
+    fn unknown_name_reports_known_set() {
+        let reg = MechanismRegistry::new().with(Box::new(Fixed("tp")));
+        let t = samples::hospital();
+        let err = reg.run("nope", &t, &Params::new(2)).unwrap_err();
+        match err {
+            LdivError::UnknownMechanism { requested, known } => {
+                assert_eq!(requested, "nope");
+                assert_eq!(known, vec!["tp".to_string()]);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_dispatches_and_validates() {
+        let reg = MechanismRegistry::new().with(Box::new(Fixed("tp")));
+        let t = samples::hospital();
+        let publication = reg.run("tp", &t, &Params::new(2)).unwrap();
+        publication.validate(&t, 2).unwrap();
+        assert!(reg.run("tp", &t, &Params::new(0)).is_err());
+    }
+}

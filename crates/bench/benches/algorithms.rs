@@ -15,11 +15,9 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for algo in [Algo::Tp, Algo::TpPlus, Algo::Hilbert, Algo::Tds] {
         for l in [2u32, 6] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), l),
-                &l,
-                |b, &l| b.iter(|| run_algo(algo, &table, l, false).stars),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), l), &l, |b, &l| {
+                b.iter(|| run_algo(algo, &table, l, false).stars)
+            });
         }
     }
     group.finish();

@@ -135,7 +135,17 @@ mod tests {
 
     #[test]
     fn explicit_values_override() {
-        let c = parse(&["--rows", "123", "--projections", "4", "--seed", "9", "--lmax", "5"]).unwrap();
+        let c = parse(&[
+            "--rows",
+            "123",
+            "--projections",
+            "4",
+            "--seed",
+            "9",
+            "--lmax",
+            "5",
+        ])
+        .unwrap();
         assert_eq!(c.rows, 123);
         assert_eq!(c.max_projections, 4);
         assert_eq!(c.seed, 9);

@@ -122,6 +122,7 @@ fn sweep_l(
 }
 
 /// Shared sweep: average metric over each `d`-family at a fixed `l`.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring the sweep's axes
 fn sweep_d(
     name: &str,
     title: &str,
@@ -220,7 +221,10 @@ pub fn fig5(cfg: &HarnessConfig) -> Vec<Report> {
         .map(|kind| {
             sweep_d(
                 &format!("fig5_{}", kind.tag()),
-                &format!("Figure 5: computation time (s) vs d, l = 4 ({}-d)", kind.name()),
+                &format!(
+                    "Figure 5: computation time (s) vs d, l = 4 ({}-d)",
+                    kind.name()
+                ),
                 kind,
                 4,
                 &SUPPRESSION_ALGOS,
@@ -244,7 +248,10 @@ pub fn fig6(cfg: &HarnessConfig) -> Vec<Report> {
             header.extend(SUPPRESSION_ALGOS.iter().map(|a| a.name().to_string()));
             let mut report = Report::new(
                 format!("fig6_{}", kind.tag()),
-                format!("Figure 6: computation time (s) vs n, l = 6 ({}-4)", kind.name()),
+                format!(
+                    "Figure 6: computation time (s) vs n, l = 6 ({}-4)",
+                    kind.name()
+                ),
                 header,
             );
             for i in 1..=6usize {
@@ -333,8 +340,11 @@ pub fn phase3_frequency(cfg: &HarnessConfig) -> Report {
             let mut runs = 0usize;
             for t in &fam {
                 for l in cfg.l_values() {
-                    let m = run_algo(Algo::Tp, t, l, false);
-                    let idx = match m.phase.expect("TP reports its phase") {
+                    // Phase accounting is TP-internal diagnostics, so this
+                    // experiment deliberately uses the low-level API rather
+                    // than the registry's uniform `Publication`.
+                    let out = ldiv_core::tuple_minimize(t, l).expect("feasible workload");
+                    let idx = match out.stats.termination_phase {
                         Phase::One => 0,
                         Phase::Two => 1,
                         Phase::Three => 2,
@@ -395,11 +405,10 @@ impl ldiv_core::ResiduePartitioner for ArbitraryOrderResidue {
             groups.push(g);
         }
         // Leftovers: append to any group where the value still fits.
-        for v in 0..m {
-            while let Some(r) = buckets[v].pop() {
+        for (v, bucket) in buckets.iter_mut().enumerate() {
+            while let Some(r) = bucket.pop() {
                 let slot = groups.iter_mut().find(|g| {
-                    let mut hist =
-                        SaHistogram::of_rows(table, g);
+                    let mut hist = SaHistogram::of_rows(table, g);
                     hist.add(v as u16);
                     hist.is_l_eligible(l)
                 });
@@ -443,10 +452,8 @@ pub fn ablation_residue(cfg: &HarnessConfig) -> Report {
             if l > cfg.l_range.1 {
                 continue;
             }
-            let tp = ldiv_core::anonymize(t, l, &ldiv_core::SingleGroupResidue)
-                .expect("feasible");
-            let hil = ldiv_core::anonymize(t, l, &ldiv_hilbert::HilbertResidue)
-                .expect("feasible");
+            let tp = ldiv_core::anonymize(t, l, &ldiv_core::SingleGroupResidue).expect("feasible");
+            let hil = ldiv_core::anonymize(t, l, &ldiv_hilbert::HilbertResidue).expect("feasible");
             let arb = ldiv_core::anonymize(t, l, &ArbitraryOrderResidue).expect("feasible");
             // Naive consecutive grouping: chunk curve-sorted rows into
             // blocks of l; count ineligible blocks.
@@ -488,8 +495,10 @@ pub fn ablation_residue(cfg: &HarnessConfig) -> Report {
 /// per §6.2 (stars → covering sub-domains), native Mondrian boxes
 /// (multi-dimensional) and Anatomy (QI/SA separation).
 pub fn multidim_comparison(cfg: &HarnessConfig) -> Report {
-    use ldiv_metrics::{kl_divergence_recoded, kl_divergence_suppressed};
-    use ldiv_multidim::{mondrian_anonymize, BoxTable};
+    use crate::runner::registry;
+    use ldiv_api::Params;
+    use ldiv_metrics::kl_divergence;
+    use ldiv_multidim::BoxTable;
 
     let mut report = Report::new(
         "multidim",
@@ -507,35 +516,40 @@ pub fn multidim_comparison(cfg: &HarnessConfig) -> Report {
     );
     let base = dataset(DataKind::Sal, cfg);
     let fam = family(&base, 4, cfg);
-    // The KL path of BoxTable is O(support × groups); cap the workload.
+    // The KL path of the boxes payload is O(support × groups); cap the
+    // workload.
     let t = if fam[0].len() > 30_000 {
         ldiv_datagen::sample_rows(&fam[0], 30_000, cfg.seed)
     } else {
         fam[0].clone()
     };
+    let registry = registry();
     for l in [2u32, 4, 6, 8, 10] {
         if l > cfg.l_range.1 {
             continue;
         }
-        let tpp = ldiv_core::anonymize(&t, l, &ldiv_hilbert::HilbertResidue)
-            .expect("feasible workload");
-        let tpp_boxes = BoxTable::from_suppressed(&t, &tpp.published);
-        let (_, mondrian_boxes, mondrian_suppressed) = mondrian_anonymize(&t, l);
-        let tds = ldiv_tds::tds_anonymize(
-            &t,
-            &ldiv_tds::TdsConfig { l, ..Default::default() },
-        )
-        .expect("feasible workload");
-        let anatomy = ldiv_anatomy::anatomize(&t, l).expect("feasible workload");
+        let params = Params::new(l);
+        let run = |name: &str| {
+            registry
+                .run(name, &t, &params)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        let tpp = run("tp+");
+        let tpp_boxes =
+            BoxTable::from_suppressed(&t, tpp.as_suppressed().expect("tp+ publishes suppression"));
+        let mondrian = run("mondrian");
+        // Star comparison needs Mondrian's suppression *rendering* of the
+        // same partition (its native payload is boxes).
+        let mondrian_stars = t.generalize(mondrian.partition()).star_count();
         report.push_row(vec![
             l.to_string(),
             tpp.star_count().to_string(),
-            mondrian_suppressed.star_count().to_string(),
-            format!("{:.4}", kl_divergence_recoded(&t, &tds.recoding)),
-            format!("{:.4}", kl_divergence_suppressed(&t, &tpp.published)),
+            mondrian_stars.to_string(),
+            format!("{:.4}", kl_divergence(&t, &run("tds"))),
+            format!("{:.4}", kl_divergence(&t, &tpp)),
             format!("{:.4}", tpp_boxes.kl_divergence(&t)),
-            format!("{:.4}", mondrian_boxes.kl_divergence(&t)),
-            format!("{:.4}", ldiv_anatomy::kl_divergence_anatomy(&t, &anatomy)),
+            format!("{:.4}", kl_divergence(&t, &mondrian)),
+            format!("{:.4}", kl_divergence(&t, &run("anatomy"))),
         ]);
     }
     report

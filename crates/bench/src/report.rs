@@ -19,11 +19,7 @@ pub struct Report {
 
 impl Report {
     /// Starts an empty report.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        header: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, header: Vec<String>) -> Self {
         Report {
             name: name.into(),
             title: title.into(),
@@ -83,10 +79,7 @@ impl Report {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.header.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -99,11 +92,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Report {
-        let mut r = Report::new(
-            "t",
-            "Test table",
-            vec!["l".into(), "stars".into()],
-        );
+        let mut r = Report::new("t", "Test table", vec!["l".into(), "stars".into()]);
         r.push_row(vec!["2".into(), "100".into()]);
         r.push_row(vec!["10".into(), "123456".into()]);
         r

@@ -1,11 +1,22 @@
 //! Algorithm dispatch and timing.
+//!
+//! Since the `ldiv-api` redesign the harness no longer hand-rolls one
+//! match arm per method: every algorithm is resolved from the shared
+//! [`MechanismRegistry`] by name and measured through the unified
+//! [`Publication`](ldiv_api::Publication) + metrics surface. [`Algo`]
+//! survives as the evaluation's fixed roster with the paper's legend
+//! names.
 
-use ldiv_core::{anonymize, Phase, SingleGroupResidue};
-use ldiv_hilbert::{hilbert_anonymize, HilbertResidue};
-use ldiv_metrics::{kl_divergence_recoded, kl_divergence_suppressed};
+use ldiv_api::{MechanismRegistry, Params};
 use ldiv_microdata::Table;
-use ldiv_tds::{tds_anonymize, TdsConfig};
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// The shared registry every measurement dispatches through.
+pub fn registry() -> &'static MechanismRegistry {
+    static REGISTRY: OnceLock<MechanismRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(ldiversity::standard_registry)
+}
 
 /// The algorithms the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +29,10 @@ pub enum Algo {
     TpPlus,
     /// Top-Down Specialization, single-dimensional generalization (ref. \[15\]).
     Tds,
+    /// Mondrian multi-dimensional generalization (ref. \[27\]).
+    Mondrian,
+    /// Anatomy, QI/SA separation (§2).
+    Anatomy,
 }
 
 impl Algo {
@@ -28,6 +43,20 @@ impl Algo {
             Algo::Tp => "TP",
             Algo::TpPlus => "TP+",
             Algo::Tds => "TDS",
+            Algo::Mondrian => "Mondrian",
+            Algo::Anatomy => "Anatomy",
+        }
+    }
+
+    /// The mechanism's registry key.
+    pub fn mechanism(self) -> &'static str {
+        match self {
+            Algo::Hilbert => "hilbert",
+            Algo::Tp => "tp",
+            Algo::TpPlus => "tp+",
+            Algo::Tds => "tds",
+            Algo::Mondrian => "mondrian",
+            Algo::Anatomy => "anatomy",
         }
     }
 }
@@ -35,68 +64,41 @@ impl Algo {
 /// One measured run.
 #[derive(Debug, Clone)]
 pub struct RunMeasurement {
-    /// Stars in the publication (suppression algorithms only; 0 for TDS,
-    /// which coarsens instead of starring).
+    /// Stars in the publication (suppression mechanisms only; 0 for the
+    /// others, which lose information through channels measured by KL).
     pub stars: usize,
     /// Wall-clock seconds of the anonymization itself (excludes KL).
     pub seconds: f64,
-    /// TP termination phase, when applicable.
-    pub phase: Option<Phase>,
     /// KL-divergence of the publication, when requested.
     pub kl: Option<f64>,
+    /// QI-groups in the publication.
+    pub groups: usize,
 }
 
-/// Runs one algorithm on one table, optionally evaluating Eq. (2).
+/// Runs one algorithm on one table through the registry, optionally
+/// evaluating Eq. (2).
 ///
-/// Panics if the table is not l-eligible — harness workloads are generated
-/// to be feasible for the whole sweep.
+/// Panics if the table is not l-eligible — harness workloads are
+/// generated to be feasible for the whole sweep.
 pub fn run_algo(algo: Algo, table: &Table, l: u32, with_kl: bool) -> RunMeasurement {
-    match algo {
-        Algo::Hilbert => {
-            let start = Instant::now();
-            let (_, published) = hilbert_anonymize(table, l);
-            let seconds = start.elapsed().as_secs_f64();
-            RunMeasurement {
-                stars: published.star_count(),
-                seconds,
-                phase: None,
-                kl: with_kl.then(|| kl_divergence_suppressed(table, &published)),
-            }
-        }
-        Algo::Tp => {
-            let start = Instant::now();
-            let result = anonymize(table, l, &SingleGroupResidue).expect("feasible workload");
-            let seconds = start.elapsed().as_secs_f64();
-            RunMeasurement {
-                stars: result.star_count(),
-                seconds,
-                phase: Some(result.tp.stats.termination_phase),
-                kl: with_kl.then(|| kl_divergence_suppressed(table, &result.published)),
-            }
-        }
-        Algo::TpPlus => {
-            let start = Instant::now();
-            let result = anonymize(table, l, &HilbertResidue).expect("feasible workload");
-            let seconds = start.elapsed().as_secs_f64();
-            RunMeasurement {
-                stars: result.star_count(),
-                seconds,
-                phase: Some(result.tp.stats.termination_phase),
-                kl: with_kl.then(|| kl_divergence_suppressed(table, &result.published)),
-            }
-        }
-        Algo::Tds => {
-            let start = Instant::now();
-            let out = tds_anonymize(table, &TdsConfig { l, ..Default::default() })
-                .expect("feasible workload");
-            let seconds = start.elapsed().as_secs_f64();
-            RunMeasurement {
-                stars: 0,
-                seconds,
-                phase: None,
-                kl: with_kl.then(|| kl_divergence_recoded(table, &out.recoding)),
-            }
-        }
+    run_mechanism(algo.mechanism(), table, l, with_kl)
+}
+
+/// Registry-dispatch by mechanism name; the generic path behind
+/// [`run_algo`].
+pub fn run_mechanism(name: &str, table: &Table, l: u32, with_kl: bool) -> RunMeasurement {
+    let registry = registry();
+    let params = Params::new(l);
+    let start = Instant::now();
+    let publication = registry
+        .run(name, table, &params)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let seconds = start.elapsed().as_secs_f64();
+    RunMeasurement {
+        stars: publication.star_count(),
+        seconds,
+        kl: with_kl.then(|| ldiv_metrics::kl_divergence(table, &publication)),
+        groups: publication.group_count(),
     }
 }
 
@@ -107,27 +109,56 @@ mod tests {
 
     #[test]
     fn all_algorithms_run_on_a_small_workload() {
-        let t = sal(&AcsConfig { rows: 1_200, seed: 5 })
-            .project(&[0, 1, 5])
-            .unwrap();
-        for algo in [Algo::Hilbert, Algo::Tp, Algo::TpPlus, Algo::Tds] {
+        let t = sal(&AcsConfig {
+            rows: 1_200,
+            seed: 5,
+        })
+        .project(&[0, 1, 5])
+        .unwrap();
+        for algo in [
+            Algo::Hilbert,
+            Algo::Tp,
+            Algo::TpPlus,
+            Algo::Tds,
+            Algo::Mondrian,
+            Algo::Anatomy,
+        ] {
             let m = run_algo(algo, &t, 3, true);
             assert!(m.seconds >= 0.0);
+            assert!(m.groups > 0, "{}", algo.name());
             let kl = m.kl.expect("requested KL");
             assert!(kl.is_finite() && kl >= -1e-9, "{}: kl = {kl}", algo.name());
-            if algo == Algo::Tp || algo == Algo::TpPlus {
-                assert!(m.phase.is_some());
-            }
         }
     }
 
     #[test]
     fn tp_plus_never_uses_more_stars_than_tp() {
-        let t = sal(&AcsConfig { rows: 2_000, seed: 6 })
-            .project(&[0, 2, 5, 6])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 2_000,
+            seed: 6,
+        })
+        .project(&[0, 2, 5, 6])
+        .unwrap();
         let tp = run_algo(Algo::Tp, &t, 4, false);
         let tp_plus = run_algo(Algo::TpPlus, &t, 4, false);
         assert!(tp_plus.stars <= tp.stars);
+    }
+
+    #[test]
+    fn registry_roster_covers_every_algo() {
+        for algo in [
+            Algo::Hilbert,
+            Algo::Tp,
+            Algo::TpPlus,
+            Algo::Tds,
+            Algo::Mondrian,
+            Algo::Anatomy,
+        ] {
+            assert!(
+                registry().get(algo.mechanism()).is_some(),
+                "{} missing from the registry",
+                algo.name()
+            );
+        }
     }
 }

@@ -5,21 +5,26 @@
 //! * `generate` — write a synthetic SAL/OCC-style CSV dataset;
 //! * `stats` — describe a CSV dataset (cardinality, `d`, `m`, the largest
 //!   feasible `l`, QI diversity);
-//! * `anonymize` — produce an l-diverse publication with TP, TP+, Hilbert
-//!   or TDS and write it as CSV.
+//! * `anonymize` — produce an l-diverse publication with any registered
+//!   mechanism (`tp`, `tp+`, `hilbert`, `tds`, `mondrian`, `anatomy`) and
+//!   write its suppression rendering as CSV;
+//! * `anatomize` — anatomy's native two-table output (QIT + ST CSVs);
+//! * `compare` — run every registered mechanism on one dataset;
+//! * `sweep` — the §5.6 preprocessing trade-off table.
 //!
-//! The library half keeps command logic testable; `main.rs` is a thin
-//! argument shell.
+//! Contract: `--input -` reads the dataset from stdin; success exits 0,
+//! user/runtime errors exit 1, usage mistakes exit 2 (see
+//! [`LdivError::exit_code`]). The library half keeps command logic
+//! testable; `main.rs` is a thin argument shell.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use ldiv_core::SingleGroupResidue;
+use ldiv_api::{LdivError, Params};
 use ldiv_datagen::{occ, sal, AcsConfig};
-use ldiv_hilbert::{hilbert_anonymize, HilbertResidue};
-use ldiv_metrics::{kl_divergence_recoded, kl_divergence_suppressed, PublicationSummary};
-use ldiv_microdata::{read_csv, write_generalized_csv, write_table_csv, Table};
-use ldiv_tds::{tds_anonymize, TdsConfig};
+use ldiv_metrics::{kl_divergence, PublicationSummary};
+use ldiv_microdata::{read_csv, write_generalized_csv, write_table_csv, SuppressedTable, Table};
+use ldiversity::standard_registry;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
@@ -33,22 +38,26 @@ pub struct Options {
     pub flags: HashMap<String, String>,
 }
 
+fn usage_err(msg: impl Into<String>) -> LdivError {
+    LdivError::Usage(msg.into())
+}
+
 impl Options {
     /// Parses `args` (without the program name).
-    pub fn parse(args: &[String]) -> Result<Options, String> {
+    pub fn parse(args: &[String]) -> Result<Options, LdivError> {
         let mut it = args.iter();
         let command = it
             .next()
-            .ok_or_else(|| "missing subcommand".to_string())?
+            .ok_or_else(|| usage_err("missing subcommand"))?
             .clone();
         let mut flags = HashMap::new();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, found '{key}'"))?;
+                .ok_or_else(|| usage_err(format!("expected --flag, found '{key}'")))?;
             let value = it
                 .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+                .ok_or_else(|| usage_err(format!("--{key} needs a value")))?;
             flags.insert(key.to_string(), value.clone());
         }
         Ok(Options { command, flags })
@@ -58,18 +67,25 @@ impl Options {
         self.flags.get(key).map(String::as_str)
     }
 
-    fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    fn require(&self, key: &str) -> Result<&str, LdivError> {
+        self.get(key)
+            .ok_or_else(|| usage_err(format!("missing --{key}")))
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, LdivError>
     where
         T::Err: std::fmt::Display,
     {
         match self.get(key) {
             None => Ok(default),
-            Some(s) => s.parse().map_err(|e| format!("--{key}: {e}")),
+            Some(s) => s.parse().map_err(|e| usage_err(format!("--{key}: {e}"))),
         }
+    }
+
+    fn require_l(&self) -> Result<u32, LdivError> {
+        self.require("l")?
+            .parse()
+            .map_err(|e| usage_err(format!("--l: {e}")))
     }
 }
 
@@ -80,14 +96,20 @@ ldiv — l-diverse anonymization toolkit
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
   ldiv stats     --input FILE [--l L]
-  ldiv anonymize --input FILE --l L --algo tp|tp+|hilbert|tds --output FILE
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
   ldiv compare   --input FILE --l L
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
+
+MECHANISM is any registered publication method:
+  tp | tp+ | hilbert | tds | mondrian | anatomy
+
+`--input -` reads the dataset CSV from standard input.
+Exit codes: 0 success, 1 user/runtime error, 2 usage error.
 ";
 
 /// Runs a parsed command, returning the text to print.
-pub fn run(opts: &Options) -> Result<String, String> {
+pub fn run(opts: &Options) -> Result<String, LdivError> {
     match opts.command.as_str() {
         "generate" => cmd_generate(opts),
         "stats" => cmd_stats(opts),
@@ -96,16 +118,37 @@ pub fn run(opts: &Options) -> Result<String, String> {
         "compare" => cmd_compare(opts),
         "sweep" => cmd_sweep(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+        other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
 }
 
-fn load_table(path: &str) -> Result<Table, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    read_csv(std::io::BufReader::new(file), None).map_err(|e| e.to_string())
+/// Loads a table from a path, with `-` as the stdin sentinel.
+fn load_table(path: &str) -> Result<Table, LdivError> {
+    if path == "-" {
+        let stdin = std::io::stdin();
+        return read_table_from(stdin.lock(), "stdin");
+    }
+    let file = std::fs::File::open(path).map_err(|e| LdivError::Io(format!("{path}: {e}")))?;
+    read_table_from(std::io::BufReader::new(file), path)
 }
 
-fn cmd_generate(opts: &Options) -> Result<String, String> {
+/// Reads a table CSV from any source, labelling errors with its name.
+fn read_table_from(reader: impl std::io::BufRead, source: &str) -> Result<Table, LdivError> {
+    read_csv(reader, None).map_err(|e| LdivError::Io(format!("{source}: {e}")))
+}
+
+fn create_file(path: &str) -> Result<std::io::BufWriter<std::fs::File>, LdivError> {
+    Ok(std::io::BufWriter::new(
+        std::fs::File::create(Path::new(path))
+            .map_err(|e| LdivError::Io(format!("{path}: {e}")))?,
+    ))
+}
+
+fn io_err(path: &str) -> impl Fn(std::io::Error) -> LdivError + '_ {
+    move |e| LdivError::Io(format!("{path}: {e}"))
+}
+
+fn cmd_generate(opts: &Options) -> Result<String, LdivError> {
     let kind = opts.require("kind")?;
     let output = opts.require("output")?;
     let rows: usize = opts.parse_num("rows", 10_000)?;
@@ -114,20 +157,22 @@ fn cmd_generate(opts: &Options) -> Result<String, String> {
     let table = match kind {
         "sal" => sal(&cfg),
         "occ" => occ(&cfg),
-        other => return Err(format!("--kind must be sal or occ, got '{other}'")),
+        other => {
+            return Err(usage_err(format!(
+                "--kind must be sal or occ, got '{other}'"
+            )))
+        }
     };
-    let mut f = std::io::BufWriter::new(
-        std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?,
-    );
-    write_table_csv(&mut f, &table).map_err(|e| e.to_string())?;
-    f.flush().map_err(|e| e.to_string())?;
+    let mut f = create_file(output)?;
+    write_table_csv(&mut f, &table).map_err(io_err(output))?;
+    f.flush().map_err(io_err(output))?;
     Ok(format!(
-        "wrote {rows} rows × {} QI attributes to {output}",
+        "wrote {rows} rows × {} QI attributes to {output}\n",
         table.dimensionality()
     ))
 }
 
-fn cmd_stats(opts: &Options) -> Result<String, String> {
+fn cmd_stats(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
     let table = load_table(input)?;
     let mut out = String::new();
@@ -149,110 +194,121 @@ fn cmd_stats(opts: &Options) -> Result<String, String> {
         table.max_feasible_l()
     ));
     if let Some(l) = opts.get("l") {
-        let l: u32 = l.parse().map_err(|e| format!("--l: {e}"))?;
+        let l: u32 = l.parse().map_err(|e| usage_err(format!("--l: {e}")))?;
         let feasible = table.check_l_feasible(l).is_ok();
         out.push_str(&format!("{l}-diverse feasible:  {feasible}\n"));
     }
     Ok(out)
 }
 
-fn cmd_anonymize(opts: &Options) -> Result<String, String> {
+/// The suppression rendering of a publication: its own payload when it is
+/// suppression-based, the partition's generalization otherwise (TDS,
+/// Mondrian and Anatomy publish through other payloads; the rendering
+/// keeps one uniform CSV output).
+fn suppression_rendering<'a>(
+    table: &Table,
+    publication: &'a ldiv_api::Publication,
+) -> std::borrow::Cow<'a, SuppressedTable> {
+    match publication.as_suppressed() {
+        Some(s) => std::borrow::Cow::Borrowed(s),
+        None => std::borrow::Cow::Owned(table.generalize(publication.partition())),
+    }
+}
+
+fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
-    let output = opts.require("output")?;
-    let l: u32 = opts.require("l")?.parse().map_err(|e| format!("--l: {e}"))?;
+    let l = opts.require_l()?;
     let algo = opts.require("algo")?;
-    let table = load_table(input)?;
-    table.check_l_feasible(l).map_err(|e| e.to_string())?;
-
-    let (published, kl, extra) = match algo {
-        "tp" => {
-            let r = ldiv_core::anonymize(&table, l, &SingleGroupResidue)
-                .map_err(|e| e.to_string())?;
-            let kl = kl_divergence_suppressed(&table, &r.published);
-            let extra = format!(
-                "terminated in phase {}",
-                r.tp.stats.termination_phase
-            );
-            (r.published, kl, extra)
-        }
-        "tp+" => {
-            let r = ldiv_core::anonymize(&table, l, &HilbertResidue)
-                .map_err(|e| e.to_string())?;
-            let kl = kl_divergence_suppressed(&table, &r.published);
-            let extra = format!(
-                "terminated in phase {}, residue re-partitioned into {} groups",
-                r.tp.stats.termination_phase,
-                r.partition.group_count() - r.tp.partition.group_count()
-            );
-            (r.published, kl, extra)
-        }
-        "hilbert" => {
-            let (_, published) = hilbert_anonymize(&table, l);
-            let kl = kl_divergence_suppressed(&table, &published);
-            (published, kl, String::new())
-        }
-        "tds" => {
-            let out = tds_anonymize(&table, &TdsConfig { l, ..Default::default() })
-                .map_err(|e| e.to_string())?;
-            let kl = kl_divergence_recoded(&table, &out.recoding);
-            // TDS publishes coarsened values; render via the induced
-            // partition's suppression form for a uniform CSV output, and
-            // report the recoding separately.
-            let published = table.generalize(&out.partition());
-            let extra = format!(
-                "{} specializations, cut sizes {:?}",
-                out.specializations.len(),
-                out.cut_sizes
-            );
-            (published, kl, extra)
-        }
-        other => return Err(format!("--algo must be tp, tp+, hilbert or tds, got '{other}'")),
+    let fanout: u32 = opts.parse_num("fanout", 2)?;
+    let depth: Option<u32> = match opts.get("depth") {
+        None => None,
+        Some(s) => Some(s.parse().map_err(|e| usage_err(format!("--depth: {e}")))?),
     };
+    if depth.is_some() && opts.get("output").is_some() {
+        return Err(usage_err(
+            "--output cannot be combined with --depth: the publication \
+             describes the coarsened table, not the input schema \
+             (drop --depth to write a CSV)",
+        ));
+    }
+    let table = load_table(input)?;
 
-    let mut f = std::io::BufWriter::new(
-        std::fs::File::create(Path::new(output)).map_err(|e| format!("{output}: {e}"))?,
-    );
-    write_generalized_csv(&mut f, &table, &published).map_err(|e| e.to_string())?;
-    f.flush().map_err(|e| e.to_string())?;
+    let registry = standard_registry();
+    let params = Params::new(l).with_fanout(fanout);
 
+    // `--depth` folds in the §5.6 preprocessing workflow via the
+    // Anonymizer builder; the publication describes the coarsened table,
+    // so no CSV of the original schema can be written.
+    if let Some(depth) = depth {
+        let run = ldiversity::Anonymizer::with_registry(registry)
+            .params(params)
+            .mechanism(algo)
+            .preprocess_depth(depth)
+            .run(&table)?;
+        return Ok(format!(
+            "preprocessed at depth {depth}: stars {}, KL vs original {:.4}\n\
+             (publication describes the coarsened table; re-run without --depth for CSV output)\n",
+            run.star_count(),
+            run.kl
+        ));
+    }
+
+    let output = opts.require("output")?;
+    let publication = registry.run(algo, &table, &params)?;
+    let published = suppression_rendering(&table, &publication);
+    let kl = kl_divergence(&table, &publication);
+
+    let mut f = create_file(output)?;
+    write_generalized_csv(&mut f, &table, &published).map_err(io_err(output))?;
+    f.flush().map_err(io_err(output))?;
+
+    // Summarize the table actually written, so stars/suppressed match the
+    // CSV the user just received even when the mechanism's native payload
+    // (boxes, anatomy, recoding) has no stars of its own.
     let summary = PublicationSummary::of(&table, &published);
     let mut msg = format!(
-        "wrote {} rows to {output}\nstars: {} ({:.2}% of QI cells)\nsuppressed tuples: {}\nQI-groups: {}\nKL-divergence: {:.4}\n",
+        "wrote {} rows to {output}\nmechanism: {}\nstars: {} ({:.2}% of QI cells)\nsuppressed tuples: {}\nQI-groups: {}\nKL-divergence: {:.4}\n",
         summary.rows,
+        publication.mechanism(),
         summary.stars,
         100.0 * summary.star_ratio,
         summary.suppressed_tuples,
         summary.groups,
         kl
     );
-    if !extra.is_empty() {
-        msg.push_str(&extra);
+    if publication.as_suppressed().is_none() {
+        msg.push_str(&format!(
+            "note: '{}' publishes no stars natively; the CSV (and the star counts above) \
+             are its suppression rendering, while the KL reflects the native payload\n",
+            publication.mechanism()
+        ));
+    }
+    for note in publication.notes() {
+        msg.push_str(note);
         msg.push('\n');
     }
     Ok(msg)
 }
 
-fn cmd_anatomize(opts: &Options) -> Result<String, String> {
+fn cmd_anatomize(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
     let qit_path = opts.require("qit")?;
     let st_path = opts.require("st")?;
-    let l: u32 = opts.require("l")?.parse().map_err(|e| format!("--l: {e}"))?;
+    let l = opts.require_l()?;
     let table = load_table(input)?;
-    let published = ldiv_anatomy::anatomize(&table, l).map_err(|e| e.to_string())?;
-    let mut qit = std::io::BufWriter::new(
-        std::fs::File::create(qit_path).map_err(|e| format!("{qit_path}: {e}"))?,
-    );
+    // Anatomy's native two-table output needs the low-level API (the
+    // unified payload does not carry CSV writers).
+    let published = ldiv_anatomy::anatomize(&table, l)?;
+    let mut qit = create_file(qit_path)?;
     published
         .write_qit_csv(&mut qit, &table)
-        .map_err(|e| e.to_string())?;
-    qit.flush().map_err(|e| e.to_string())?;
-    let mut st = std::io::BufWriter::new(
-        std::fs::File::create(st_path).map_err(|e| format!("{st_path}: {e}"))?,
-    );
+        .map_err(io_err(qit_path))?;
+    qit.flush().map_err(io_err(qit_path))?;
+    let mut st = create_file(st_path)?;
     published
         .write_st_csv(&mut st, &table)
-        .map_err(|e| e.to_string())?;
-    st.flush().map_err(|e| e.to_string())?;
+        .map_err(io_err(st_path))?;
+    st.flush().map_err(io_err(st_path))?;
     let kl = ldiv_anatomy::kl_divergence_anatomy(&table, &published);
     Ok(format!(
         "wrote QIT to {qit_path} and ST to {st_path}\ngroups: {}\nKL-divergence: {kl:.4}\n",
@@ -260,71 +316,50 @@ fn cmd_anatomize(opts: &Options) -> Result<String, String> {
     ))
 }
 
-fn cmd_compare(opts: &Options) -> Result<String, String> {
+fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
-    let l: u32 = opts.require("l")?.parse().map_err(|e| format!("--l: {e}"))?;
+    let l = opts.require_l()?;
     let table = load_table(input)?;
-    table.check_l_feasible(l).map_err(|e| e.to_string())?;
+    table.check_l_feasible(l)?;
 
+    let registry = standard_registry();
+    let params = Params::new(l);
     let mut out = format!(
         "{:>9} {:>12} {:>12} {:>10} {:>10}\n",
         "algorithm", "stars", "suppressed", "groups", "KL"
     );
-    let mut line = |name: &str, stars: usize, tuples: usize, groups: usize, kl: f64| {
-        out.push_str(&format!(
-            "{name:>9} {stars:>12} {tuples:>12} {groups:>10} {kl:>10.4}\n"
-        ));
-    };
-
-    let (p, published) = hilbert_anonymize(&table, l);
-    line(
-        "hilbert",
-        published.star_count(),
-        published.suppressed_tuple_count(),
-        p.group_count(),
-        kl_divergence_suppressed(&table, &published),
-    );
-    let tp = ldiv_core::anonymize(&table, l, &SingleGroupResidue).map_err(|e| e.to_string())?;
-    line(
-        "tp",
-        tp.star_count(),
-        tp.suppressed_tuples(),
-        tp.partition.group_count(),
-        kl_divergence_suppressed(&table, &tp.published),
-    );
-    let tpp = ldiv_core::anonymize(&table, l, &HilbertResidue).map_err(|e| e.to_string())?;
-    line(
-        "tp+",
-        tpp.star_count(),
-        tpp.suppressed_tuples(),
-        tpp.partition.group_count(),
-        kl_divergence_suppressed(&table, &tpp.published),
-    );
-    match tds_anonymize(&table, &TdsConfig { l, ..Default::default() }) {
-        Ok(tds) => line(
-            "tds",
-            0,
-            0,
-            tds.partition().group_count(),
-            kl_divergence_recoded(&table, &tds.recoding),
-        ),
-        Err(e) => out.push_str(&format!("{:>9} {e}\n", "tds")),
+    for name in registry.names() {
+        match registry.run(name, &table, &params) {
+            Ok(publication) => {
+                let kl = kl_divergence(&table, &publication);
+                out.push_str(&format!(
+                    "{name:>9} {:>12} {:>12} {:>10} {kl:>10.4}\n",
+                    publication.star_count(),
+                    publication.suppressed_tuple_count(),
+                    publication.group_count(),
+                ));
+            }
+            Err(e) => out.push_str(&format!("{name:>9} {e}\n")),
+        }
     }
     Ok(out)
 }
 
-fn cmd_sweep(opts: &Options) -> Result<String, String> {
+fn cmd_sweep(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
-    let l: u32 = opts.require("l")?.parse().map_err(|e| format!("--l: {e}"))?;
+    let l = opts.require_l()?;
     let fanout: u32 = opts.parse_num("fanout", 2)?;
     let max_depth: u32 = opts.parse_num("depth", 8)?;
     let table = load_table(input)?;
-    table.check_l_feasible(l).map_err(|e| e.to_string())?;
+    table.check_l_feasible(l)?;
     let points = ldiv_pipeline::preprocessing_sweep(
         &table,
-        &ldiv_pipeline::SweepConfig { l, fanout, max_depth },
-    )
-    .map_err(|e| e.to_string())?;
+        &ldiv_pipeline::SweepConfig {
+            l,
+            fanout,
+            max_depth,
+        },
+    )?;
     let mut out = format!(
         "{:>5} {:>10} {:>10} {:>12} {:>10}\n",
         "depth", "buckets", "stars", "suppressed", "KL"
@@ -338,7 +373,7 @@ fn cmd_sweep(opts: &Options) -> Result<String, String> {
     let best = points
         .iter()
         .min_by(|a, b| a.kl.total_cmp(&b.kl))
-        .ok_or("empty sweep")?;
+        .ok_or_else(|| LdivError::Algorithm("empty sweep".into()))?;
     out.push_str(&format!(
         "best utility: depth {} (KL = {:.4})\n",
         best.depth, best.kl
@@ -362,17 +397,42 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_malformed() {
-        assert!(Options::parse(&[]).is_err());
-        assert!(Options::parse(&["x".into(), "--k".into()]).is_err());
-        assert!(Options::parse(&["x".into(), "naked".into()]).is_err());
+    fn parse_rejects_malformed_with_usage_exit_code() {
+        for args in [
+            vec![],
+            vec!["x".to_string(), "--k".to_string()],
+            vec!["x".to_string(), "naked".to_string()],
+        ] {
+            let err = Options::parse(&args).unwrap_err();
+            assert!(matches!(err, LdivError::Usage(_)), "{err}");
+            assert_eq!(err.exit_code(), 2);
+        }
     }
 
     #[test]
     fn help_prints_usage() {
         let out = run(&opts(&["help"])).unwrap();
         assert!(out.contains("anonymize"));
+        assert!(out.contains("mondrian"));
         assert!(run(&opts(&["nope"])).is_err());
+    }
+
+    #[test]
+    fn stdin_sentinel_reader_path() {
+        // The `-` sentinel routes through `read_table_from(.., "stdin")`
+        // rather than opening a file literally named "-". Exercised here
+        // with an in-memory reader so the test never touches real stdin.
+        let err = read_table_from(std::io::Cursor::new(""), "stdin").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("stdin"), "{msg}");
+        assert_eq!(err.exit_code(), 1);
+
+        let table = read_table_from(
+            std::io::Cursor::new("qi0,qi1,sa\n1,2,flu\n3,4,cold\n"),
+            "stdin",
+        )
+        .unwrap();
+        assert_eq!(table.len(), 2);
     }
 
     #[test]
@@ -388,14 +448,23 @@ mod tests {
         assert!(stats.contains("rows (n):            800"));
         assert!(stats.contains("4-diverse feasible:  true"));
 
-        for algo in ["tp", "tp+", "hilbert", "tds"] {
+        // Every registered mechanism is dispatchable by name.
+        for algo in ["tp", "tp+", "hilbert", "tds", "mondrian", "anatomy"] {
             let outfile = tmp(&format!("anon_{}.csv", algo.replace('+', "p")));
             let msg = run(&opts(&[
-                "anonymize", "--input", &data, "--l", "3", "--algo", algo, "--output",
+                "anonymize",
+                "--input",
+                &data,
+                "--l",
+                "3",
+                "--algo",
+                algo,
+                "--output",
                 &outfile,
             ]))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(msg.contains("stars:"), "{algo}: {msg}");
+            assert!(msg.contains(&format!("mechanism: {algo}")), "{algo}: {msg}");
             // The published file must parse back as a CSV of equal length
             // (stars become the '*' label).
             let text = std::fs::read_to_string(&outfile).unwrap();
@@ -404,18 +473,82 @@ mod tests {
     }
 
     #[test]
-    fn anonymize_rejects_infeasible_l() {
+    fn anonymize_with_depth_runs_the_preprocessing_workflow() {
+        let data = tmp("depth.csv");
+        run(&opts(&[
+            "generate", "--kind", "sal", "--rows", "700", "--seed", "5", "--output", &data,
+        ]))
+        .unwrap();
+        let msg = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp+",
+            "--depth",
+            "2",
+        ]))
+        .unwrap();
+        assert!(msg.contains("preprocessed at depth 2"), "{msg}");
+
+        // `--output` would never be written under `--depth`; the
+        // combination is a usage error rather than a silent no-op.
+        let err = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp+",
+            "--depth",
+            "2",
+            "--output",
+            &tmp("unused.csv"),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--depth"), "{err}");
+    }
+
+    #[test]
+    fn anonymize_rejects_infeasible_l_and_unknown_algo() {
         let data = tmp("infeasible.csv");
         run(&opts(&[
             "generate", "--kind", "occ", "--rows", "300", "--output", &data,
         ]))
         .unwrap();
         let err = run(&opts(&[
-            "anonymize", "--input", &data, "--l", "999", "--algo", "tp", "--output",
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "999",
+            "--algo",
+            "tp",
+            "--output",
             &tmp("never.csv"),
         ]))
         .unwrap_err();
-        assert!(err.contains("no 999-diverse"), "{err}");
+        assert!(err.to_string().contains("no 999-diverse"), "{err}");
+        assert_eq!(err.exit_code(), 1);
+
+        let err = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "2",
+            "--algo",
+            "tp#",
+            "--output",
+            &tmp("never.csv"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, LdivError::UnknownMechanism { .. }), "{err}");
+        assert!(err.to_string().contains("mondrian"), "{err}");
     }
 
     #[test]
@@ -428,24 +561,34 @@ mod tests {
         let qit = tmp("anat_qit.csv");
         let st = tmp("anat_st.csv");
         let out = run(&opts(&[
-            "anatomize", "--input", &data, "--l", "4", "--qit", &qit, "--st", &st,
+            "anatomize",
+            "--input",
+            &data,
+            "--l",
+            "4",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
         ]))
         .unwrap();
         assert!(out.contains("KL-divergence"));
         let qit_text = std::fs::read_to_string(&qit).unwrap();
         assert_eq!(qit_text.lines().count(), 401);
-        assert!(std::fs::read_to_string(&st).unwrap().starts_with("GroupId,"));
+        assert!(std::fs::read_to_string(&st)
+            .unwrap()
+            .starts_with("GroupId,"));
     }
 
     #[test]
-    fn compare_lists_all_algorithms() {
+    fn compare_lists_every_registered_mechanism() {
         let data = tmp("compare.csv");
         run(&opts(&[
             "generate", "--kind", "sal", "--rows", "600", "--seed", "8", "--output", &data,
         ]))
         .unwrap();
         let out = run(&opts(&["compare", "--input", &data, "--l", "3"])).unwrap();
-        for name in ["hilbert", "tp", "tp+", "tds"] {
+        for name in ["hilbert", "tp", "tp+", "tds", "mondrian", "anatomy"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }
@@ -468,6 +611,7 @@ mod tests {
     #[test]
     fn stats_on_missing_file_errors() {
         let err = run(&opts(&["stats", "--input", "/nonexistent/x.csv"])).unwrap_err();
-        assert!(err.contains("x.csv"));
+        assert!(err.to_string().contains("x.csv"));
+        assert_eq!(err.exit_code(), 1);
     }
 }

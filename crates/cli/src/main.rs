@@ -1,4 +1,7 @@
 //! The `ldiv` binary: a thin shell over `ldiv_cli::run`.
+//!
+//! Exit-code contract: 0 on success, 1 on user/runtime errors, 2 on
+//! usage mistakes (`LdivError::exit_code`).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,14 +9,14 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n{}", ldiv_cli::USAGE);
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     };
     match ldiv_cli::run(&opts) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -48,6 +48,16 @@ impl From<MicrodataError> for CoreError {
     }
 }
 
+impl From<CoreError> for ldiv_api::LdivError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Infeasible(inner) => ldiv_api::LdivError::Infeasible(inner),
+            CoreError::InvalidL(l) => ldiv_api::LdivError::InvalidL(l),
+            CoreError::Internal(msg) => ldiv_api::LdivError::Internal(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

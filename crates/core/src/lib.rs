@@ -29,12 +29,15 @@
 //!
 //! # Entry points
 //!
-//! * [`tuple_minimize`] — run TP, get the surviving groups, the residue and
-//!   the [`TpStats`] certificate.
-//! * [`anonymize`] — full pipeline producing an l-diverse partition
-//!   covering the whole table, with a pluggable [`ResiduePartitioner`] for
-//!   the TP+ hybrid of §5.6 (the Hilbert partitioner lives in
-//!   `ldiv-hilbert`).
+//! * [`TpMechanism`] / [`TpHybridMechanism`] — the unified-API face
+//!   (`ldiv_api::Mechanism`); construct by name through the workspace's
+//!   `MechanismRegistry` (`"tp"`, `"tp+"`). This is the front door.
+//! * [`tuple_minimize`] — low level: run TP, get the surviving groups, the
+//!   residue and the [`TpStats`] certificate.
+//! * [`anonymize`] — low level: full pipeline producing an l-diverse
+//!   partition covering the whole table, with a pluggable
+//!   [`ResiduePartitioner`] for the TP+ hybrid of §5.6 (the Hilbert
+//!   partitioner lives in `ldiv-hilbert`).
 //!
 //! ```
 //! use ldiv_core::{tuple_minimize, Phase};
@@ -55,10 +58,12 @@ mod candidates;
 mod error;
 mod group;
 mod hybrid;
+mod mechanism;
 mod residue;
 mod tp;
 
 pub use error::CoreError;
 pub use hybrid::{anonymize, AnonymizationResult, ResiduePartitioner, SingleGroupResidue};
+pub use mechanism::{TpHybridMechanism, TpMechanism};
 pub use residue::ResidueSet;
 pub use tp::{tuple_minimize, tuple_minimize_groups, Phase, StructureCounters, TpOutcome, TpStats};

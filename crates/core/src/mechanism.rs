@@ -1,0 +1,113 @@
+//! The unified-API face of the TP family.
+//!
+//! [`TpMechanism`] publishes plain TP (residue as one suppressed group);
+//! [`TpHybridMechanism`] wraps TP with any [`ResiduePartitioner`] — the
+//! §5.6 hybrid hook behind the `"tp+"` registry entry, whose Hilbert
+//! partitioner lives in `ldiv-hilbert`.
+
+use crate::hybrid::{anonymize, ResiduePartitioner, SingleGroupResidue};
+use ldiv_api::{LdivError, Mechanism, Params, Payload, Publication};
+use ldiv_microdata::Table;
+
+/// TP with a pluggable residue partitioner, exposed through the unified
+/// [`Mechanism`] trait.
+pub struct TpHybridMechanism<P> {
+    name: String,
+    partitioner: P,
+}
+
+impl<P: ResiduePartitioner> TpHybridMechanism<P> {
+    /// A hybrid mechanism registered under `name`.
+    pub fn new(name: impl Into<String>, partitioner: P) -> Self {
+        TpHybridMechanism {
+            name: name.into(),
+            partitioner,
+        }
+    }
+}
+
+impl<P: ResiduePartitioner + Send + Sync> Mechanism for TpHybridMechanism<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        "three-phase tuple minimization with residue re-partitioning (§5.6 hybrid)"
+    }
+
+    fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
+        params.validate_for(table)?;
+        let result = anonymize(table, params.l, &self.partitioner)?;
+        let refined = result.partition.group_count() - result.tp.partition.group_count();
+        let mut publication = Publication::new(
+            self.name.clone(),
+            result.partition,
+            Payload::Suppressed(result.published),
+        )
+        .with_note(format!(
+            "terminated in phase {}",
+            result.tp.stats.termination_phase
+        ));
+        // A single residue group is plain TP's publication shape, not a
+        // refinement worth reporting.
+        if refined > 1 {
+            publication.push_note(format!(
+                "residue re-partitioned into {refined} groups by '{}'",
+                self.partitioner.name()
+            ));
+        }
+        if result.fell_back {
+            publication.push_note("residue partitioner output rejected; single-group fallback");
+        }
+        Ok(publication)
+    }
+}
+
+/// Plain TP (`"tp"`): the residue set is published as one fully
+/// suppressed QI-group.
+pub struct TpMechanism;
+
+impl Mechanism for TpMechanism {
+    fn name(&self) -> &str {
+        "tp"
+    }
+
+    fn description(&self) -> &str {
+        "three-phase tuple minimization, residue published as one suppressed group (§5)"
+    }
+
+    fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
+        TpHybridMechanism::new("tp", SingleGroupResidue).anonymize(table, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::samples;
+
+    #[test]
+    fn tp_mechanism_matches_free_function() {
+        let t = samples::hospital();
+        let direct = anonymize(&t, 2, &SingleGroupResidue).unwrap();
+        let via_trait = TpMechanism.anonymize(&t, &Params::new(2)).unwrap();
+        assert_eq!(via_trait.mechanism(), "tp");
+        assert_eq!(via_trait.star_count(), direct.star_count());
+        assert_eq!(via_trait.partition().groups(), direct.partition.groups());
+        via_trait.validate(&t, 2).unwrap();
+        assert!(via_trait.notes()[0].contains("phase"));
+    }
+
+    #[test]
+    fn infeasible_l_maps_to_ldiv_error() {
+        let t = samples::hospital();
+        assert!(matches!(
+            TpMechanism.anonymize(&t, &Params::new(9)),
+            Err(LdivError::Infeasible(_))
+        ));
+        assert!(matches!(
+            TpMechanism.anonymize(&t, &Params::new(0)),
+            Err(LdivError::InvalidL(0))
+        ));
+    }
+}

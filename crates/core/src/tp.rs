@@ -198,12 +198,7 @@ pub fn tuple_minimize_groups(
     Ok(finish(table, groups, residue, stats))
 }
 
-fn finish(
-    table: &Table,
-    groups: Vec<Group>,
-    residue: ResidueSet,
-    mut stats: TpStats,
-) -> TpOutcome {
+fn finish(table: &Table, groups: Vec<Group>, residue: ResidueSet, mut stats: TpStats) -> TpOutcome {
     let mut surviving = Vec::new();
     for g in &groups {
         if !g.is_empty() {
@@ -214,9 +209,9 @@ fn finish(
     }
     stats.surviving_groups = surviving.len();
     debug_assert!(residue.is_l_eligible(stats.l));
-    debug_assert!(groups.iter().all(|g| {
-        g.size() as u64 >= stats.l as u64 * g.pillar_height() as u64
-    }));
+    debug_assert!(groups
+        .iter()
+        .all(|g| { g.size() as u64 >= stats.l as u64 * g.pillar_height() as u64 }));
     let _ = table; // reserved for future debug validation against the table
     TpOutcome {
         partition: Partition::new_unchecked(surviving),
@@ -253,12 +248,7 @@ fn phase_one(groups: &mut [Group], residue: &mut ResidueSet, l: u32) -> usize {
 
 /// Phase two: grow `|R|` without growing `h(R)`.
 /// Returns true when the residue became l-eligible (algorithm done).
-fn phase_two(
-    groups: &mut [Group],
-    residue: &mut ResidueSet,
-    l: u32,
-    stats: &mut TpStats,
-) -> bool {
+fn phase_two(groups: &mut [Group], residue: &mut ResidueSet, l: u32, stats: &mut TpStats) -> bool {
     // Build the candidate list: one entry per (alive group, present value).
     let mut candidates = CandidateList::new();
     for (gid, g) in groups.iter().enumerate() {
@@ -331,8 +321,8 @@ fn phase_three(
 ) -> Result<(), CoreError> {
     // Lemma 9 bounds rounds by h(R̈); counts only grow, so 2·n is a
     // generous safety net that only a logic bug could exceed.
-    let safety_limit = 2 * (residue.len() + groups.iter().map(|g| g.size() as usize).sum::<usize>())
-        .max(4);
+    let safety_limit =
+        2 * (residue.len() + groups.iter().map(|g| g.size() as usize).sum::<usize>()).max(4);
 
     while !residue.is_l_eligible(l) {
         stats.phase3_rounds += 1;
@@ -425,7 +415,7 @@ fn phase_three(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ldiv_microdata::{samples, Attribute, Schema, SaHistogram, TableBuilder, Value};
+    use ldiv_microdata::{samples, Attribute, SaHistogram, Schema, TableBuilder, Value};
     use proptest::prelude::*;
 
     /// Builds a table where each slice of SA values is one QI-group (each
@@ -465,10 +455,8 @@ mod tests {
         let mut best = usize::MAX;
         for mask in 0u32..(1 << n) {
             let removed: Vec<u32> = (0..n as u32).filter(|&r| mask >> r & 1 == 1).collect();
-            let r_hist = SaHistogram::from_values(
-                sa_domain,
-                removed.iter().map(|&r| table.sa_value(r)),
-            );
+            let r_hist =
+                SaHistogram::from_values(sa_domain, removed.iter().map(|&r| table.sa_value(r)));
             if !r_hist.is_l_eligible(l) {
                 continue;
             }
@@ -520,8 +508,7 @@ mod tests {
         let out = tuple_minimize(&t, 2).unwrap();
         assert_eq!(out.stats.termination_phase, Phase::One);
         assert_eq!(out.residue.len(), 4);
-        let mut residue_sa: Vec<Value> =
-            out.residue.iter().map(|&r| t.sa_value(r)).collect();
+        let mut residue_sa: Vec<Value> = out.residue.iter().map(|&r| t.sa_value(r)).collect();
         residue_sa.sort_unstable();
         assert_eq!(
             residue_sa,
@@ -580,8 +567,7 @@ mod tests {
             vec![vec![1, 1, 1], vec![3, 0, 1], vec![0, 1, 0]],
         ];
         for spec in specs {
-            let groups: Vec<Vec<Value>> =
-                spec.iter().map(|c| vecspec(c)).collect();
+            let groups: Vec<Vec<Value>> = spec.iter().map(|c| vecspec(c)).collect();
             let refs: Vec<&[Value]> = groups.iter().map(|g| g.as_slice()).collect();
             let t = table_from_groups(4, &refs);
             if t.check_l_feasible(2).is_err() {
@@ -638,7 +624,14 @@ mod tests {
     fn stats_lower_bound_is_sound() {
         for (spec, l) in [
             (vec![vec![2u32, 1, 0], vec![0, 2, 1]], 2u32),
-            (vec![vec![3, 1, 1, 2, 3], vec![0, 2, 2, 4, 4], vec![4, 4, 0, 0, 0]], 3),
+            (
+                vec![
+                    vec![3, 1, 1, 2, 3],
+                    vec![0, 2, 2, 4, 4],
+                    vec![4, 4, 0, 0, 0],
+                ],
+                3,
+            ),
         ] {
             let groups: Vec<Vec<Value>> = spec.iter().map(|c| vecspec(c)).collect();
             let refs: Vec<&[Value]> = groups.iter().map(|g| g.as_slice()).collect();
@@ -670,11 +663,7 @@ mod tests {
         let mut phase_counts = [0usize; 3];
         for _ in 0..1500 {
             let n = rng.gen_range(8..16usize);
-            let schema = Schema::new(
-                vec![Attribute::new("q", 3)],
-                Attribute::new("s", 5),
-            )
-            .unwrap();
+            let schema = Schema::new(vec![Attribute::new("q", 3)], Attribute::new("s", 5)).unwrap();
             let mut b = TableBuilder::new(schema);
             for _ in 0..n {
                 // Skewed SA: the product trick concentrates mass on 0.

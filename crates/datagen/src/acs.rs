@@ -194,7 +194,7 @@ impl Samplers {
 fn income<R: Rng + ?Sized>(p: &Profile, rng: &mut R) -> Value {
     let [age, _gender, _race, _marital, _bp, edu, work] = p.qi;
     let core = 2 * edu as i32 + (age as i32) / 6 + 3 * (work as i32 % 3);
-    let noise = rng.gen_range(-3..=3) + rng.gen_range(-2..=2);
+    let noise: i32 = rng.gen_range(-3..=3) + rng.gen_range(-2..=2);
     (core + noise).rem_euclid(SA_DOMAIN as i32) as Value
 }
 
@@ -203,11 +203,15 @@ fn income<R: Rng + ?Sized>(p: &Profile, rng: &mut R) -> Value {
 fn occupation<R: Rng + ?Sized>(p: &Profile, rng: &mut R) -> Value {
     let [age, _gender, race, _marital, _bp, edu, work] = p.qi;
     let core = 3 * (edu as i32 / 2) + 5 * (work as i32 % 4) + race as i32 + (age as i32) / 16;
-    let noise = rng.gen_range(-2..=2) + rng.gen_range(-2..=2);
+    let noise: i32 = rng.gen_range(-2..=2) + rng.gen_range(-2..=2);
     (core + noise).rem_euclid(SA_DOMAIN as i32) as Value
 }
 
-fn generate(config: &AcsConfig, schema: Schema, sa_of: fn(&Profile, &mut SmallRng) -> Value) -> Table {
+fn generate(
+    config: &AcsConfig,
+    schema: Schema,
+    sa_of: fn(&Profile, &mut SmallRng) -> Value,
+) -> Table {
     let samplers = Samplers::new();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut builder = TableBuilder::with_capacity(schema, config.rows);
@@ -258,7 +262,10 @@ mod tests {
         let a = sal(&cfg(500));
         let b = sal(&cfg(500));
         assert_eq!(a, b);
-        let c = sal(&AcsConfig { rows: 500, seed: 99 });
+        let c = sal(&AcsConfig {
+            rows: 500,
+            seed: 99,
+        });
         assert_ne!(a, c);
     }
 

@@ -41,7 +41,9 @@ impl CategoricalDist {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen_range(0.0..total);
         // partition_point: first index with cumulative > x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Probability of one category.

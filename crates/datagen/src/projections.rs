@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_and_sized() {
-        let t = sal(&AcsConfig { rows: 1000, seed: 5 });
+        let t = sal(&AcsConfig {
+            rows: 1000,
+            seed: 5,
+        });
         let a = sample_rows(&t, 300, 11);
         let b = sample_rows(&t, 300, 11);
         assert_eq!(a, b);

@@ -46,14 +46,10 @@ pub fn optimal_star_partition(table: &Table, l: u32) -> Option<(Partition, usize
                 .iter()
                 .filter(|b| !b.is_empty())
                 .map(|b| {
-                    let d = self.table.dimensionality();
                     let first = self.table.qi_row(b[0]);
                     let mut starred = 0;
-                    for a in 0..d {
-                        if b[1..]
-                            .iter()
-                            .any(|&r| self.table.qi_row(r)[a] != first[a])
-                        {
+                    for (a, &fv) in first.iter().enumerate() {
+                        if b[1..].iter().any(|&r| self.table.qi_row(r)[a] != fv) {
                             starred += 1;
                         }
                     }
@@ -69,15 +65,13 @@ pub fn optimal_star_partition(table: &Table, l: u32) -> Option<(Partition, usize
                 }
             }
             if row == self.table.len() {
-                let eligible = self.blocks.iter().all(|b| {
-                    SaHistogram::of_rows(self.table, b).is_l_eligible(self.l)
-                });
+                let eligible = self
+                    .blocks
+                    .iter()
+                    .all(|b| SaHistogram::of_rows(self.table, b).is_l_eligible(self.l));
                 if eligible {
                     let stars = self.stars_of(&self.blocks);
-                    let better = self
-                        .best
-                        .as_ref()
-                        .is_none_or(|(_, s)| stars < *s);
+                    let better = self.best.as_ref().is_none_or(|(_, s)| stars < *s);
                     if better {
                         self.best = Some((self.blocks.clone(), stars));
                     }

@@ -73,10 +73,7 @@ pub fn check_properties(table: &Table, partition: &Partition) -> PropertyReport 
         // Property 3: exactly 3 tuples, 3(d − 1) stars, 3 zeros retained.
         let size = g.rows().len();
         let stars = g.star_count();
-        let zeros = (0..d)
-            .filter(|&a| g.value(a) == Some(0))
-            .count()
-            * size;
+        let zeros = (0..d).filter(|&a| g.value(a) == Some(0)).count() * size;
         if size != 3 || stars != 3 * (d - 1) || zeros != 3 {
             property3_violations.push(gid);
         }
@@ -158,10 +155,7 @@ mod tests {
         assert!(!p.is_l_diverse(&t, 3));
         // ...and the checker flags the retained non-zero on A3.
         let report = check_properties(&t, &p);
-        assert!(
-            report.property2_violations.contains(&(0, 2)),
-            "{report:?}"
-        );
+        assert!(report.property2_violations.contains(&(0, 2)), "{report:?}");
         assert!(!report.all_hold());
     }
 }

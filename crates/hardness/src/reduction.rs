@@ -126,7 +126,11 @@ pub fn reduction_table_kdm(instance: &KDimMatching, m: usize) -> Result<Table, H
         .map_err(HardnessError::InvalidInstance)?;
     let (k, n) = (instance.k, instance.n);
     if m < k || m > k * n {
-        return Err(HardnessError::InvalidM { m, lo: k, hi: k * n });
+        return Err(HardnessError::InvalidM {
+            m,
+            lo: k,
+            hi: k * n,
+        });
     }
 
     // Distribute m distinct values over k domains: every domain gets at
@@ -196,8 +200,7 @@ fn build(
             .expect("construction stays in domain");
     }
     let table = builder.build();
-    verify_reduction_shape(&table, k, n, m)
-        .map_err(HardnessError::UnsatisfiableAssignment)?;
+    verify_reduction_shape(&table, k, n, m).map_err(HardnessError::UnsatisfiableAssignment)?;
     Ok(table)
 }
 
@@ -207,12 +210,7 @@ fn build(
 /// 2. every non-zero QI value of a row equals the row's SA value;
 /// 3. all `m` SA values `1..m` occur;
 /// 4. rows of different domains carry different SA values.
-pub fn verify_reduction_shape(
-    table: &Table,
-    k: usize,
-    n: usize,
-    m: usize,
-) -> Result<(), String> {
+pub fn verify_reduction_shape(table: &Table, k: usize, n: usize, m: usize) -> Result<(), String> {
     if table.len() != k * n {
         return Err(format!("expected {} rows, found {}", k * n, table.len()));
     }

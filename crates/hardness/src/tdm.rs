@@ -80,7 +80,11 @@ impl KDimMatching {
         let mut seen = std::collections::HashSet::new();
         for p in &self.points {
             if p.len() != self.k {
-                return Err(format!("point {p:?} has {} coordinates, need {}", p.len(), self.k));
+                return Err(format!(
+                    "point {p:?} has {} coordinates, need {}",
+                    p.len(),
+                    self.k
+                ));
             }
             if p.iter().any(|&c| c >= self.n) {
                 return Err(format!("point {p:?} out of domain [0, {})", self.n));
@@ -193,8 +197,7 @@ mod tests {
         assert_eq!(sol.len(), 2);
         // Chosen points must be disjoint in every dimension.
         for dim in 0..3 {
-            let mut vals: Vec<usize> =
-                sol.iter().map(|&i| inst.points[i][dim]).collect();
+            let mut vals: Vec<usize> = sol.iter().map(|&i| inst.points[i][dim]).collect();
             vals.sort_unstable();
             assert_eq!(vals, vec![0, 1]);
         }

@@ -203,11 +203,7 @@ mod tests {
         }
         for w in by_index.windows(2) {
             let (a, b) = (w[0].as_ref().unwrap(), w[1].as_ref().unwrap());
-            let dist: u32 = a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| x.abs_diff(*y))
-                .sum();
+            let dist: u32 = a.iter().zip(b).map(|(x, y)| x.abs_diff(*y)).sum();
             assert_eq!(dist, 1, "curve jump between {a:?} and {b:?}");
         }
     }

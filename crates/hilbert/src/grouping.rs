@@ -193,14 +193,9 @@ fn curve_for(table: &Table) -> HilbertCurve {
     HilbertCurve::for_domains(&domains)
 }
 
-/// The full-table Hilbert suppression baseline: partitions every row and
-/// publishes per Definition 1.
-///
-/// Returns the partition and the published table. The partition is
-/// guaranteed l-diverse whenever the table itself is l-eligible; this is
-/// checked and a single-group fallback applied otherwise-infeasible inputs
-/// would violate it.
-pub fn hilbert_anonymize(table: &Table, l: u32) -> (Partition, SuppressedTable) {
+/// Shared implementation of the full-table baseline (also the
+/// `"hilbert"` mechanism's body).
+pub(crate) fn hilbert_publish(table: &Table, l: u32) -> (Partition, SuppressedTable) {
     let rows: Vec<RowId> = (0..table.len() as RowId).collect();
     let mut partition = hilbert_partition(table, &rows, l);
     if !partition.is_l_diverse(table, l) {
@@ -211,6 +206,23 @@ pub fn hilbert_anonymize(table: &Table, l: u32) -> (Partition, SuppressedTable) 
     }
     let published = table.generalize(&partition);
     (partition, published)
+}
+
+/// The full-table Hilbert suppression baseline: partitions every row and
+/// publishes per Definition 1.
+///
+/// Returns the partition and the published table. The partition is
+/// guaranteed l-diverse whenever the table itself is l-eligible; this is
+/// checked and a single-group fallback applied otherwise-infeasible inputs
+/// would violate it.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct the mechanism by name instead: \
+            `MechanismRegistry::run(\"hilbert\", ...)` or `HilbertMechanism` \
+            (returns a unified `Publication`)"
+)]
+pub fn hilbert_anonymize(table: &Table, l: u32) -> (Partition, SuppressedTable) {
+    hilbert_publish(table, l)
 }
 
 /// [`ResiduePartitioner`] adapter: running
@@ -246,7 +258,7 @@ mod tests {
     #[test]
     fn hospital_2_diverse() {
         let t = samples::hospital();
-        let (p, published) = hilbert_anonymize(&t, 2);
+        let (p, published) = hilbert_publish(&t, 2);
         validate(&t, &p, 2);
         assert!(published.is_l_diverse(&t, 2));
         // Each group formed by draining has exactly 2 distinct diseases,
@@ -261,11 +273,11 @@ mod tests {
             seed: 42,
         });
         for l in [2u32, 5, 10] {
-            let (p, published) = hilbert_anonymize(&t, l);
+            let (p, published) = hilbert_publish(&t, l);
             validate(&t, &p, l);
             // Spatial coherence pays off as fewer stars than one big group.
             let single = t.generalize(&Partition::new_unchecked(vec![
-                (0..t.len() as RowId).collect(),
+                (0..t.len() as RowId).collect()
             ]));
             assert!(published.star_count() < single.star_count());
         }
@@ -328,7 +340,7 @@ mod tests {
             }
             let t = b.build();
             prop_assume!(t.check_l_feasible(l).is_ok());
-            let (p, published) = hilbert_anonymize(&t, l);
+            let (p, published) = hilbert_publish(&t, l);
             p.validate_cover(&t).unwrap();
             prop_assert!(p.is_l_diverse(&t, l));
             prop_assert!(published.is_l_diverse(&t, l));

@@ -8,12 +8,14 @@
 //!
 //! * [`HilbertCurve`] — a from-scratch d-dimensional Hilbert encoder
 //!   (Skilling's transpose algorithm), the spatial substrate;
-//! * [`hilbert_anonymize`] — the full-table baseline: tuples are ordered
-//!   along the curve and grouped into l-eligible QI-groups that stay
-//!   compact on the curve;
-//! * [`HilbertResidue`] — the same grouping as a
+//! * [`HilbertMechanism`] and [`tp_plus_mechanism`] — the unified-API
+//!   faces of this crate (`ldiv_api::Mechanism`), registered as
+//!   `"hilbert"` and `"tp+"` in the workspace registry;
+//! * [`HilbertResidue`] — the grouping as a
 //!   [`ResiduePartitioner`](ldiv_core::ResiduePartitioner), which turns
-//!   [`ldiv_core::anonymize`] into the paper's TP+.
+//!   [`ldiv_core::anonymize`] into the paper's TP+ (the low-level layer);
+//! * [`hilbert_anonymize`] — the deprecated free-function shim over the
+//!   full-table baseline.
 //!
 //! # Grouping strategy
 //!
@@ -30,6 +32,10 @@
 
 mod curve;
 mod grouping;
+mod mechanism;
 
 pub use curve::HilbertCurve;
-pub use grouping::{hilbert_anonymize, hilbert_partition, HilbertResidue};
+#[allow(deprecated)]
+pub use grouping::hilbert_anonymize;
+pub use grouping::{hilbert_partition, HilbertResidue};
+pub use mechanism::{tp_plus_mechanism, HilbertMechanism, TpPlusMechanism};

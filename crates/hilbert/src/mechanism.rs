@@ -1,0 +1,69 @@
+//! The unified-API faces of this crate: the `"hilbert"` baseline and the
+//! `"tp+"` hybrid.
+
+use crate::grouping::{hilbert_publish, HilbertResidue};
+use ldiv_api::{LdivError, Mechanism, Params, Payload, Publication};
+use ldiv_core::TpHybridMechanism;
+use ldiv_microdata::Table;
+
+/// The paper's **TP+** (§5.6): TP with Hilbert-curve residue
+/// re-partitioning, as a unified mechanism named `"tp+"`.
+pub type TpPlusMechanism = TpHybridMechanism<HilbertResidue>;
+
+/// Constructs the `"tp+"` mechanism.
+pub fn tp_plus_mechanism() -> TpPlusMechanism {
+    TpHybridMechanism::new("tp+", HilbertResidue)
+}
+
+/// The full-table Hilbert suppression baseline (`"hilbert"`, §6.1).
+pub struct HilbertMechanism;
+
+impl Mechanism for HilbertMechanism {
+    fn name(&self) -> &str {
+        "hilbert"
+    }
+
+    fn description(&self) -> &str {
+        "curve-ordered l-eligible grouping over the whole table (§6.1 baseline)"
+    }
+
+    fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
+        params.validate_for(table)?;
+        let (partition, published) = hilbert_publish(table, params.l);
+        Ok(Publication::new(
+            "hilbert",
+            partition,
+            Payload::Suppressed(published),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanisms_match_the_low_level_calls() {
+        let t = ldiv_microdata::samples::hospital();
+        let params = Params::new(2);
+
+        let hil = HilbertMechanism.anonymize(&t, &params).unwrap();
+        let (p, published) = hilbert_publish(&t, 2);
+        assert_eq!(hil.partition().groups(), p.groups());
+        assert_eq!(hil.star_count(), published.star_count());
+        hil.validate(&t, 2).unwrap();
+
+        let tpp = tp_plus_mechanism().anonymize(&t, &params).unwrap();
+        assert_eq!(tpp.mechanism(), "tp+");
+        let direct = ldiv_core::anonymize(&t, 2, &HilbertResidue).unwrap();
+        assert_eq!(tpp.star_count(), direct.star_count());
+        tpp.validate(&t, 2).unwrap();
+    }
+
+    #[test]
+    fn infeasible_inputs_error_cleanly() {
+        let t = ldiv_microdata::samples::hospital();
+        assert!(HilbertMechanism.anonymize(&t, &Params::new(5)).is_err());
+        assert!(tp_plus_mechanism().anonymize(&t, &Params::new(5)).is_err());
+    }
+}

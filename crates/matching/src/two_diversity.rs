@@ -118,12 +118,7 @@ mod tests {
 
     #[test]
     fn perfect_twins_cost_zero() {
-        let t = two_valued_table(&[
-            ([1, 1], 0),
-            ([1, 1], 1),
-            ([2, 2], 0),
-            ([2, 2], 1),
-        ]);
+        let t = two_valued_table(&[([1, 1], 0), ([1, 1], 1), ([2, 2], 0), ([2, 2], 1)]);
         let (p, stars) = optimal_two_diversity(&t).unwrap();
         assert_eq!(stars, 0);
         assert!(p.is_l_diverse(&t, 2));
@@ -132,12 +127,7 @@ mod tests {
 
     #[test]
     fn reported_stars_match_generalization() {
-        let t = two_valued_table(&[
-            ([1, 2], 0),
-            ([1, 3], 1),
-            ([4, 4], 0),
-            ([5, 4], 1),
-        ]);
+        let t = two_valued_table(&[([1, 2], 0), ([1, 3], 1), ([4, 4], 0), ([5, 4], 1)]);
         let (p, stars) = optimal_two_diversity(&t).unwrap();
         // Best pairing: (0,1) differs on b → 2 stars; (2,3) differs on a →
         // 2 stars.

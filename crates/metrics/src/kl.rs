@@ -1,6 +1,6 @@
 //! The KL-divergence of the paper's Eq. (2).
 
-use crate::recode::Recoding;
+use crate::Recoding;
 use ldiv_microdata::{SuppressedTable, Table, Value};
 use std::collections::HashMap;
 
@@ -97,9 +97,9 @@ pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f
         let mut key: Vec<Value> = Vec::with_capacity(d + 1);
         for p in &patterns {
             key.clear();
-            for a in 0..d {
-                if !p.stars[a] {
-                    key.push(point[a]);
+            for (&star, &pv) in p.stars.iter().zip(&point[..d]) {
+                if !star {
+                    key.push(pv);
                 }
             }
             key.push(point[d]);
@@ -123,14 +123,17 @@ pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f
             .unwrap_or(4)
             .min(16);
         let chunk = points.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
+        let term = &term;
+        std::thread::scope(|scope| {
             let handles: Vec<_> = points
                 .chunks(chunk)
-                .map(|part| scope.spawn(move |_| part.iter().map(|(p, &c)| term(p, c)).sum::<f64>()))
+                .map(|part| scope.spawn(move || part.iter().map(|(p, &c)| term(p, c)).sum::<f64>()))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("kl worker")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kl worker"))
+                .sum()
         })
-        .expect("crossbeam scope")
     }
 }
 
@@ -250,8 +253,8 @@ pub fn kl_divergence_coarse_suppressed(
         for p in &patterns {
             key.clear();
             let mut bucket_spread = 1.0;
-            for a in 0..d {
-                if !p.stars[a] {
+            for (a, &star) in p.stars.iter().enumerate() {
+                if !star {
                     key.push(recoding.bucket(a, point[a]) as Value);
                     bucket_spread /= recoding.bucket_width(a, point[a]) as f64;
                 }
@@ -334,11 +337,7 @@ mod tests {
     #[test]
     fn kl_is_nonnegative_and_monotone_under_coarsening() {
         let t = samples::hospital();
-        let fine = Recoding::new(vec![
-            vec![0, 1, 2],
-            vec![0, 1],
-            vec![0, 1, 2],
-        ]);
+        let fine = Recoding::new(vec![vec![0, 1, 2], vec![0, 1], vec![0, 1, 2]]);
         let coarse = Recoding::new(vec![
             vec![0, 0, 1], // merge <30 and [30,50)
             vec![0, 1],
@@ -376,11 +375,7 @@ mod tests {
     fn coarse_suppressed_reduces_to_pure_cases() {
         // Identity recoding ⇒ same value as the pure suppressed KL.
         let t = samples::hospital();
-        let p = Partition::new_unchecked(vec![
-            vec![0, 1, 2, 3],
-            vec![4, 5, 6, 7],
-            vec![8, 9],
-        ]);
+        let p = Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         let published = t.generalize(&p);
         let identity = Recoding::identity(t.schema());
         let a = kl_divergence_suppressed(&t, &published);
@@ -393,11 +388,7 @@ mod tests {
         // Coarsen Age, publish singleton groups over the coarse table: the
         // mixed KL must equal the pure recoded KL.
         let t = samples::hospital();
-        let rec = Recoding::new(vec![
-            vec![0, 1, 1],
-            vec![0, 1],
-            vec![0, 0, 1],
-        ]);
+        let rec = Recoding::new(vec![vec![0, 1, 1], vec![0, 1], vec![0, 0, 1]]);
         // Build the coarsened table by hand.
         let schema = Schema::new(
             vec![
@@ -416,8 +407,7 @@ mod tests {
             b.push_row(&coarse, sa).unwrap();
         }
         let coarse_t = b.build();
-        let singletons =
-            Partition::new_unchecked((0..10 as RowId).map(|r| vec![r]).collect());
+        let singletons = Partition::new_unchecked((0..10 as RowId).map(|r| vec![r]).collect());
         let published = coarse_t.generalize(&singletons);
         assert_eq!(published.star_count(), 0);
         let mixed = kl_divergence_coarse_suppressed(&t, &rec, &published);
@@ -428,11 +418,7 @@ mod tests {
     #[test]
     fn suppression_kl_increases_with_more_stars() {
         let t = samples::hospital();
-        let fine = Partition::new_unchecked(vec![
-            vec![0, 1, 2, 3],
-            vec![4, 5, 6, 7],
-            vec![8, 9],
-        ]);
+        let fine = Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         let coarse = Partition::new_unchecked(vec![(0..10 as RowId).collect()]);
         let k_fine = kl_divergence_suppressed(&t, &t.generalize(&fine));
         let k_coarse = kl_divergence_suppressed(&t, &t.generalize(&coarse));

@@ -17,16 +17,28 @@
 //! each support point probes one hash map per pattern.
 //! [`kl_divergence_recoded`] exploits that single-dimensional (global)
 //! recoding sends every support point to exactly one generalized cell.
+//!
+//! Since the `ldiv-api` redesign, the one entry point callers need is
+//! [`kl_divergence`], which accepts any mechanism's
+//! [`Publication`](ldiv_api::Publication) and dispatches on its payload's
+//! semantics (stars, boxes, anatomy QIT/ST, or global recoding);
+//! [`PublicationSummary::of_publication`] does the same for star
+//! accounting.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod kl;
 mod loss;
-mod recode;
+mod publication;
 mod stats;
 
 pub use kl::{kl_divergence_coarse_suppressed, kl_divergence_recoded, kl_divergence_suppressed};
 pub use loss::{discernibility, ncp_recoded, ncp_suppressed};
-pub use recode::Recoding;
+pub use publication::{kl_divergence, kl_divergence_anatomy_tables, kl_divergence_boxes};
 pub use stats::PublicationSummary;
+
+/// Re-export: the recoding description now lives in the `ldiv-api`
+/// contract crate (it is a publication payload); the old
+/// `ldiv_metrics::Recoding` path keeps working.
+pub use ldiv_api::Recoding;

@@ -13,7 +13,7 @@
 //!   (|domain| − 1)`. Reported as the average over all `n · d` cells,
 //!   so results are comparable across tables.
 
-use crate::recode::Recoding;
+use crate::Recoding;
 use ldiv_microdata::{Partition, SuppressedTable, Table};
 
 /// Discernibility metric of a partition: `Σ_G |G|²`.
@@ -74,11 +74,7 @@ mod tests {
     #[test]
     fn ncp_suppressed_counts_star_fraction() {
         let t = samples::hospital();
-        let p = Partition::new_unchecked(vec![
-            vec![0, 1, 2, 3],
-            vec![4, 5, 6, 7],
-            vec![8, 9],
-        ]);
+        let p = Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         let published = t.generalize(&p);
         // 8 stars over 30 cells.
         let ncp = ncp_suppressed(&t, &published);
@@ -111,9 +107,7 @@ mod tests {
             vec![4, 5, 6, 7],
             vec![8, 9],
         ]));
-        let coarse = t.generalize(&Partition::new_unchecked(vec![
-            (0..10 as RowId).collect(),
-        ]));
+        let coarse = t.generalize(&Partition::new_unchecked(vec![(0..10 as RowId).collect()]));
         assert!(ncp_suppressed(&t, &fine) < ncp_suppressed(&t, &coarse));
     }
 }

@@ -1,0 +1,232 @@
+//! Uniform accounting over any mechanism's [`Publication`].
+//!
+//! The unified output type of `ldiv-api` carries enough payload for this
+//! module to evaluate the Eq. (2) KL-divergence under each methodology's
+//! semantics with one entry point, [`kl_divergence`]:
+//!
+//! * **Suppressed** stars spread uniformly over the attribute domain
+//!   ([`kl_divergence_suppressed`](crate::kl_divergence_suppressed));
+//! * **Recoded** values spread uniformly over their bucket
+//!   ([`kl_divergence_recoded`](crate::kl_divergence_recoded));
+//! * **Boxes** spread each row uniformly over its group's covering
+//!   sub-domain box (the §6.2 multi-dimensional semantics);
+//! * **Anatomy** keeps every QI vector exact and spreads the SA value
+//!   over the group's published sensitive-table distribution.
+
+use crate::{kl_divergence_recoded, kl_divergence_suppressed};
+use ldiv_api::{AnatomyTables, AttrRange, Payload, Publication};
+use ldiv_microdata::{Partition, Table, Value};
+use std::collections::HashMap;
+
+/// `KL(f, f*)` of Eq. (2) for any publication, dispatching on the
+/// payload's semantics.
+pub fn kl_divergence(table: &Table, publication: &Publication) -> f64 {
+    match publication.payload() {
+        Payload::Suppressed(s) => kl_divergence_suppressed(table, s),
+        Payload::Recoded(r) => kl_divergence_recoded(table, r),
+        Payload::Boxes(boxes) => kl_divergence_boxes(table, publication.partition(), boxes),
+        Payload::Anatomy(a) => kl_divergence_anatomy_tables(table, publication.partition(), a),
+    }
+}
+
+/// Distinct support points of `f` with multiplicities: `(qi ++ sa) → count`.
+fn support_points(table: &Table) -> HashMap<Vec<Value>, u32> {
+    let d = table.dimensionality();
+    let mut support: HashMap<Vec<Value>, u32> = HashMap::with_capacity(table.len());
+    let mut key = vec![0 as Value; d + 1];
+    for (_, qi, sa) in table.rows() {
+        key[..d].copy_from_slice(qi);
+        key[d] = sa;
+        *support.entry(key.clone()).or_insert(0) += 1;
+    }
+    support
+}
+
+/// `KL(f, f*)` for the multi-dimensional range semantics: each published
+/// row spreads uniformly over its group's box, keeping its own SA value.
+///
+/// Exact but `O(|support| · #groups)` in the worst case (boxes may
+/// overlap arbitrarily after the §6.2 star-to-box transformation).
+pub fn kl_divergence_boxes(table: &Table, partition: &Partition, boxes: &[Vec<AttrRange>]) -> f64 {
+    assert_eq!(partition.group_count(), boxes.len());
+    assert_eq!(partition.covered_rows(), table.len());
+    let d = table.dimensionality();
+    let n = table.len() as f64;
+    if table.is_empty() {
+        return 0.0;
+    }
+
+    // Per group and SA value: mass × uniform spread over the box.
+    struct GroupMass<'a> {
+        ranges: &'a [AttrRange],
+        by_sa: HashMap<Value, f64>,
+    }
+    let masses: Vec<GroupMass<'_>> = partition
+        .groups()
+        .iter()
+        .zip(boxes)
+        .map(|(rows, ranges)| {
+            let spread: f64 = ranges.iter().map(|r| 1.0 / r.width() as f64).product();
+            let mut by_sa: HashMap<Value, f64> = HashMap::new();
+            for &r in rows {
+                *by_sa.entry(table.sa_value(r)).or_insert(0.0) += spread;
+            }
+            GroupMass { ranges, by_sa }
+        })
+        .collect();
+
+    let mut kl = 0.0;
+    for (point, &count) in &support_points(table) {
+        let f_p = count as f64 / n;
+        let mut fstar = 0.0;
+        for gm in &masses {
+            if gm
+                .ranges
+                .iter()
+                .zip(&point[..d])
+                .all(|(r, &v)| r.contains(v))
+            {
+                if let Some(&m) = gm.by_sa.get(&point[d]) {
+                    fstar += m;
+                }
+            }
+        }
+        let fstar_p = fstar / n;
+        debug_assert!(fstar_p > 0.0, "f* must cover the support");
+        kl += f_p * (f_p / fstar_p).ln();
+    }
+    kl
+}
+
+/// `KL(f, f*)` under anatomy's semantics: each published tuple keeps its
+/// exact QI vector, and its SA value spreads over the group's published
+/// SA distribution (`count / |group|`).
+pub fn kl_divergence_anatomy_tables(
+    table: &Table,
+    partition: &Partition,
+    tables: &AnatomyTables,
+) -> f64 {
+    let d = table.dimensionality();
+    let n = table.len() as f64;
+    if table.is_empty() {
+        return 0.0;
+    }
+    assert_eq!(tables.group_of.len(), table.len());
+
+    // Per group: SA distribution.
+    let group_sizes: Vec<f64> = partition.groups().iter().map(|g| g.len() as f64).collect();
+    let mut sa_share: HashMap<(u32, Value), f64> = HashMap::new();
+    for e in &tables.entries {
+        sa_share.insert(
+            (e.group, e.value),
+            e.count as f64 / group_sizes[e.group as usize],
+        );
+    }
+
+    // f*(q, s) = Σ_{rows r with qi = q} share(group(r), s) / n. Aggregate
+    // rows by (QI vector, group) first.
+    let mut qi_group_count: HashMap<(Vec<Value>, u32), u32> = HashMap::new();
+    for (row, qi, _) in table.rows() {
+        *qi_group_count
+            .entry((qi.to_vec(), tables.group_of[row as usize]))
+            .or_insert(0) += 1;
+    }
+    let mut by_qi: HashMap<Vec<Value>, Vec<(u32, u32)>> = HashMap::new();
+    for ((qi, g), c) in qi_group_count {
+        by_qi.entry(qi).or_default().push((g, c));
+    }
+
+    let mut kl = 0.0;
+    for (point, &count) in &support_points(table) {
+        let f_p = count as f64 / n;
+        let qi = &point[..d];
+        let s = point[d];
+        let mut fstar = 0.0;
+        if let Some(entries) = by_qi.get(qi) {
+            for &(g, c) in entries {
+                if let Some(&share) = sa_share.get(&(g, s)) {
+                    fstar += c as f64 * share;
+                }
+            }
+        }
+        let fstar_p = fstar / n;
+        debug_assert!(fstar_p > 0.0, "f* must cover the support");
+        kl += f_p * (f_p / fstar_p).ln();
+    }
+    kl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_api::Publication;
+    use ldiv_microdata::samples;
+
+    fn table3() -> Partition {
+        Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]])
+    }
+
+    #[test]
+    fn uniform_kl_matches_suppressed_path() {
+        let t = samples::hospital();
+        let p = Publication::suppressed("tp", &t, table3());
+        let direct = kl_divergence_suppressed(&t, p.as_suppressed().unwrap());
+        assert!((kl_divergence(&t, &p) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_boxes_have_zero_divergence() {
+        let t = samples::hospital();
+        let singletons = Partition::new_unchecked((0..10u32).map(|r| vec![r]).collect());
+        let boxes: Vec<Vec<AttrRange>> = singletons
+            .groups()
+            .iter()
+            .map(|g| {
+                t.qi_row(g[0])
+                    .iter()
+                    .map(|&v| AttrRange { lo: v, hi: v })
+                    .collect()
+            })
+            .collect();
+        let p = Publication::new("mondrian", singletons, Payload::Boxes(boxes));
+        assert!(kl_divergence(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anatomy_kl_is_finite_and_nonnegative() {
+        let t = samples::hospital();
+        let p = Publication::anatomy("anatomy", &t, table3());
+        let kl = kl_divergence(&t, &p);
+        assert!(kl.is_finite() && kl >= -1e-12, "kl = {kl}");
+    }
+
+    #[test]
+    fn boxes_dominate_their_suppression_rendering() {
+        // §6.2 dominance, checked through the uniform entry point: the
+        // covering-box payload never loses more than the star payload of
+        // the same partition.
+        let t = samples::hospital();
+        let partition = table3();
+        let suppressed = Publication::suppressed("tp", &t, partition.clone());
+        let boxes: Vec<Vec<AttrRange>> = partition
+            .groups()
+            .iter()
+            .map(|g| {
+                let mut ranges: Vec<AttrRange> = t
+                    .qi_row(g[0])
+                    .iter()
+                    .map(|&v| AttrRange { lo: v, hi: v })
+                    .collect();
+                for &r in &g[1..] {
+                    for (range, &v) in ranges.iter_mut().zip(t.qi_row(r)) {
+                        range.lo = range.lo.min(v);
+                        range.hi = range.hi.max(v);
+                    }
+                }
+                ranges
+            })
+            .collect();
+        let boxed = Publication::new("boxes", partition, Payload::Boxes(boxes));
+        assert!(kl_divergence(&t, &boxed) <= kl_divergence(&t, &suppressed) + 1e-12);
+    }
+}

@@ -27,6 +27,34 @@ pub struct PublicationSummary {
 }
 
 impl PublicationSummary {
+    /// Summarizes any mechanism's [`Publication`](ldiv_api::Publication),
+    /// uniformly over its payload: suppression payloads report their real
+    /// star counts, other methodologies (boxes, anatomy, recoding) report
+    /// zero stars — they lose information through channels the
+    /// KL-divergence measures instead.
+    pub fn of_publication(table: &Table, publication: &ldiv_api::Publication) -> Self {
+        if let Some(suppressed) = publication.as_suppressed() {
+            return PublicationSummary::of(table, suppressed);
+        }
+        let n = table.len();
+        let groups = publication.partition().groups();
+        PublicationSummary {
+            rows: n,
+            dimensionality: table.dimensionality(),
+            groups: groups.len(),
+            stars: 0,
+            suppressed_tuples: 0,
+            star_ratio: 0.0,
+            avg_group_size: if groups.is_empty() {
+                0.0
+            } else {
+                n as f64 / groups.len() as f64
+            },
+            max_group_size: groups.iter().map(|g| g.len()).max().unwrap_or(0),
+            futile_groups: 0,
+        }
+    }
+
     /// Summarizes a publication.
     pub fn of(table: &Table, published: &SuppressedTable) -> Self {
         let n = table.len();
@@ -39,7 +67,11 @@ impl PublicationSummary {
             groups: groups.len(),
             stars,
             suppressed_tuples: published.suppressed_tuple_count(),
-            star_ratio: if n == 0 { 0.0 } else { stars as f64 / (n * d) as f64 },
+            star_ratio: if n == 0 {
+                0.0
+            } else {
+                stars as f64 / (n * d) as f64
+            },
             avg_group_size: if groups.is_empty() {
                 0.0
             } else {
@@ -59,11 +91,7 @@ mod tests {
     #[test]
     fn summary_matches_hand_counts() {
         let t = samples::hospital();
-        let p = Partition::new_unchecked(vec![
-            vec![0, 1, 2, 3],
-            vec![4, 5, 6, 7],
-            vec![8, 9],
-        ]);
+        let p = Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         let s = PublicationSummary::of(&t, &t.generalize(&p));
         assert_eq!(s.rows, 10);
         assert_eq!(s.dimensionality, 3);

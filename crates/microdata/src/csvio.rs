@@ -13,10 +13,7 @@ use std::io::{BufRead, Write};
 /// When `schema` is `None`, a schema is inferred: every column becomes a
 /// labelled categorical attribute whose domain is the set of distinct cell
 /// strings in first-appearance order.
-pub fn read_csv<R: BufRead>(
-    reader: R,
-    schema: Option<Schema>,
-) -> Result<Table, MicrodataError> {
+pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, MicrodataError> {
     let mut lines = reader.lines();
     let header = lines
         .next()
@@ -122,7 +119,11 @@ fn infer_schema(names: &[String], rows: &[Vec<String>]) -> Result<Schema, Microd
         .zip(labels)
         .map(|(n, ls)| {
             // An all-empty column still needs a non-empty domain.
-            let ls = if ls.is_empty() { vec![String::new()] } else { ls };
+            let ls = if ls.is_empty() {
+                vec![String::new()]
+            } else {
+                ls
+            };
             Attribute::with_labels(n.clone(), ls)
         })
         .collect();
@@ -190,8 +191,7 @@ pub fn write_generalized_csv<W: Write>(
             owner[r as usize] = gid;
         }
     }
-    for row in 0..table.len() {
-        let gid = owner[row];
+    for (row, &gid) in owner.iter().enumerate() {
         let mut cells: Vec<String> = Vec::with_capacity(d + 1);
         if gid == usize::MAX {
             // Row not covered by the partition — publish fully suppressed.
@@ -205,7 +205,9 @@ pub fn write_generalized_csv<W: Write>(
                 });
             }
         }
-        cells.push(escape_cell(&schema.sensitive().label(table.sa_value(row as u32))));
+        cells.push(escape_cell(
+            &schema.sensitive().label(table.sa_value(row as u32)),
+        ));
         writeln!(w, "{}", cells.join(","))?;
     }
     Ok(())

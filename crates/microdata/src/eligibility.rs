@@ -158,11 +158,7 @@ pub fn is_l_eligible(domain_size: u32, values: &[Value], l: u32) -> bool {
 }
 
 /// Builds the histogram of a row set and reports its eligibility in one pass.
-pub fn l_eligible_histogram(
-    table: &Table,
-    rows: &[crate::RowId],
-    l: u32,
-) -> (SaHistogram, bool) {
+pub fn l_eligible_histogram(table: &Table, rows: &[crate::RowId], l: u32) -> (SaHistogram, bool) {
     let hist = SaHistogram::of_rows(table, rows);
     let ok = hist.is_l_eligible(l);
     (hist, ok)

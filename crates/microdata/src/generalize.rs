@@ -220,8 +220,7 @@ mod tests {
         // (0-based: {0,1},{2,3},{4..7},{8,9}) suppresses only Age of Calvin
         // and Danny: 2 stars.
         let t = samples::hospital();
-        let p = Partition::new(vec![vec![0, 1], vec![2, 3], vec![4, 5, 6, 7], vec![8, 9]])
-            .unwrap();
+        let p = Partition::new(vec![vec![0, 1], vec![2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
         let g = t.generalize(&p);
         assert_eq!(g.star_count(), 2);
         assert_eq!(g.suppressed_tuple_count(), 2);
@@ -235,8 +234,7 @@ mod tests {
         // Table 3: QI-group 1 = tuples 1-4, group 2 = 5-8, group 3 = 9-10.
         // Stars: group 1 suppresses Age and Education for 4 tuples = 8 stars.
         let t = samples::hospital();
-        let p =
-            Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
+        let p = Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
         let g = t.generalize(&p);
         assert_eq!(g.star_count(), 8);
         assert_eq!(g.suppressed_tuple_count(), 4);

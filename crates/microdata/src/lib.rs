@@ -47,14 +47,12 @@ mod error;
 mod generalize;
 mod partition;
 pub mod principles;
-mod schema;
 pub mod samples;
+mod schema;
 mod table;
 
 pub use csvio::{read_csv, write_generalized_csv, write_table_csv};
-pub use eligibility::{
-    is_l_eligible, l_eligible_histogram, max_l_for, SaHistogram,
-};
+pub use eligibility::{is_l_eligible, l_eligible_histogram, max_l_for, SaHistogram};
 pub use error::MicrodataError;
 pub use generalize::{GroupShape, SuppressedTable, STAR_TEXT};
 pub use partition::Partition;

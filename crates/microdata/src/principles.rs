@@ -203,7 +203,7 @@ mod tests {
         ]);
         assert!(is_m_unique(&t, &p, 2));
         assert!(!is_m_unique(&t, &p, 3)); // groups have only 2 tuples
-        // m-uniqueness implies frequency m-diversity.
+                                          // m-uniqueness implies frequency m-diversity.
         assert!(p.is_l_diverse(&t, 2));
     }
 

@@ -119,13 +119,7 @@ mod tests {
         let groups = t.group_by_qi();
         assert_eq!(
             groups,
-            vec![
-                vec![0, 1],
-                vec![2],
-                vec![3],
-                vec![4, 5, 6, 7],
-                vec![8, 9]
-            ]
+            vec![vec![0, 1], vec![2], vec![3], vec![4, 5, 6, 7], vec![8, 9]]
         );
     }
 

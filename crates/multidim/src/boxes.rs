@@ -1,35 +1,12 @@
 //! Range-generalized publications and the §6.2 transformation.
 
-use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table, Value};
-use std::collections::HashMap;
+use ldiv_api::{Payload, Publication};
+use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table};
 
-/// An inclusive range of domain codes `[lo, hi]` published for one
-/// attribute of one QI-group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AttrRange {
-    /// Smallest covered code.
-    pub lo: Value,
-    /// Largest covered code.
-    pub hi: Value,
-}
-
-impl AttrRange {
-    /// Number of covered codes.
-    pub fn width(&self) -> u32 {
-        (self.hi - self.lo) as u32 + 1
-    }
-
-    /// Whether a code falls inside the range.
-    #[inline]
-    pub fn contains(&self, v: Value) -> bool {
-        self.lo <= v && v <= self.hi
-    }
-
-    /// Whether the range is a single exact value.
-    pub fn is_exact(&self) -> bool {
-        self.lo == self.hi
-    }
-}
+/// Re-export: the range type now lives in the `ldiv-api` contract crate
+/// (it is the boxes publication payload); the old
+/// `ldiv_multidim::AttrRange` path keeps working.
+pub use ldiv_api::AttrRange;
 
 /// One group of a multi-dimensional generalization: its rows and the
 /// published range per attribute.
@@ -67,10 +44,8 @@ impl BoxTable {
             .iter()
             .map(|g| {
                 let first = table.qi_row(g[0]);
-                let mut ranges: Vec<AttrRange> = first
-                    .iter()
-                    .map(|&v| AttrRange { lo: v, hi: v })
-                    .collect();
+                let mut ranges: Vec<AttrRange> =
+                    first.iter().map(|&v| AttrRange { lo: v, hi: v }).collect();
                 for &r in &g[1..] {
                     for (range, &v) in ranges.iter_mut().zip(table.qi_row(r)) {
                         range.lo = range.lo.min(v);
@@ -99,7 +74,11 @@ impl BoxTable {
     /// table's (the dominance claim of §6.2, asserted in tests).
     pub fn from_suppressed(table: &Table, published: &SuppressedTable) -> BoxTable {
         let partition = Partition::new_unchecked(
-            published.groups().iter().map(|g| g.rows().to_vec()).collect(),
+            published
+                .groups()
+                .iter()
+                .map(|g| g.rows().to_vec())
+                .collect(),
         );
         // The tightest covering range of a retained value is the value
         // itself, so `from_partition` computes exactly the transformation.
@@ -146,74 +125,29 @@ impl BoxTable {
             .sum()
     }
 
+    /// Converts into the unified [`Publication`] with the boxes payload,
+    /// labelled as produced by `mechanism`.
+    pub fn to_publication(&self, mechanism: impl Into<String>) -> Publication {
+        let partition =
+            Partition::new_unchecked(self.groups.iter().map(|g| g.rows.clone()).collect());
+        let boxes = self.groups.iter().map(|g| g.ranges.clone()).collect();
+        Publication::new(mechanism, partition, Payload::Boxes(boxes))
+    }
+
     /// `KL(f, f*)` of Eq. (2) for the range semantics: each published row
     /// spreads uniformly over its group's box, keeping its own SA value.
     ///
-    /// Exact but `O(|support| · #groups)` in the worst case (boxes may
-    /// overlap arbitrarily after `from_suppressed`); fine for the tens of
-    /// thousands of rows the comparisons run at. Mondrian outputs are
-    /// disjoint boxes, for which a kd lookup would be possible, but the
-    /// general path keeps one code path for both.
+    /// Thin wrapper over the uniform metric
+    /// ([`ldiv_metrics::kl_divergence_boxes`]); exact but
+    /// `O(|support| · #groups)` in the worst case (boxes may overlap
+    /// arbitrarily after `from_suppressed`).
     pub fn kl_divergence(&self, table: &Table) -> f64 {
         assert_eq!(self.dimensionality, table.dimensionality());
         assert_eq!(self.n, table.len(), "publication must cover the table");
-        let d = self.dimensionality;
-        let n = table.len() as f64;
-        if table.is_empty() {
-            return 0.0;
-        }
-
-        // Per group and SA value: mass × uniform spread over the box.
-        struct GroupMass {
-            ranges: Vec<AttrRange>,
-            by_sa: HashMap<Value, f64>,
-        }
-        let masses: Vec<GroupMass> = self
-            .groups
-            .iter()
-            .map(|g| {
-                let spread: f64 = g.ranges.iter().map(|r| 1.0 / r.width() as f64).product();
-                let mut by_sa: HashMap<Value, f64> = HashMap::new();
-                for &r in &g.rows {
-                    *by_sa.entry(table.sa_value(r)).or_insert(0.0) += spread;
-                }
-                GroupMass {
-                    ranges: g.ranges.clone(),
-                    by_sa,
-                }
-            })
-            .collect();
-
-        // Distinct support points of f.
-        let mut support: HashMap<Vec<Value>, u32> = HashMap::with_capacity(table.len());
-        let mut key = vec![0 as Value; d + 1];
-        for (_, qi, sa) in table.rows() {
-            key[..d].copy_from_slice(qi);
-            key[d] = sa;
-            *support.entry(key.clone()).or_insert(0) += 1;
-        }
-
-        let mut kl = 0.0;
-        for (point, &count) in &support {
-            let f_p = count as f64 / n;
-            let mut fstar = 0.0;
-            for gm in &masses {
-                if gm
-                    .ranges
-                    .iter()
-                    .zip(&point[..d])
-                    .all(|(r, &v)| r.contains(v))
-                {
-                    if let Some(&m) = gm.by_sa.get(&point[d]) {
-                        fstar += m;
-                    }
-                }
-            }
-            let fstar_p = fstar / n;
-            debug_assert!(fstar_p > 0.0, "f* must cover the support");
-            kl += f_p * (f_p / fstar_p).ln();
-        }
-        kl
+        let partition =
+            Partition::new_unchecked(self.groups.iter().map(|g| g.rows.clone()).collect());
+        let boxes: Vec<Vec<AttrRange>> = self.groups.iter().map(|g| g.ranges.clone()).collect();
+        ldiv_metrics::kl_divergence_boxes(table, &partition, &boxes)
     }
 
     /// Renders the publication like the paper's Table 5, using attribute
@@ -324,8 +258,7 @@ mod tests {
     #[test]
     fn exact_publication_has_zero_divergence_and_imprecision() {
         let t = samples::hospital();
-        let singletons =
-            Partition::new_unchecked((0..10 as RowId).map(|r| vec![r]).collect());
+        let singletons = Partition::new_unchecked((0..10 as RowId).map(|r| vec![r]).collect());
         let boxed = BoxTable::from_partition(&t, &singletons);
         assert_eq!(boxed.imprecision(), 0);
         assert!(boxed.kl_divergence(&t).abs() < 1e-12);

@@ -83,14 +83,27 @@ fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, out: &mut Vec<Vec<Ro
     out.push(rows);
 }
 
-/// Runs Mondrian and publishes both forms: the native multi-dimensional
-/// range table and the suppression rendering of the same partition (for
-/// star-count comparisons against the suppression algorithms).
-pub fn mondrian_anonymize(table: &Table, l: u32) -> (Partition, BoxTable, SuppressedTable) {
+/// Shared implementation of the full Mondrian run (also the `"mondrian"`
+/// mechanism's body).
+pub(crate) fn mondrian_publish(table: &Table, l: u32) -> (Partition, BoxTable, SuppressedTable) {
     let partition = mondrian_partition(table, l);
     let boxed = BoxTable::from_partition(table, &partition);
     let suppressed = table.generalize(&partition);
     (partition, boxed, suppressed)
+}
+
+/// Runs Mondrian and publishes both forms: the native multi-dimensional
+/// range table and the suppression rendering of the same partition (for
+/// star-count comparisons against the suppression algorithms).
+#[deprecated(
+    since = "0.2.0",
+    note = "construct the mechanism by name instead: \
+            `MechanismRegistry::run(\"mondrian\", ...)` or `MondrianMechanism` \
+            (returns a unified `Publication` with the boxes payload); the \
+            low-level pieces remain `mondrian_partition` + `BoxTable::from_partition`"
+)]
+pub fn mondrian_anonymize(table: &Table, l: u32) -> (Partition, BoxTable, SuppressedTable) {
+    mondrian_publish(table, l)
 }
 
 #[cfg(test)]
@@ -103,7 +116,7 @@ mod tests {
     #[test]
     fn hospital_partition_is_l_diverse_and_splits() {
         let t = samples::hospital();
-        let (p, boxed, suppressed) = mondrian_anonymize(&t, 2);
+        let (p, boxed, suppressed) = mondrian_publish(&t, 2);
         p.validate_cover(&t).unwrap();
         assert!(p.is_l_diverse(&t, 2));
         assert!(boxed.is_l_diverse(&t, 2));
@@ -122,11 +135,8 @@ mod tests {
         // axis split to separate the pairs unevenly.
         let t = {
             use ldiv_microdata::{Attribute, Schema, TableBuilder};
-            let schema = Schema::new(
-                vec![Attribute::new("a", 4)],
-                Attribute::new("sa", 2),
-            )
-            .unwrap();
+            let schema =
+                Schema::new(vec![Attribute::new("a", 4)], Attribute::new("sa", 2)).unwrap();
             let mut b = TableBuilder::new(schema);
             // Values 0,1,2,3 with SA 0,0,1,1: the median split (≤ 1) gives
             // halves {0,0} and {1,1} — homogeneous, rejected; other
@@ -144,11 +154,14 @@ mod tests {
 
     #[test]
     fn splits_reduce_imprecision_monotonically_vs_single_group() {
-        let t = sal(&AcsConfig { rows: 2_000, seed: 31 })
-            .project(&[0, 1, 5])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 2_000,
+            seed: 31,
+        })
+        .project(&[0, 1, 5])
+        .unwrap();
         for l in [2u32, 5] {
-            let (p, boxed, _) = mondrian_anonymize(&t, l);
+            let (p, boxed, _) = mondrian_publish(&t, l);
             assert!(p.is_l_diverse(&t, l));
             let single = BoxTable::from_partition(
                 &t,
@@ -162,10 +175,13 @@ mod tests {
     #[test]
     fn native_boxes_dominate_own_suppression_rendering() {
         // §6.2 dominance on Mondrian's own output.
-        let t = sal(&AcsConfig { rows: 1_500, seed: 32 })
-            .project(&[0, 3])
-            .unwrap();
-        let (_, boxed, suppressed) = mondrian_anonymize(&t, 3);
+        let t = sal(&AcsConfig {
+            rows: 1_500,
+            seed: 32,
+        })
+        .project(&[0, 3])
+        .unwrap();
+        let (_, boxed, suppressed) = mondrian_publish(&t, 3);
         let kl_box = boxed.kl_divergence(&t);
         let kl_star = ldiv_metrics::kl_divergence_suppressed(&t, &suppressed);
         assert!(kl_box <= kl_star + 1e-9, "{kl_box} vs {kl_star}");
@@ -173,9 +189,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let t = sal(&AcsConfig { rows: 1_000, seed: 33 })
-            .project(&[0, 2, 5])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 1_000,
+            seed: 33,
+        })
+        .project(&[0, 2, 5])
+        .unwrap();
         let a = mondrian_partition(&t, 3);
         let b = mondrian_partition(&t, 3);
         assert_eq!(a.groups(), b.groups());
@@ -205,7 +224,7 @@ mod tests {
             }
             let t = b.build();
             prop_assume!(t.check_l_feasible(l).is_ok());
-            let (p, boxed, _) = mondrian_anonymize(&t, l);
+            let (p, boxed, _) = mondrian_publish(&t, l);
             p.validate_cover(&t).unwrap();
             prop_assert!(p.is_l_diverse(&t, l));
             // Every row lies inside its group's box.

@@ -84,9 +84,7 @@ pub fn minimal_full_domain_recodings(
             {
                 return;
             }
-            let recoding = Recoding::new(
-                (0..d).map(|a| ladders[a][v[a]].clone()).collect(),
-            );
+            let recoding = Recoding::new((0..d).map(|a| ladders[a][v[a]].clone()).collect());
             if recoding_is_l_diverse(table, &recoding, l) {
                 accepted.push(v.to_vec());
                 minimal.push(FullDomainRecoding {
@@ -104,16 +102,10 @@ pub fn minimal_full_domain_recodings(
 ///
 /// Returns `None` when even the fully generalized vector fails (i.e. the
 /// table is not l-eligible).
-pub fn best_full_domain_recoding(
-    table: &Table,
-    l: u32,
-    fanout: u32,
-) -> Option<FullDomainRecoding> {
+pub fn best_full_domain_recoding(table: &Table, l: u32, fanout: u32) -> Option<FullDomainRecoding> {
     minimal_full_domain_recodings(table, l, fanout)
         .into_iter()
-        .min_by(|a, b| {
-            ncp_recoded(table, &a.recoding).total_cmp(&ncp_recoded(table, &b.recoding))
-        })
+        .min_by(|a, b| ncp_recoded(table, &a.recoding).total_cmp(&ncp_recoded(table, &b.recoding)))
 }
 
 fn recoding_is_l_diverse(table: &Table, recoding: &Recoding, l: u32) -> bool {
@@ -157,7 +149,7 @@ mod tests {
     fn ladders_run_identity_to_root() {
         let schema = samples::hospital_schema();
         let lad = ladder(&schema, 0, 2); // Age, domain 3
-        // Level 0: identity (3 buckets); last level: 1 bucket.
+                                         // Level 0: identity (3 buckets); last level: 1 bucket.
         assert_eq!(lad[0], vec![0, 1, 2]);
         assert!(lad.last().unwrap().iter().all(|&b| b == 0));
         assert!(lad.len() >= 2);
@@ -169,16 +161,16 @@ mod tests {
         let minimal = minimal_full_domain_recodings(&t, 2, 2);
         assert!(!minimal.is_empty());
         for fd in &minimal {
-            assert!(recoding_is_l_diverse(&t, &fd.recoding, 2), "{:?}", fd.levels);
+            assert!(
+                recoding_is_l_diverse(&t, &fd.recoding, 2),
+                "{:?}",
+                fd.levels
+            );
             // No accepted vector dominates another (pairwise minimality).
             for other in &minimal {
                 if other.levels != fd.levels {
                     assert!(
-                        !other
-                            .levels
-                            .iter()
-                            .zip(&fd.levels)
-                            .all(|(a, b)| a <= b),
+                        !other.levels.iter().zip(&fd.levels).all(|(a, b)| a <= b),
                         "{:?} dominated by {:?}",
                         fd.levels,
                         other.levels
@@ -195,8 +187,7 @@ mod tests {
         let t = samples::hospital();
         let schema = t.schema();
         let minimal = minimal_full_domain_recodings(&t, 2, 2);
-        let ladders: Vec<Vec<Vec<u32>>> =
-            (0..3).map(|a| ladder(schema, a, 2)).collect();
+        let ladders: Vec<Vec<Vec<u32>>> = (0..3).map(|a| ladder(schema, a, 2)).collect();
         for fd in &minimal {
             for a in 0..3 {
                 if fd.levels[a] + 1 >= ladders[a].len() {
@@ -204,9 +195,7 @@ mod tests {
                 }
                 let mut up = fd.levels.clone();
                 up[a] += 1;
-                let rec = Recoding::new(
-                    (0..3).map(|i| ladders[i][up[i]].clone()).collect(),
-                );
+                let rec = Recoding::new((0..3).map(|i| ladders[i][up[i]].clone()).collect());
                 assert!(recoding_is_l_diverse(&t, &rec, 2), "{up:?}");
             }
         }
@@ -225,18 +214,17 @@ mod tests {
     #[test]
     fn works_as_a_preprocessor_for_tp() {
         // The §5.6 workflow with an Incognito-chosen recoding.
-        let t = sal(&AcsConfig { rows: 1_500, seed: 51 })
-            .project(&[0, 5])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 1_500,
+            seed: 51,
+        })
+        .project(&[0, 5])
+        .unwrap();
         let l = 4;
         let fd = best_full_domain_recoding(&t, l, 2).expect("feasible");
-        let run = crate::anonymize_preprocessed(
-            &t,
-            &fd.recoding,
-            l,
-            &ldiv_core::SingleGroupResidue,
-        )
-        .unwrap();
+        let run =
+            crate::anonymize_preprocessed(&t, &fd.recoding, l, &ldiv_core::SingleGroupResidue)
+                .unwrap();
         assert!(run.result.published.is_l_diverse(&run.coarse_table, l));
         // A recoding that already guarantees l-diversity leaves TP nothing
         // to suppress (all induced groups are l-eligible).
@@ -247,11 +235,7 @@ mod tests {
     #[test]
     fn infeasible_table_yields_no_recodings() {
         use ldiv_microdata::{Attribute, Schema, TableBuilder};
-        let schema = Schema::new(
-            vec![Attribute::new("q", 4)],
-            Attribute::new("sa", 2),
-        )
-        .unwrap();
+        let schema = Schema::new(vec![Attribute::new("q", 4)], Attribute::new("sa", 2)).unwrap();
         let mut b = TableBuilder::new(schema);
         for i in 0..4u16 {
             b.push_row(&[i], 0).unwrap(); // all same SA: not 2-eligible

@@ -42,10 +42,9 @@
 
 mod lattice;
 
-pub use lattice::{
-    best_full_domain_recoding, minimal_full_domain_recodings, FullDomainRecoding,
-};
+pub use lattice::{best_full_domain_recoding, minimal_full_domain_recodings, FullDomainRecoding};
 
+use ldiv_api::{LdivError, Mechanism, Params, Publication};
 use ldiv_core::{anonymize, AnonymizationResult, CoreError, ResiduePartitioner};
 use ldiv_hilbert::HilbertResidue;
 use ldiv_metrics::{kl_divergence_coarse_suppressed, Recoding};
@@ -125,6 +124,49 @@ pub fn anonymize_preprocessed<P: ResiduePartitioner>(
     })
 }
 
+/// A §5.6 preprocessing run of an arbitrary unified-API mechanism:
+/// the recoding used, the coarsened table it actually ran on, and its
+/// publication over that table.
+#[derive(Debug, Clone)]
+pub struct PreprocessedPublication {
+    /// The preprocessing recoding.
+    pub recoding: Recoding,
+    /// The coarsened microdata the mechanism ran on.
+    pub coarse_table: Table,
+    /// The mechanism's publication *of the coarsened table*.
+    pub publication: Publication,
+    /// Information loss of the final publication measured against the
+    /// *original* table (mixed star/bucket semantics of Eq. 2).
+    /// `None` when the mechanism's payload is not suppression-based —
+    /// the mixed semantics are only defined for starred publications.
+    pub kl: Option<f64>,
+}
+
+/// §5.6 preprocessing for any [`Mechanism`]: coarsen the table with
+/// `recoding`, run the mechanism on the coarsened data, and (for
+/// suppression payloads) measure the loss against the original table.
+///
+/// This is the mechanism-generic sibling of [`anonymize_preprocessed`],
+/// and the engine behind the facade's `Anonymizer::preprocess_depth`.
+pub fn anonymize_preprocessed_with(
+    table: &Table,
+    recoding: &Recoding,
+    mechanism: &dyn Mechanism,
+    params: &Params,
+) -> Result<PreprocessedPublication, LdivError> {
+    let coarse_table = coarsen_table(table, recoding);
+    let publication = mechanism.anonymize(&coarse_table, params)?;
+    let kl = publication
+        .as_suppressed()
+        .map(|s| kl_divergence_coarse_suppressed(table, recoding, s));
+    Ok(PreprocessedPublication {
+        recoding: recoding.clone(),
+        coarse_table,
+        publication,
+        kl,
+    })
+}
+
 /// A uniform preprocessing level: every attribute's balanced taxonomy is
 /// cut at depth `depth` (depth 0 = fully generalized, large depths =
 /// identity).
@@ -138,8 +180,8 @@ pub fn uniform_recoding(schema: &Schema, fanout: u32, depth: u32) -> Recoding {
             let mut assign = vec![0u32; a.domain_size() as usize];
             let mut bucket = 0u32;
             let mut stack = vec![(0usize, 0u32)]; // (node, depth)
-            // DFS assigns buckets in range order because children tile
-            // their parent left to right and are pushed in reverse.
+                                                  // DFS assigns buckets in range order because children tile
+                                                  // their parent left to right and are pushed in reverse.
             while let Some((id, dep)) = stack.pop() {
                 let node = tax.node(id);
                 if dep == depth || node.is_leaf() {
@@ -188,10 +230,7 @@ pub struct SweepPoint {
 /// Sweeps preprocessing depths 0..=`max_depth` with TP+ and reports the
 /// stars/KL trade-off of §5.6. Stops early once the recoding reaches the
 /// identity (deeper cuts would repeat it).
-pub fn preprocessing_sweep(
-    table: &Table,
-    cfg: &SweepConfig,
-) -> Result<Vec<SweepPoint>, CoreError> {
+pub fn preprocessing_sweep(table: &Table, cfg: &SweepConfig) -> Result<Vec<SweepPoint>, CoreError> {
     let mut out = Vec::new();
     let mut seen_identity = false;
     for depth in 0..=cfg.max_depth {
@@ -263,9 +302,12 @@ mod tests {
 
     #[test]
     fn preprocessing_reduces_stars_as_depth_drops() {
-        let t = sal(&AcsConfig { rows: 3_000, seed: 9 })
-            .project(&[0, 4])
-            .unwrap(); // Age × Birth Place: very diverse
+        let t = sal(&AcsConfig {
+            rows: 3_000,
+            seed: 9,
+        })
+        .project(&[0, 4])
+        .unwrap(); // Age × Birth Place: very diverse
         let l = 4;
         let shallow = anonymize_preprocessed(
             &t,
@@ -295,9 +337,12 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_in_buckets_and_stops_at_identity() {
-        let t = sal(&AcsConfig { rows: 2_000, seed: 10 })
-            .project(&[0, 5])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 2_000,
+            seed: 10,
+        })
+        .project(&[0, 5])
+        .unwrap();
         let points = preprocessing_sweep(
             &t,
             &SweepConfig {
@@ -321,17 +366,40 @@ mod tests {
     }
 
     #[test]
+    fn mechanism_generic_preprocessing_agrees_with_tp_path() {
+        let t = sal(&AcsConfig {
+            rows: 2_000,
+            seed: 12,
+        })
+        .project(&[0, 5])
+        .unwrap();
+        let recoding = uniform_recoding(t.schema(), 2, 2);
+        let legacy = anonymize_preprocessed(&t, &recoding, 3, &SingleGroupResidue).unwrap();
+        let unified =
+            anonymize_preprocessed_with(&t, &recoding, &ldiv_core::TpMechanism, &Params::new(3))
+                .unwrap();
+        assert_eq!(unified.publication.star_count(), legacy.stars());
+        let kl = unified.kl.expect("suppression payload has mixed KL");
+        assert!((kl - legacy.kl).abs() < 1e-12);
+        // Non-suppression payloads report no mixed KL.
+        let tds =
+            anonymize_preprocessed_with(&t, &recoding, &ldiv_tds::TdsMechanism, &Params::new(3))
+                .unwrap();
+        assert!(tds.kl.is_none());
+    }
+
+    #[test]
     fn identity_preprocessing_equals_plain_tp() {
-        let t = sal(&AcsConfig { rows: 2_000, seed: 11 })
-            .project(&[1, 3, 6])
-            .unwrap();
+        let t = sal(&AcsConfig {
+            rows: 2_000,
+            seed: 11,
+        })
+        .project(&[1, 3, 6])
+        .unwrap();
         let identity = Recoding::identity(t.schema());
         let pre = anonymize_preprocessed(&t, &identity, 3, &SingleGroupResidue).unwrap();
         let plain = anonymize(&t, 3, &SingleGroupResidue).unwrap();
         assert_eq!(pre.stars(), plain.star_count());
-        assert_eq!(
-            pre.result.suppressed_tuples(),
-            plain.suppressed_tuples()
-        );
+        assert_eq!(pre.result.suppressed_tuples(), plain.suppressed_tuples());
     }
 }

@@ -61,6 +61,15 @@ impl fmt::Display for TdsError {
 
 impl std::error::Error for TdsError {}
 
+impl From<TdsError> for ldiv_api::LdivError {
+    fn from(e: TdsError) -> Self {
+        match e {
+            TdsError::InvalidL => ldiv_api::LdivError::InvalidL(0),
+            infeasible => ldiv_api::LdivError::Algorithm(infeasible.to_string()),
+        }
+    }
+}
+
 /// Result of a TDS run.
 #[derive(Debug, Clone)]
 pub struct TdsOutcome {
@@ -100,11 +109,7 @@ fn entropy(counts: &[u32], total: u32) -> f64 {
 /// Privacy margin of a group: the largest `l` it satisfies.
 fn margin(counts: &[u32], total: u32) -> u32 {
     let h = counts.iter().copied().max().unwrap_or(0);
-    if h == 0 {
-        u32::MAX
-    } else {
-        total / h
-    }
+    total.checked_div(h).unwrap_or(u32::MAX)
 }
 
 /// Runs TDS on a table, generating balanced taxonomies for every QI
@@ -176,10 +181,7 @@ pub fn tds_anonymize(table: &Table, config: &TdsConfig) -> Result<TdsOutcome, Td
                     continue;
                 }
                 let key = (group_of[row as usize], s);
-                stats
-                    .entry(key)
-                    .or_insert_with(|| vec![0u32; m])
-                    [sa as usize] += 1;
+                stats.entry(key).or_insert_with(|| vec![0u32; m])[sa as usize] += 1;
             }
             if stats.is_empty() {
                 continue; // every cut node on this attribute is a leaf
@@ -221,8 +223,8 @@ pub fn tds_anonymize(table: &Table, config: &TdsConfig) -> Result<TdsOutcome, Td
                     if !valid {
                         break;
                     }
-                    info_gain +=
-                        parent_total as f64 * entropy(parent_hist, parent_total) - child_entropy_sum;
+                    info_gain += parent_total as f64 * entropy(parent_hist, parent_total)
+                        - child_entropy_sum;
                 }
                 if !valid {
                     continue;
@@ -234,9 +236,7 @@ pub fn tds_anonymize(table: &Table, config: &TdsConfig) -> Result<TdsOutcome, Td
                 };
                 let better = match best {
                     None => true,
-                    Some((bs, ba, bn)) => {
-                        score > bs || (score == bs && (a, node) < (ba, bn))
-                    }
+                    Some((bs, ba, bn)) => score > bs || (score == bs && (a, node) < (ba, bn)),
                 };
                 if better {
                     best = Some((score, a, node));
@@ -337,7 +337,14 @@ mod tests {
     fn hospital_output_is_l_diverse() {
         let t = samples::hospital();
         for l in [1u32, 2] {
-            let out = tds_anonymize(&t, &TdsConfig { l, ..Default::default() }).unwrap();
+            let out = tds_anonymize(
+                &t,
+                &TdsConfig {
+                    l,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             let p = out.partition();
             p.validate_cover(&t).unwrap();
             assert!(p.is_l_diverse(&t, l), "l = {l}");
@@ -354,11 +361,23 @@ mod tests {
     fn infeasible_l_is_rejected() {
         let t = samples::hospital();
         assert!(matches!(
-            tds_anonymize(&t, &TdsConfig { l: 3, ..Default::default() }),
+            tds_anonymize(
+                &t,
+                &TdsConfig {
+                    l: 3,
+                    ..Default::default()
+                }
+            ),
             Err(TdsError::Infeasible(_))
         ));
         assert!(matches!(
-            tds_anonymize(&t, &TdsConfig { l: 0, ..Default::default() }),
+            tds_anonymize(
+                &t,
+                &TdsConfig {
+                    l: 0,
+                    ..Default::default()
+                }
+            ),
             Err(TdsError::InvalidL)
         ));
     }
@@ -368,7 +387,14 @@ mod tests {
         // With no privacy pressure every specialization is valid, so the
         // final cut is all leaves and KL is zero.
         let t = samples::hospital();
-        let out = tds_anonymize(&t, &TdsConfig { l: 1, ..Default::default() }).unwrap();
+        let out = tds_anonymize(
+            &t,
+            &TdsConfig {
+                l: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let kl = kl_divergence_recoded(&t, &out.recoding);
         assert!(kl.abs() < 1e-12, "kl = {kl}");
         assert_eq!(out.cut_sizes, vec![3, 2, 3]);
@@ -376,10 +402,22 @@ mod tests {
 
     #[test]
     fn stricter_l_never_reduces_kl() {
-        let t = sal(&AcsConfig { rows: 4_000, seed: 21 }).project(&[0, 1, 5]).unwrap();
+        let t = sal(&AcsConfig {
+            rows: 4_000,
+            seed: 21,
+        })
+        .project(&[0, 1, 5])
+        .unwrap();
         let mut last = -1.0;
         for l in [2u32, 4, 8] {
-            let out = tds_anonymize(&t, &TdsConfig { l, ..Default::default() }).unwrap();
+            let out = tds_anonymize(
+                &t,
+                &TdsConfig {
+                    l,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert!(out.partition().is_l_diverse(&t, l));
             let kl = kl_divergence_recoded(&t, &out.recoding);
             assert!(
@@ -392,7 +430,12 @@ mod tests {
 
     #[test]
     fn score_policies_both_terminate_validly() {
-        let t = sal(&AcsConfig { rows: 2_000, seed: 22 }).project(&[0, 5]).unwrap();
+        let t = sal(&AcsConfig {
+            rows: 2_000,
+            seed: 22,
+        })
+        .project(&[0, 5])
+        .unwrap();
         for score in [ScorePolicy::InfoGain, ScorePolicy::InfoGainPerLoss] {
             let out = tds_anonymize(
                 &t,
@@ -410,9 +453,28 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let t = sal(&AcsConfig { rows: 1_500, seed: 23 }).project(&[0, 2, 5]).unwrap();
-        let a = tds_anonymize(&t, &TdsConfig { l: 3, ..Default::default() }).unwrap();
-        let b = tds_anonymize(&t, &TdsConfig { l: 3, ..Default::default() }).unwrap();
+        let t = sal(&AcsConfig {
+            rows: 1_500,
+            seed: 23,
+        })
+        .project(&[0, 2, 5])
+        .unwrap();
+        let a = tds_anonymize(
+            &t,
+            &TdsConfig {
+                l: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = tds_anonymize(
+            &t,
+            &TdsConfig {
+                l: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a.specializations, b.specializations);
         assert_eq!(a.recoding, b.recoding);
     }

@@ -34,7 +34,9 @@
 #![warn(rust_2018_idioms)]
 
 mod algorithm;
+mod mechanism;
 mod taxonomy;
 
 pub use algorithm::{tds_anonymize, ScorePolicy, TdsConfig, TdsError, TdsOutcome};
+pub use mechanism::TdsMechanism;
 pub use taxonomy::{Cut, Taxonomy};

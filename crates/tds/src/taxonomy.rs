@@ -198,8 +198,11 @@ mod tests {
                 if n.is_leaf() {
                     continue;
                 }
-                let mut covered: Vec<(u32, u32)> =
-                    n.children.iter().map(|&c| (t.node(c).lo, t.node(c).hi)).collect();
+                let mut covered: Vec<(u32, u32)> = n
+                    .children
+                    .iter()
+                    .map(|&c| (t.node(c).lo, t.node(c).hi))
+                    .collect();
                 covered.sort_unstable();
                 assert_eq!(covered.first().unwrap().0, n.lo, "node {id}");
                 assert_eq!(covered.last().unwrap().1, n.hi);

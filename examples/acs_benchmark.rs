@@ -1,15 +1,13 @@
-//! Head-to-head comparison of all four algorithms on an ACS-like workload:
-//! TP, TP+, the Hilbert baseline and TDS, across a small `l` sweep,
-//! reporting stars, wall time and the Eq. (2) KL-divergence.
+//! Head-to-head comparison of the registered algorithms on an ACS-like
+//! workload across a small `l` sweep, reporting stars, wall time and the
+//! Eq. (2) KL-divergence — all through the unified `Mechanism` registry.
 //!
 //! A miniature of the paper's Figures 2, 4 and 7. Run with:
 //! `cargo run --release --example acs_benchmark`
 
-use ldiversity::core::{anonymize, SingleGroupResidue};
 use ldiversity::datagen::{occ, AcsConfig};
-use ldiversity::hilbert::{hilbert_anonymize, HilbertResidue};
-use ldiversity::metrics::{kl_divergence_recoded, kl_divergence_suppressed};
-use ldiversity::tds::{tds_anonymize, TdsConfig};
+use ldiversity::metrics::kl_divergence;
+use ldiversity::{standard_registry, Params};
 use std::time::Instant;
 
 fn main() {
@@ -29,57 +27,23 @@ fn main() {
         "l", "algorithm", "stars", "time (s)", "KL"
     );
 
+    let registry = standard_registry();
     for l in [2u32, 4, 8] {
-        // Hilbert baseline.
-        let t0 = Instant::now();
-        let (_, hilbert_pub) = hilbert_anonymize(&table, l);
-        let hilbert_time = t0.elapsed().as_secs_f64();
-        report(l, "Hilbert", hilbert_pub.star_count(), hilbert_time, {
-            kl_divergence_suppressed(&table, &hilbert_pub)
-        });
-
-        // TP.
-        let t0 = Instant::now();
-        let tp = anonymize(&table, l, &SingleGroupResidue).expect("feasible");
-        let tp_time = t0.elapsed().as_secs_f64();
-        report(
-            l,
-            "TP",
-            tp.star_count(),
-            tp_time,
-            kl_divergence_suppressed(&table, &tp.published),
-        );
-
-        // TP+.
-        let t0 = Instant::now();
-        let tp_plus = anonymize(&table, l, &HilbertResidue).expect("feasible");
-        let tp_plus_time = t0.elapsed().as_secs_f64();
-        report(
-            l,
-            "TP+",
-            tp_plus.star_count(),
-            tp_plus_time,
-            kl_divergence_suppressed(&table, &tp_plus.published),
-        );
-
-        // TDS (single-dimensional generalization: no stars; KL only).
-        let t0 = Instant::now();
-        let tds = tds_anonymize(&table, &TdsConfig { l, ..Default::default() })
-            .expect("feasible");
-        let tds_time = t0.elapsed().as_secs_f64();
-        report(
-            l,
-            "TDS",
-            0,
-            tds_time,
-            kl_divergence_recoded(&table, &tds.recoding),
-        );
+        let mut stars_of = std::collections::HashMap::new();
+        for name in ["hilbert", "tp", "tp+", "tds"] {
+            let t0 = Instant::now();
+            let publication = registry
+                .run(name, &table, &Params::new(l))
+                .expect("feasible workload");
+            let secs = t0.elapsed().as_secs_f64();
+            let kl = kl_divergence(&table, &publication);
+            println!(
+                "{l:>3} {name:>9} {:>12} {secs:>9.3} {kl:>9.4}",
+                publication.star_count()
+            );
+            stars_of.insert(name, publication.star_count());
+        }
         println!();
-
-        assert!(tp_plus.star_count() <= tp.star_count(), "§5.6 dominance");
+        assert!(stars_of["tp+"] <= stars_of["tp"], "§5.6 dominance");
     }
-}
-
-fn report(l: u32, name: &str, stars: usize, secs: f64, kl: f64) {
-    println!("{l:>3} {name:>9} {stars:>12} {secs:>9.3} {kl:>9.4}");
 }

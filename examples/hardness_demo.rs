@@ -14,11 +14,20 @@ use ldiversity::hardness::{
 fn main() {
     // --- The Figure 1 example ------------------------------------------
     let figure1 = ThreeDimMatching::figure_1_example();
-    println!("Figure 1(a): n = {}, {} points", figure1.n, figure1.points.len());
-    let witness = figure1.solve().expect("the paper's example is a yes-instance");
+    println!(
+        "Figure 1(a): n = {}, {} points",
+        figure1.n,
+        figure1.points.len()
+    );
+    let witness = figure1
+        .solve()
+        .expect("the paper's example is a yes-instance");
     println!(
         "3DM solution: {:?} (the paper's {{p1, p3, p5, p6}})",
-        witness.iter().map(|&i| format!("p{}", i + 1)).collect::<Vec<_>>()
+        witness
+            .iter()
+            .map(|&i| format!("p{}", i + 1))
+            .collect::<Vec<_>>()
     );
 
     let table = reduction_table(&figure1, 8).expect("valid parameters");
@@ -50,7 +59,11 @@ fn main() {
         let opt = optimal_stars(&t, 3).expect("reduction tables are 3-eligible");
         println!(
             "  {name}: 3DM solvable = {solvable}, optimal stars = {opt}, target = {target} → {}",
-            if (opt == target) == solvable { "equivalence holds ✓" } else { "MISMATCH ✗" }
+            if (opt == target) == solvable {
+                "equivalence holds ✓"
+            } else {
+                "MISMATCH ✗"
+            }
         );
         assert_eq!(opt == target, solvable);
     }

@@ -18,8 +18,7 @@ fn main() {
     println!("{}", table.generalize(&identity).render(&table));
 
     println!("=== Table 2: 2-anonymous publication ===");
-    let anon2 = Partition::new(vec![vec![0, 1], vec![2, 3], vec![4, 5, 6, 7], vec![8, 9]])
-        .unwrap();
+    let anon2 = Partition::new(vec![vec![0, 1], vec![2, 3], vec![4, 5, 6, 7], vec![8, 9]]).unwrap();
     let published2 = table.generalize(&anon2);
     println!("{}", published2.render(&table));
     println!(
@@ -44,10 +43,11 @@ fn main() {
     let out = tuple_minimize(&table, 2).expect("hospital data is 2-eligible");
     println!(
         "initial QI-groups: {} | terminated in phase {} | removed {} tuples",
-        out.stats.initial_groups, out.stats.termination_phase, out.residue.len()
+        out.stats.initial_groups,
+        out.stats.termination_phase,
+        out.residue.len()
     );
-    let mut residue_names: Vec<&str> =
-        out.residue.iter().map(|&r| names[r as usize]).collect();
+    let mut residue_names: Vec<&str> = out.residue.iter().map(|&r| names[r as usize]).collect();
     residue_names.sort_unstable();
     println!("residue set R: {residue_names:?}");
     println!(

@@ -54,7 +54,10 @@ fn main() {
         }
     }
     let chosen = &points[best.1];
-    println!("\nbest utility at depth {} (KL = {:.4})", chosen.depth, chosen.kl);
+    println!(
+        "\nbest utility at depth {} (KL = {:.4})",
+        chosen.depth, chosen.kl
+    );
     if best.1 == 0 {
         println!("the fully coarse table wins here — suppression is so costly that");
         println!("giving up all precision beats starring; typical of tiny samples.");

@@ -1,12 +1,13 @@
-//! Quickstart: generate a synthetic dataset, anonymize it with TP+ and
-//! inspect the result.
+//! Quickstart: generate a synthetic dataset, anonymize it through the
+//! `Anonymizer` front door, and inspect the result — then drop one level
+//! down for TP's approximation certificate.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use ldiversity::core::{anonymize, SingleGroupResidue};
 use ldiversity::datagen::{sal, AcsConfig};
-use ldiversity::hilbert::HilbertResidue;
 use ldiversity::metrics::PublicationSummary;
+use ldiversity::Anonymizer;
 
 fn main() {
     // A 20k-row SAL-like table (sensitive attribute: Income), projected to
@@ -25,26 +26,29 @@ fn main() {
         table.distinct_qi_count()
     );
 
-    // Plain TP: the three-phase algorithm, residue published as one
-    // fully-suppressed group.
-    let tp = anonymize(&table, l, &SingleGroupResidue).expect("feasible");
-    // TP+: same, but the residue is re-partitioned along a Hilbert curve.
-    let tp_plus = anonymize(&table, l, &HilbertResidue).expect("feasible");
-
-    for (name, result) in [("TP", &tp), ("TP+", &tp_plus)] {
-        let s = PublicationSummary::of(&table, &result.published);
+    // The front door: any mechanism by name, one output shape.
+    for name in ["tp", "tp+"] {
+        let run = Anonymizer::new()
+            .l(l)
+            .mechanism(name)
+            .run(&table)
+            .expect("feasible");
+        let s = PublicationSummary::of_publication(&table, &run.publication);
         println!(
-            "{name:4} terminated in phase {}: {} stars ({:.2}% of QI cells), {} groups, {} suppressed tuples",
-            result.tp.stats.termination_phase,
+            "{name:4} {} stars ({:.2}% of QI cells), {} groups, {} suppressed tuples, KL {:.4} [{}]",
             s.stars,
             100.0 * s.star_ratio,
             s.groups,
             s.suppressed_tuples,
+            run.kl,
+            run.publication.notes().join("; "),
         );
     }
 
-    // The certificate: a lower bound on the optimal number of suppressed
+    // One level down: the low-level TP API exposes the approximation
+    // certificate — a lower bound on the optimal number of suppressed
     // tuples (Corollary 2) and the ratio this run is guaranteed to satisfy.
+    let tp = anonymize(&table, l, &SingleGroupResidue).expect("feasible");
     let stats = &tp.tp.stats;
     println!(
         "certificate: removed {} tuples, optimal needs ≥ {} → ratio ≤ {:.3}",
@@ -53,7 +57,6 @@ fn main() {
         stats.certified_ratio()
     );
 
-    assert!(tp_plus.star_count() <= tp.star_count());
-    assert!(tp_plus.published.is_l_diverse(&table, l));
-    println!("both publications verified {l}-diverse ✓");
+    assert!(tp.published.is_l_diverse(&table, l));
+    println!("publication verified {l}-diverse ✓");
 }

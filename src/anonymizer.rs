@@ -1,0 +1,260 @@
+//! The workspace front door: the standard mechanism registry and the
+//! [`Anonymizer`] builder.
+
+use ldiv_api::{LdivError, MechanismRegistry, Params, Publication, Recoding};
+use ldiv_microdata::Table;
+
+/// The registry holding every publication method this workspace ships,
+/// constructible by name:
+///
+/// | Name | Mechanism | Payload |
+/// |---|---|---|
+/// | `"tp"` | three-phase tuple minimization (§5) | suppressed |
+/// | `"tp+"` | TP + Hilbert residue refinement (§5.6) | suppressed |
+/// | `"hilbert"` | curve-ordered grouping baseline (§6.1) | suppressed |
+/// | `"anatomy"` | QI/SA table separation (§2) | anatomy QIT/ST |
+/// | `"mondrian"` | l-gated median kd-splits (§6.2) | boxes |
+/// | `"tds"` | top-down specialization (§6.2) | recoded |
+pub fn standard_registry() -> MechanismRegistry {
+    MechanismRegistry::new()
+        .with(Box::new(ldiv_core::TpMechanism))
+        .with(Box::new(ldiv_hilbert::tp_plus_mechanism()))
+        .with(Box::new(ldiv_hilbert::HilbertMechanism))
+        .with(Box::new(ldiv_anatomy::AnatomyMechanism))
+        .with(Box::new(ldiv_multidim::MondrianMechanism))
+        .with(Box::new(ldiv_tds::TdsMechanism))
+}
+
+/// The result of an [`Anonymizer`] run: the publication plus everything
+/// needed to interpret it against the *original* table.
+#[derive(Debug, Clone)]
+pub struct Anonymized {
+    /// The mechanism's publication. With preprocessing it describes the
+    /// coarsened table ([`coarse_table`](Anonymized::coarse_table)).
+    pub publication: Publication,
+    /// The §5.6 preprocessing recoding, when one was applied.
+    pub recoding: Option<Recoding>,
+    /// The coarsened table the mechanism actually ran on, when
+    /// preprocessing was applied.
+    pub coarse_table: Option<Table>,
+    /// Eq. (2) KL-divergence of the publication measured against the
+    /// original input table (mixed star/bucket semantics under
+    /// preprocessing).
+    pub kl: f64,
+}
+
+impl Anonymized {
+    /// Stars in the publication (0 for non-suppression payloads).
+    pub fn star_count(&self) -> usize {
+        self.publication.star_count()
+    }
+
+    /// The table the publication's partition refers to — the coarse table
+    /// under preprocessing, otherwise the caller's input.
+    pub fn published_table<'a>(&'a self, original: &'a Table) -> &'a Table {
+        self.coarse_table.as_ref().unwrap_or(original)
+    }
+}
+
+/// Builder-style front door over the [`MechanismRegistry`]:
+///
+/// ```
+/// use ldiversity::Anonymizer;
+/// use ldiversity::datagen::{sal, AcsConfig};
+///
+/// let table = sal(&AcsConfig { rows: 2_000, seed: 5 })
+///     .project(&[0, 5])
+///     .unwrap();
+/// let run = Anonymizer::new()
+///     .l(4)
+///     .mechanism("tp+")
+///     .preprocess_depth(2)
+///     .run(&table)
+///     .unwrap();
+/// assert!(run
+///     .publication
+///     .is_l_diverse(run.published_table(&table), 4));
+/// assert!(run.kl.is_finite());
+/// ```
+///
+/// Defaults: mechanism `"tp+"`, `l = 2`, fanout 2, no preprocessing,
+/// the [`standard_registry`]. Preprocessing (§5.6) coarsens every QI
+/// attribute's balanced taxonomy to the given depth before the mechanism
+/// runs — only meaningful for suppression mechanisms (`tp`, `tp+`,
+/// `hilbert`); other payloads make [`Anonymizer::run`] return
+/// [`LdivError::InvalidParams`].
+pub struct Anonymizer {
+    registry: MechanismRegistry,
+    mechanism: String,
+    params: Params,
+    preprocess_depth: Option<u32>,
+}
+
+impl Default for Anonymizer {
+    fn default() -> Self {
+        Anonymizer::new()
+    }
+}
+
+impl Anonymizer {
+    /// An anonymizer over the [`standard_registry`], defaulting to
+    /// `"tp+"` at `l = 2`.
+    pub fn new() -> Self {
+        Anonymizer::with_registry(standard_registry())
+    }
+
+    /// An anonymizer over a custom registry (e.g. one extended with
+    /// downstream mechanisms).
+    pub fn with_registry(registry: MechanismRegistry) -> Self {
+        Anonymizer {
+            registry,
+            mechanism: "tp+".to_string(),
+            params: Params::default(),
+            preprocess_depth: None,
+        }
+    }
+
+    /// Sets the diversity requirement `l`.
+    pub fn l(mut self, l: u32) -> Self {
+        self.params.l = l;
+        self
+    }
+
+    /// Sets the taxonomy fanout (TDS and preprocessing).
+    pub fn fanout(mut self, fanout: u32) -> Self {
+        self.params.fanout = fanout;
+        self
+    }
+
+    /// Selects the mechanism by registry name (`"tp"`, `"tp+"`,
+    /// `"anatomy"`, `"mondrian"`, `"hilbert"`, `"tds"`, …).
+    pub fn mechanism(mut self, name: impl Into<String>) -> Self {
+        self.mechanism = name.into();
+        self
+    }
+
+    /// Replaces the whole parameter bag.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables §5.6 preprocessing: cut every attribute's balanced
+    /// taxonomy at `depth` (0 = fully generalized) and run the mechanism
+    /// on the coarsened table.
+    pub fn preprocess_depth(mut self, depth: u32) -> Self {
+        self.preprocess_depth = Some(depth);
+        self
+    }
+
+    /// The registry backing this builder.
+    pub fn registry(&self) -> &MechanismRegistry {
+        &self.registry
+    }
+
+    /// Runs the configured mechanism, validating its output.
+    pub fn run(&self, table: &Table) -> Result<Anonymized, LdivError> {
+        match self.preprocess_depth {
+            None => {
+                let publication = self.registry.run(&self.mechanism, table, &self.params)?;
+                publication.validate(table, self.params.l)?;
+                let kl = ldiv_metrics::kl_divergence(table, &publication);
+                Ok(Anonymized {
+                    publication,
+                    recoding: None,
+                    coarse_table: None,
+                    kl,
+                })
+            }
+            Some(depth) => {
+                let mechanism = self.registry.get(&self.mechanism).ok_or_else(|| {
+                    LdivError::UnknownMechanism {
+                        requested: self.mechanism.clone(),
+                        known: self
+                            .registry
+                            .names()
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                    }
+                })?;
+                let recoding =
+                    ldiv_pipeline::uniform_recoding(table.schema(), self.params.fanout, depth);
+                let run = ldiv_pipeline::anonymize_preprocessed_with(
+                    table,
+                    &recoding,
+                    mechanism,
+                    &self.params,
+                )?;
+                run.publication.validate(&run.coarse_table, self.params.l)?;
+                let kl = run.kl.ok_or_else(|| {
+                    LdivError::InvalidParams(format!(
+                        "preprocessing requires a suppression mechanism, but '{}' \
+                         publishes a {} payload",
+                        self.mechanism,
+                        match run.publication.payload() {
+                            ldiv_api::Payload::Boxes(_) => "boxes",
+                            ldiv_api::Payload::Anatomy(_) => "anatomy",
+                            ldiv_api::Payload::Recoded(_) => "recoded",
+                            ldiv_api::Payload::Suppressed(_) => unreachable!(),
+                        }
+                    ))
+                })?;
+                Ok(Anonymized {
+                    publication: run.publication,
+                    recoding: Some(run.recoding),
+                    coarse_table: Some(run.coarse_table),
+                    kl,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::samples;
+
+    #[test]
+    fn standard_registry_holds_all_six_names() {
+        let reg = standard_registry();
+        assert_eq!(
+            reg.names(),
+            vec!["anatomy", "hilbert", "mondrian", "tds", "tp", "tp+"]
+        );
+    }
+
+    #[test]
+    fn builder_runs_every_mechanism_on_the_hospital_table() {
+        let t = samples::hospital();
+        for name in standard_registry().names() {
+            let run = Anonymizer::new()
+                .l(2)
+                .mechanism(name)
+                .run(&t)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(run.publication.is_l_diverse(&t, 2), "{name}");
+            assert!(run.kl.is_finite() && run.kl >= -1e-9, "{name}: {}", run.kl);
+        }
+    }
+
+    #[test]
+    fn unknown_mechanism_is_reported() {
+        let t = samples::hospital();
+        let err = Anonymizer::new().mechanism("nope").run(&t).unwrap_err();
+        assert!(matches!(err, LdivError::UnknownMechanism { .. }));
+    }
+
+    #[test]
+    fn preprocessing_rejects_non_suppression_mechanisms() {
+        let t = samples::hospital();
+        let err = Anonymizer::new()
+            .l(2)
+            .mechanism("tds")
+            .preprocess_depth(1)
+            .run(&t)
+            .unwrap_err();
+        assert!(matches!(err, LdivError::InvalidParams(_)), "{err}");
+    }
+}

@@ -2,10 +2,60 @@
 //! *The Hardness and Approximation Algorithms for L-Diversity*
 //! (Xiao, Yi, Tao; EDBT 2010).
 //!
-//! This facade crate re-exports the workspace's public API:
+//! # The front door: `Anonymizer`
+//!
+//! Every publication method the paper evaluates — TP, TP+, the Hilbert
+//! baseline, Anatomy, Mondrian and TDS — implements one trait
+//! ([`Mechanism`]) and returns one output shape ([`Publication`]), so
+//! they are interchangeable behind a string name:
+//!
+//! ```
+//! use ldiversity::{Anonymizer, metrics};
+//! use ldiversity::microdata::samples;
+//!
+//! let table = samples::hospital(); // the paper's Table 1
+//!
+//! // TP+ (§5.6) at l = 2: the default mechanism.
+//! let run = Anonymizer::new().l(2).run(&table).unwrap();
+//! assert!(run.publication.is_l_diverse(&table, 2));
+//!
+//! // Any mechanism is one name away; stars and the Eq. (2)
+//! // KL-divergence are accounted uniformly for all of them.
+//! let anatomy = Anonymizer::new().l(2).mechanism("anatomy").run(&table).unwrap();
+//! assert_eq!(anatomy.publication.star_count(), 0); // anatomy never stars
+//! assert!(anatomy.kl <= run.kl + 1e-12); // exact QIT loses no QI information
+//!
+//! // The registry itself is public: enumerate, extend, dispatch.
+//! let registry = ldiversity::standard_registry();
+//! assert_eq!(registry.len(), 6);
+//! let publication = registry
+//!     .run("mondrian", &table, &ldiversity::Params::new(2))
+//!     .unwrap();
+//! assert!(metrics::kl_divergence(&table, &publication).is_finite());
+//! ```
+//!
+//! The builder also folds in the §5.6 preprocessing workflow
+//! (`.preprocess_depth(k)` coarsens every QI taxonomy before the
+//! mechanism runs) — see [`Anonymizer`].
+//!
+//! # The layers
+//!
+//! * **Contract** — [`api`] (`ldiv-api`): [`Mechanism`],
+//!   [`Publication`], [`Params`], [`MechanismRegistry`], [`LdivError`].
+//! * **Front door** — [`Anonymizer`], [`standard_registry`] (this
+//!   crate).
+//! * **Low level** — the per-crate entry points remain public for
+//!   callers who need algorithm-specific knobs or richer outputs:
+//!   [`core::anonymize`] with a custom
+//!   [`core::ResiduePartitioner`], [`anatomy::anatomize`] (QIT/ST CSV
+//!   writers), [`multidim::mondrian_partition`] +
+//!   [`multidim::BoxTable`], [`hilbert::hilbert_partition`],
+//!   [`tds::tds_anonymize`] (taxonomy/score knobs), and the §5.6
+//!   workflows in [`pipeline`].
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`api`] | `ldiv-api` | the unified contract: trait, publication, registry, errors |
 //! | [`microdata`] | `ldiv-microdata` | tables, partitions, suppression generalization, l-eligibility |
 //! | [`core`] | `ldiv-core` | the three-phase TP algorithm, TP+ hybrid hook, certificates |
 //! | [`hilbert`] | `ldiv-hilbert` | Hilbert curve + the Hilbert suppression baseline |
@@ -13,30 +63,23 @@
 //! | [`matching`] | `ldiv-matching` | Hungarian matching; optimal `m = 2` solver |
 //! | [`hardness`] | `ldiv-hardness` | 3DM reduction, exhaustive reference solvers |
 //! | [`datagen`] | `ldiv-datagen` | synthetic ACS-like SAL/OCC datasets |
-//! | [`metrics`] | `ldiv-metrics` | star accounting and the Eq. (2) KL-divergence |
+//! | [`metrics`] | `ldiv-metrics` | star accounting and Eq. (2) KL, uniform over any [`Publication`] |
 //! | [`pipeline`] | `ldiv-pipeline` | §5.6 preprocessing workflows and the utility sweep |
 //! | [`multidim`] | `ldiv-multidim` | Mondrian and the §6.2 star→sub-domain transformation |
 //! | [`anatomy`] | `ldiv-anatomy` | Anatomy (QI/SA table separation), the §2 alternative methodology |
-//!
-//! # Quickstart
-//!
-//! ```
-//! use ldiversity::core::{anonymize, SingleGroupResidue};
-//! use ldiversity::hilbert::HilbertResidue;
-//! use ldiversity::microdata::samples;
-//!
-//! let table = samples::hospital(); // the paper's Table 1
-//!
-//! // Plain TP: the residue set is published as one suppressed group.
-//! let tp = anonymize(&table, 2, &SingleGroupResidue).unwrap();
-//! // TP+: the residue is re-partitioned along a Hilbert curve (§5.6).
-//! let tp_plus = anonymize(&table, 2, &HilbertResidue).unwrap();
-//!
-//! assert!(tp_plus.star_count() <= tp.star_count());
-//! assert!(tp_plus.published.is_l_diverse(&table, 2));
-//! ```
 
 #![warn(missing_docs)]
+
+mod anonymizer;
+
+pub use anonymizer::{standard_registry, Anonymized, Anonymizer};
+
+/// The unified anonymization contract (re-export of `ldiv-api`).
+pub use ldiv_api as api;
+
+pub use ldiv_api::{
+    AttrRange, LdivError, Mechanism, MechanismRegistry, Params, Payload, Publication, Recoding,
+};
 
 /// Microdata model: tables, schemas, partitions, generalization.
 pub use ldiv_microdata as microdata;
@@ -59,10 +102,12 @@ pub use ldiv_hardness as hardness;
 /// Synthetic ACS-like dataset generation (SAL / OCC families).
 pub use ldiv_datagen as datagen;
 
-/// Information-loss metrics (stars, KL-divergence of Eq. 2).
+/// Information-loss metrics (stars, KL-divergence of Eq. 2), uniform
+/// over any mechanism's publication.
 pub use ldiv_metrics as metrics;
 
-/// §5.6 workflows: preprocessing before TP and the utility sweep.
+/// §5.6 workflows: preprocessing before any mechanism and the utility
+/// sweep.
 pub use ldiv_pipeline as pipeline;
 
 /// Multi-dimensional generalization: Mondrian and the §6.2 transformation.

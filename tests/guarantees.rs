@@ -10,12 +10,7 @@ use ldiversity::microdata::{Attribute, Schema, Table, TableBuilder, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn random_table(
-    rng: &mut SmallRng,
-    n: usize,
-    qi_domains: &[u32],
-    sa_domain: u32,
-) -> Table {
+fn random_table(rng: &mut SmallRng, n: usize, qi_domains: &[u32], sa_domain: u32) -> Table {
     let schema = Schema::new(
         qi_domains
             .iter()
@@ -31,7 +26,8 @@ fn random_table(
         for (v, &dom) in qi.iter_mut().zip(qi_domains) {
             *v = rng.gen_range(0..dom) as Value;
         }
-        b.push_row(&qi, rng.gen_range(0..sa_domain) as Value).unwrap();
+        b.push_row(&qi, rng.gen_range(0..sa_domain) as Value)
+            .unwrap();
     }
     b.build()
 }
@@ -55,7 +51,11 @@ fn tuple_minimization_guarantees_hold_on_random_tables() {
         match out.stats.termination_phase {
             Phase::One => {
                 phase_counts[0] += 1;
-                assert_eq!(out.residue.len(), opt, "trial {trial}: phase 1 must be optimal");
+                assert_eq!(
+                    out.residue.len(),
+                    opt,
+                    "trial {trial}: phase 1 must be optimal"
+                );
             }
             Phase::Two => {
                 phase_counts[1] += 1;
@@ -78,7 +78,10 @@ fn tuple_minimization_guarantees_hold_on_random_tables() {
     }
     assert!(checked > 100, "too few feasible trials ({checked})");
     // The sweep must exercise at least phases one and two.
-    assert!(phase_counts[0] > 0 && phase_counts[1] > 0, "{phase_counts:?}");
+    assert!(
+        phase_counts[0] > 0 && phase_counts[1] > 0,
+        "{phase_counts:?}"
+    );
 }
 
 /// Lemma 2: TP's star count is within `l · d` of the optimal star count

@@ -3,17 +3,69 @@
 //! workloads — the §2/§6.2 comparisons.
 
 use ldiversity::anatomy::{anatomize, kl_divergence_anatomy};
-use ldiversity::core::{anonymize, SingleGroupResidue};
+use ldiversity::core::anonymize;
 use ldiversity::datagen::{sal, AcsConfig};
-use ldiversity::hilbert::{hilbert_anonymize, HilbertResidue};
+use ldiversity::hilbert::HilbertResidue;
 use ldiversity::metrics::kl_divergence_suppressed;
 use ldiversity::microdata::principles;
-use ldiversity::multidim::{mondrian_anonymize, BoxTable};
+use ldiversity::multidim::BoxTable;
+use ldiversity::{standard_registry, Anonymizer, Params};
 
 fn workload() -> ldiversity::microdata::Table {
-    sal(&AcsConfig { rows: 5_000, seed: 77 })
-        .project(&[0, 1, 3, 5])
-        .unwrap()
+    sal(&AcsConfig {
+        rows: 5_000,
+        seed: 77,
+    })
+    .project(&[0, 1, 3, 5])
+    .unwrap()
+}
+
+/// The cross-mechanism contract: every mechanism in the standard registry
+/// produces a valid l-diverse `Publication` — on the paper's own Table 1
+/// and on a seeded synthetic SAL workload — and the uniform metrics
+/// accept every payload.
+#[test]
+fn every_registered_mechanism_is_l_diverse_on_shared_workloads() {
+    let registry = standard_registry();
+    assert_eq!(registry.len(), 6, "expected all six mechanism names");
+    let hospital = ldiversity::microdata::samples::hospital();
+    let synthetic = sal(&AcsConfig {
+        rows: 1_500,
+        seed: 99,
+    })
+    .project(&[0, 1, 5])
+    .unwrap();
+    for (table, l, tag) in [(&hospital, 2u32, "hospital"), (&synthetic, 3, "sal")] {
+        for mechanism in registry.iter() {
+            let name = mechanism.name();
+            let publication = mechanism
+                .anonymize(table, &Params::new(l))
+                .unwrap_or_else(|e| panic!("{tag}/{name}: {e}"));
+            publication
+                .validate(table, l)
+                .unwrap_or_else(|e| panic!("{tag}/{name}: {e}"));
+            assert!(
+                publication.is_l_diverse(table, l),
+                "{tag}/{name} not {l}-diverse"
+            );
+            assert_eq!(publication.mechanism(), name, "{tag}/{name}");
+            let kl = ldiversity::metrics::kl_divergence(table, &publication);
+            assert!(kl.is_finite() && kl >= -1e-9, "{tag}/{name}: kl = {kl}");
+        }
+    }
+}
+
+/// Registry round-trip: every advertised name resolves to a mechanism
+/// that reports exactly that name, and lookup is case-insensitive.
+#[test]
+fn registry_name_round_trip() {
+    let registry = standard_registry();
+    for name in registry.names() {
+        let mechanism = registry.get(name).expect("advertised name resolves");
+        assert_eq!(mechanism.name(), name);
+        assert!(registry.get(&name.to_uppercase()).is_some(), "{name}");
+    }
+    assert!(registry.get("no-such-mechanism").is_none());
 }
 
 /// §6.2's dominance claim, on every suppression algorithm's real output:
@@ -21,12 +73,21 @@ fn workload() -> ldiversity::microdata::Table {
 #[test]
 fn box_transformation_dominates_suppression_everywhere() {
     let t = workload();
+    let registry = standard_registry();
     for l in [2u32, 5] {
-        let outputs = vec![
-            ("TP", anonymize(&t, l, &SingleGroupResidue).unwrap().published),
-            ("TP+", anonymize(&t, l, &HilbertResidue).unwrap().published),
-            ("Hilbert", hilbert_anonymize(&t, l).1),
-        ];
+        let outputs: Vec<(&str, _)> = ["tp", "tp+", "hilbert"]
+            .into_iter()
+            .map(|name| {
+                let publication = registry.run(name, &t, &Params::new(l)).unwrap();
+                (
+                    name,
+                    publication
+                        .as_suppressed()
+                        .expect("suppression mechanism")
+                        .clone(),
+                )
+            })
+            .collect();
         for (name, published) in outputs {
             let kl_star = kl_divergence_suppressed(&t, &published);
             let boxed = BoxTable::from_suppressed(&t, &published);
@@ -47,15 +108,20 @@ fn box_transformation_dominates_suppression_everywhere() {
 fn mondrian_leads_the_generalization_methodologies() {
     let t = workload();
     let l = 2;
-    let (p, boxed, _) = mondrian_anonymize(&t, l);
-    p.validate_cover(&t).unwrap();
-    assert!(p.is_l_diverse(&t, l));
-    let kl_mondrian = boxed.kl_divergence(&t);
-    let tp_plus = anonymize(&t, l, &HilbertResidue).unwrap();
-    let kl_tp_plus = kl_divergence_suppressed(&t, &tp_plus.published);
+    // Both methodologies through the one front door, compared with the
+    // uniform KL accounting.
+    let mondrian = Anonymizer::new()
+        .l(l)
+        .mechanism("mondrian")
+        .run(&t)
+        .unwrap();
+    mondrian.publication.validate(&t, l).unwrap();
+    let tp_plus = Anonymizer::new().l(l).mechanism("tp+").run(&t).unwrap();
     assert!(
-        kl_mondrian < kl_tp_plus,
-        "mondrian {kl_mondrian:.4} vs TP+ {kl_tp_plus:.4}"
+        mondrian.kl < tp_plus.kl,
+        "mondrian {:.4} vs TP+ {:.4}",
+        mondrian.kl,
+        tp_plus.kl
     );
 }
 
@@ -89,9 +155,12 @@ fn anatomy_trades_linkage_for_utility() {
 fn preprocessing_optimum_is_interior_on_diverse_qi() {
     use ldiversity::pipeline::{preprocessing_sweep, SweepConfig};
     // Age × Birth Place: the §5.6 worst case.
-    let t = sal(&AcsConfig { rows: 2_000, seed: 78 })
-        .project(&[0, 4])
-        .unwrap();
+    let t = sal(&AcsConfig {
+        rows: 2_000,
+        seed: 78,
+    })
+    .project(&[0, 4])
+    .unwrap();
     let points = preprocessing_sweep(
         &t,
         &SweepConfig {
@@ -126,13 +195,14 @@ fn preprocessing_optimum_is_interior_on_diverse_qi() {
 fn principle_audits_are_consistent_across_methodologies() {
     let t = workload();
     let l = 3;
-    let tp = anonymize(&t, l, &SingleGroupResidue).unwrap();
-    let (mondrian_p, _, _) = mondrian_anonymize(&t, l);
-    let anatomy = anatomize(&t, l).unwrap();
+    let registry = standard_registry();
+    let tp = registry.run("tp", &t, &Params::new(l)).unwrap();
+    let mondrian = registry.run("mondrian", &t, &Params::new(l)).unwrap();
+    let anatomy = registry.run("anatomy", &t, &Params::new(l)).unwrap();
 
     for (name, partition) in [
-        ("tp", &tp.partition),
-        ("mondrian", &mondrian_p),
+        ("tp", tp.partition()),
+        ("mondrian", mondrian.partition()),
         ("anatomy", anatomy.partition()),
     ] {
         let audit = principles::satisfied_principles(&t, partition);

@@ -3,22 +3,29 @@
 
 use ldiversity::core::{anonymize, Phase, SingleGroupResidue};
 use ldiversity::datagen::{occ, sal, AcsConfig};
-use ldiversity::hilbert::{hilbert_anonymize, HilbertResidue};
+use ldiversity::hilbert::HilbertResidue;
 use ldiversity::metrics::{kl_divergence_recoded, kl_divergence_suppressed};
 use ldiversity::tds::{tds_anonymize, TdsConfig};
+use ldiversity::{standard_registry, Params};
 
 const ROWS: usize = 6_000;
 
 fn sal4() -> ldiversity::microdata::Table {
-    sal(&AcsConfig { rows: ROWS, seed: 1 })
-        .project(&[0, 1, 3, 5])
-        .unwrap()
+    sal(&AcsConfig {
+        rows: ROWS,
+        seed: 1,
+    })
+    .project(&[0, 1, 3, 5])
+    .unwrap()
 }
 
 fn occ4() -> ldiversity::microdata::Table {
-    occ(&AcsConfig { rows: ROWS, seed: 1 })
-        .project(&[0, 1, 3, 5])
-        .unwrap()
+    occ(&AcsConfig {
+        rows: ROWS,
+        seed: 1,
+    })
+    .project(&[0, 1, 3, 5])
+    .unwrap()
 }
 
 /// §6.1 headline: TP terminates before phase three on the ACS-like
@@ -58,15 +65,16 @@ fn stars_grow_with_l_and_tp_plus_dominates() {
 /// moderate-dimensional workloads the paper highlights.
 #[test]
 fn tp_plus_beats_hilbert_at_d_4() {
+    let registry = standard_registry();
     for table in [sal4(), occ4()] {
         for l in [4u32, 6] {
-            let (_, hilbert_pub) = hilbert_anonymize(&table, l);
-            let tp_plus = anonymize(&table, l, &HilbertResidue).unwrap();
+            let hilbert = registry.run("hilbert", &table, &Params::new(l)).unwrap();
+            let tp_plus = registry.run("tp+", &table, &Params::new(l)).unwrap();
             assert!(
-                tp_plus.star_count() <= hilbert_pub.star_count(),
+                tp_plus.star_count() <= hilbert.star_count(),
                 "l = {l}: TP+ = {} vs Hilbert = {}",
                 tp_plus.star_count(),
-                hilbert_pub.star_count()
+                hilbert.star_count()
             );
         }
     }
@@ -76,7 +84,10 @@ fn tp_plus_beats_hilbert_at_d_4() {
 /// `d` grows because the share of distinct QI vectors grows.
 #[test]
 fn tp_degrades_with_dimensionality() {
-    let base = sal(&AcsConfig { rows: ROWS, seed: 1 });
+    let base = sal(&AcsConfig {
+        rows: ROWS,
+        seed: 1,
+    });
     let low_d = base.project(&[1, 3]).unwrap(); // Gender × Marital: tiny QI space
     let high_d = base; // all seven QIs: mostly distinct vectors
     let l = 6;
@@ -105,12 +116,22 @@ fn tp_degrades_with_dimensionality() {
 /// once n reaches the paper's density.
 #[test]
 fn tp_plus_beats_tds_on_kl() {
-    let table = sal(&AcsConfig { rows: ROWS, seed: 1 })
-        .project(&[1, 2, 3, 6])
-        .unwrap();
+    let table = sal(&AcsConfig {
+        rows: ROWS,
+        seed: 1,
+    })
+    .project(&[1, 2, 3, 6])
+    .unwrap();
     let mut last_tds = -1.0f64;
     for l in [2u32, 6, 10] {
-        let tds = tds_anonymize(&table, &TdsConfig { l, ..Default::default() }).unwrap();
+        let tds = tds_anonymize(
+            &table,
+            &TdsConfig {
+                l,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let kl_tds = kl_divergence_recoded(&table, &tds.recoding);
         let tp_plus = anonymize(&table, l, &HilbertResidue).unwrap();
         let kl_tp_plus = kl_divergence_suppressed(&table, &tp_plus.published);

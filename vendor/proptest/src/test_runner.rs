@@ -1,0 +1,56 @@
+//! Test execution support: configuration, case errors and the
+//! deterministic RNG behind every strategy.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of accepted cases each test must run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps offline CI latency low while
+        // still exercising the properties broadly.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a test case did not count as a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+}
+
+/// The deterministic RNG strategies sample from.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Seeds the generator from a test's fully qualified name, so each
+    /// test sees a stable stream across runs and machines.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(hash))
+    }
+
+    /// The next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
