@@ -30,6 +30,20 @@ impl Params {
         self
     }
 
+    /// The canonical, order-stable text form of the parameter bag —
+    /// `l=4;fanout=2` — used as a cache-key component and in wire
+    /// responses.
+    ///
+    /// Every field participates, fields appear in declaration order, and
+    /// defaults are spelled out rather than omitted, so two `Params`
+    /// values canonicalize equally iff they are equal. New fields must be
+    /// appended here when they are added to the struct (the exhaustive
+    /// destructuring below makes forgetting a compile error).
+    pub fn canonical(&self) -> String {
+        let Params { l, fanout } = *self;
+        format!("l={l};fanout={fanout}")
+    }
+
     /// Checks that the parameters are internally valid and feasible for a
     /// table: `l ≥ 1`, `fanout ≥ 2`, and the table is l-eligible.
     pub fn validate_for(&self, table: &Table) -> Result<(), LdivError> {
@@ -57,6 +71,17 @@ impl Default for Params {
 mod tests {
     use super::*;
     use ldiv_microdata::samples;
+
+    #[test]
+    fn canonical_form_is_total_and_injective_on_fields() {
+        assert_eq!(Params::new(4).canonical(), "l=4;fanout=2");
+        assert_eq!(Params::new(4).with_fanout(3).canonical(), "l=4;fanout=3");
+        assert_ne!(Params::new(4).canonical(), Params::new(5).canonical());
+        assert_ne!(
+            Params::new(4).canonical(),
+            Params::new(4).with_fanout(4).canonical()
+        );
+    }
 
     #[test]
     fn validation_catches_bad_l_and_fanout() {

@@ -1,0 +1,35 @@
+//! Requests/sec through the anonymization service, cached vs uncached.
+//!
+//! Usage: `cargo run --release -p ldiv-bench --bin server_throughput --
+//! [--rows N] [--requests N] [--l L] [--algo MECHANISM]`
+
+use ldiv_bench::service::{measure_service, render_report, ServiceBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServiceBenchConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next();
+        let parsed = match (flag.as_str(), value) {
+            ("--rows", Some(v)) => v.parse().map(|n| cfg.rows = n).is_ok(),
+            ("--requests", Some(v)) => v.parse().map(|n| cfg.requests = n).is_ok(),
+            ("--l", Some(v)) => v.parse().map(|n| cfg.l = n).is_ok(),
+            ("--algo", Some(v)) => {
+                // The config holds a &'static str; leak the one-off choice.
+                cfg.mechanism = Box::leak(v.clone().into_boxed_str());
+                true
+            }
+            ("--seed", Some(v)) => v.parse().map(|n| cfg.seed = n).is_ok(),
+            _ => false,
+        };
+        if !parsed {
+            eprintln!(
+                "usage: server_throughput [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--seed S]"
+            );
+            std::process::exit(2);
+        }
+    }
+    let throughput = measure_service(&cfg);
+    print!("{}", render_report(&cfg, &throughput));
+}

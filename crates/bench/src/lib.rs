@@ -19,6 +19,7 @@ pub mod config;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod service;
 
 pub use config::HarnessConfig;
 pub use report::Report;

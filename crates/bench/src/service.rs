@@ -1,0 +1,212 @@
+//! Throughput measurement for the `ldiv-server` service: requests/sec
+//! over real sockets, cached vs. uncached.
+//!
+//! Two servers are measured over the same dataset and mechanism: one with
+//! the publication cache disabled (`cache_capacity = 0`, so every request
+//! recomputes the anonymization) and one with the cache enabled and
+//! pre-warmed (so every timed request is a hit). The gap between the two
+//! numbers is exactly what the cache buys on a repeat-heavy workload; the
+//! hit/miss counters from `GET /stats` are carried along so callers can
+//! assert the cached run really was served from the cache.
+
+use ldiv_datagen::{sal, AcsConfig};
+use ldiv_microdata::write_table_csv;
+use ldiv_server::{Server, ServerConfig};
+use ldiversity::standard_registry;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// One measured service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathThroughput {
+    /// Timed requests issued.
+    pub requests: usize,
+    /// Wall-clock seconds for all of them.
+    pub seconds: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// Cache hits recorded by the server during the timed window.
+    pub hits: u64,
+    /// Cache misses recorded by the server during the timed window.
+    pub misses: u64,
+}
+
+/// The cached-vs-uncached comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceThroughput {
+    /// Every request recomputes (cache disabled).
+    pub uncached: PathThroughput,
+    /// Every request is a cache hit (cache enabled, pre-warmed).
+    pub cached: PathThroughput,
+}
+
+impl ServiceThroughput {
+    /// The speedup factor the cache delivers.
+    pub fn speedup(&self) -> f64 {
+        self.cached.rps / self.uncached.rps
+    }
+}
+
+/// Settings for [`measure_service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceBenchConfig {
+    /// Rows in the generated SAL-style dataset.
+    pub rows: usize,
+    /// Timed requests per path.
+    pub requests: usize,
+    /// Diversity parameter.
+    pub l: u32,
+    /// Mechanism to drive (`"hilbert"` by default: representative cost,
+    /// deterministic).
+    pub mechanism: &'static str,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ServiceBenchConfig {
+    fn default() -> Self {
+        ServiceBenchConfig {
+            rows: 5_000,
+            requests: 40,
+            l: 4,
+            mechanism: "hilbert",
+            seed: 0xEDB7,
+        }
+    }
+}
+
+/// One blocking HTTP request against the server; returns the raw response
+/// text (status line + headers + body).
+pub fn http_request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write request");
+    stream.write_all(body).expect("write body");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn cache_counters(addr: SocketAddr) -> (u64, u64) {
+    let stats = http_request(addr, "GET", "/stats", b"");
+    // The wire format is machine-generated and field-ordered; a targeted
+    // scan keeps the bench free of a JSON parser.
+    let extract = |key: &str| -> u64 {
+        stats
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or(0)
+    };
+    (extract("hits"), extract("misses"))
+}
+
+fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) -> PathThroughput {
+    let (hits0, misses0) = cache_counters(addr);
+    let start = Instant::now();
+    for _ in 0..requests {
+        let response = http_request(addr, "POST", target, body);
+        assert!(
+            response.starts_with("HTTP/1.1 200"),
+            "bench request failed: {response}"
+        );
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let (hits1, misses1) = cache_counters(addr);
+    PathThroughput {
+        requests,
+        seconds,
+        rps: requests as f64 / seconds.max(f64::EPSILON),
+        hits: hits1 - hits0,
+        misses: misses1 - misses0,
+    }
+}
+
+/// Measures requests/sec through `POST /anonymize` for the cached and the
+/// uncached path.
+pub fn measure_service(cfg: &ServiceBenchConfig) -> ServiceThroughput {
+    let table = sal(&AcsConfig {
+        rows: cfg.rows,
+        seed: cfg.seed,
+    });
+    let mut csv = Vec::new();
+    write_table_csv(&mut csv, &table).expect("render dataset CSV");
+    let target = format!("/anonymize?algo={}&l={}", cfg.mechanism, cfg.l);
+
+    let server_config = |cache_capacity| ServerConfig {
+        workers: 2,
+        queue_depth: 64,
+        cache_capacity,
+        ..ServerConfig::default()
+    };
+
+    let uncached_server = Server::bind("127.0.0.1:0", standard_registry(), server_config(0))
+        .expect("bind uncached server");
+    let uncached = timed_requests(uncached_server.addr(), &target, &csv, cfg.requests);
+    uncached_server.shutdown();
+
+    let cached_server = Server::bind("127.0.0.1:0", standard_registry(), server_config(256))
+        .expect("bind cached server");
+    // Warm the single cache line, then time pure hits.
+    let warm = http_request(cached_server.addr(), "POST", &target, &csv);
+    assert!(warm.starts_with("HTTP/1.1 200"), "warm-up failed: {warm}");
+    let cached = timed_requests(cached_server.addr(), &target, &csv, cfg.requests);
+    cached_server.shutdown();
+
+    ServiceThroughput { uncached, cached }
+}
+
+/// The aligned text report the `server_throughput` binary prints.
+pub fn render_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> String {
+    let mut out = format!(
+        "server throughput — {} rows, mechanism {}, l = {}, {} requests per path\n\n",
+        cfg.rows, cfg.mechanism, cfg.l, cfg.requests
+    );
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>10} {:>8} {:>8}\n",
+        "path", "req/s", "seconds", "hits", "misses"
+    ));
+    for (name, p) in [("uncached", &t.uncached), ("cached", &t.cached)] {
+        out.push_str(&format!(
+            "{:>10} {:>12.1} {:>10.3} {:>8} {:>8}\n",
+            name, p.rps, p.seconds, p.hits, p.misses
+        ));
+    }
+    out.push_str(&format!("\ncache speedup: {:.1}×\n", t.speedup()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_path_is_served_from_the_cache() {
+        let cfg = ServiceBenchConfig {
+            rows: 400,
+            requests: 6,
+            l: 3,
+            ..Default::default()
+        };
+        let t = measure_service(&cfg);
+        // Uncached server has capacity 0: every request misses.
+        assert_eq!(t.uncached.hits, 0);
+        assert_eq!(t.uncached.misses as usize, cfg.requests);
+        // Cached server was warmed: every timed request hits.
+        assert_eq!(t.cached.hits as usize, cfg.requests);
+        assert_eq!(t.cached.misses, 0);
+        assert!(t.uncached.rps > 0.0 && t.cached.rps > 0.0);
+        let report = render_report(&cfg, &t);
+        assert!(report.contains("cache speedup"), "{report}");
+    }
+}

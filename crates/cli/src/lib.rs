@@ -10,7 +10,14 @@
 //!   write its suppression rendering as CSV;
 //! * `anatomize` — anatomy's native two-table output (QIT + ST CSVs);
 //! * `compare` — run every registered mechanism on one dataset;
-//! * `sweep` — the §5.6 preprocessing trade-off table.
+//! * `sweep` — the §5.6 preprocessing trade-off table;
+//! * `serve` — the `ldiv-server` anonymization service over the standard
+//!   registry (worker pool, publication cache, JSON wire format).
+//!
+//! `stats`, `anonymize` and `compare` accept `--format json`, emitting
+//! the same wire shapes (`ldiv_server::wire`) the server responds with,
+//! so scripted consumers can switch between the CLI and the service
+//! without reparsing.
 //!
 //! Contract: `--input -` reads the dataset from stdin; success exits 0,
 //! user/runtime errors exit 1, usage mistakes exit 2 (see
@@ -24,6 +31,8 @@ use ldiv_api::{LdivError, Params};
 use ldiv_datagen::{occ, sal, AcsConfig};
 use ldiv_metrics::{kl_divergence, PublicationSummary};
 use ldiv_microdata::{read_csv, write_generalized_csv, write_table_csv, SuppressedTable, Table};
+use ldiv_server::wire::{self, Json};
+use ldiv_server::{Server, ServerConfig};
 use ldiversity::standard_registry;
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -87,6 +96,32 @@ impl Options {
             .parse()
             .map_err(|e| usage_err(format!("--l: {e}")))
     }
+
+    /// The `--format` flag: `text` (default) or `json`.
+    fn format(&self) -> Result<Format, LdivError> {
+        match self.get("format") {
+            None => Ok(Format::Text),
+            Some("text") => Ok(Format::Text),
+            Some("json") => Ok(Format::Json),
+            Some(other) => Err(usage_err(format!(
+                "--format must be text or json, got '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Output format of the reporting subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Renders a wire object as the command's output (one line of JSON).
+fn json_line(value: Json) -> String {
+    let mut out = value.render();
+    out.push('\n');
+    out
 }
 
 /// Usage text.
@@ -95,16 +130,21 @@ ldiv — l-diverse anonymization toolkit
 
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
-  ldiv stats     --input FILE [--l L]
-  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F]
+  ldiv stats     --input FILE [--l L] [--format text|json]
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--format text|json]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
-  ldiv compare   --input FILE --l L
+  ldiv compare   --input FILE --l L [--format text|json]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
+  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--dataset-root DIR]
 
 MECHANISM is any registered publication method:
   tp | tp+ | hilbert | tds | mondrian | anatomy
 
-`--input -` reads the dataset CSV from standard input.
+`--input -` reads the dataset CSV from standard input. `--format json`
+emits the server wire format (see `ldiv_server::wire`).
+`serve` binds 127.0.0.1:7411 by default; `--addr 127.0.0.1:0` picks an
+ephemeral port (printed on stdout). POST /anonymize, POST /sweep,
+GET /mechanisms, /healthz, /stats.
 Exit codes: 0 success, 1 user/runtime error, 2 usage error.
 ";
 
@@ -117,6 +157,7 @@ pub fn run(opts: &Options) -> Result<String, LdivError> {
         "anatomize" => cmd_anatomize(opts),
         "compare" => cmd_compare(opts),
         "sweep" => cmd_sweep(opts),
+        "serve" => cmd_serve(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
@@ -175,6 +216,18 @@ fn cmd_generate(opts: &Options) -> Result<String, LdivError> {
 fn cmd_stats(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
     let table = load_table(input)?;
+    let queried_l: Option<u32> = match opts.get("l") {
+        None => None,
+        Some(l) => Some(l.parse().map_err(|e| usage_err(format!("--l: {e}")))?),
+    };
+    if opts.format()? == Format::Json {
+        let mut json = wire::table_stats_json(&table);
+        if let Some(l) = queried_l {
+            json.set("queried_l", l);
+            json.set("l_feasible", table.check_l_feasible(l).is_ok());
+        }
+        return Ok(json_line(json));
+    }
     let mut out = String::new();
     out.push_str(&format!("rows (n):            {}\n", table.len()));
     out.push_str(&format!(
@@ -193,8 +246,7 @@ fn cmd_stats(opts: &Options) -> Result<String, LdivError> {
         "max feasible l:      {}\n",
         table.max_feasible_l()
     ));
-    if let Some(l) = opts.get("l") {
-        let l: u32 = l.parse().map_err(|e| usage_err(format!("--l: {e}")))?;
+    if let Some(l) = queried_l {
         let feasible = table.check_l_feasible(l).is_ok();
         out.push_str(&format!("{l}-diverse feasible:  {feasible}\n"));
     }
@@ -231,6 +283,10 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
              (drop --depth to write a CSV)",
         ));
     }
+    // Flag validation happens before the (expensive) run and before any
+    // output file is created, so a usage mistake cannot leave side
+    // effects behind.
+    let format = opts.format()?;
     let table = load_table(input)?;
 
     let registry = standard_registry();
@@ -245,6 +301,21 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
             .mechanism(algo)
             .preprocess_depth(depth)
             .run(&table)?;
+        if format == Format::Json {
+            return Ok(json_line(
+                Json::obj()
+                    .field("mechanism", run.publication.mechanism())
+                    .field("params", wire::params_json(&params))
+                    .field("preprocess_depth", depth)
+                    .field(
+                        "dataset_fingerprint",
+                        wire::fingerprint_hex(table.fingerprint()),
+                    )
+                    .field("stars", run.star_count())
+                    .field("groups", run.publication.group_count())
+                    .field("kl_divergence", run.kl),
+            ));
+        }
         return Ok(format!(
             "preprocessed at depth {depth}: stars {}, KL vs original {:.4}\n\
              (publication describes the coarsened table; re-run without --depth for CSV output)\n",
@@ -261,6 +332,14 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let mut f = create_file(output)?;
     write_generalized_csv(&mut f, &table, &published).map_err(io_err(output))?;
     f.flush().map_err(io_err(output))?;
+
+    // The JSON form is the server's wire shape (native payload
+    // accounting) plus where the CSV went.
+    if format == Format::Json {
+        return Ok(json_line(
+            wire::publication_json(&table, &publication, &params, kl).field("output", output),
+        ));
+    }
 
     // Summarize the table actually written, so stars/suppressed match the
     // CSV the user just received even when the mechanism's native payload
@@ -324,6 +403,30 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
 
     let registry = standard_registry();
     let params = Params::new(l);
+    if opts.format()? == Format::Json {
+        // The same shape as the server's POST /sweep: one summary or
+        // error entry per registered mechanism, in registry order.
+        let results: Vec<Json> = registry
+            .names()
+            .iter()
+            .map(|name| match registry.run(name, &table, &params) {
+                Ok(publication) => {
+                    let kl = kl_divergence(&table, &publication);
+                    wire::publication_json(&table, &publication, &params, kl)
+                }
+                Err(e) => wire::error_json(&e).field("mechanism", *name),
+            })
+            .collect();
+        return Ok(json_line(
+            Json::obj()
+                .field("params", wire::params_json(&params))
+                .field(
+                    "dataset_fingerprint",
+                    wire::fingerprint_hex(table.fingerprint()),
+                )
+                .field("results", Json::Arr(results)),
+        ));
+    }
     let mut out = format!(
         "{:>9} {:>12} {:>12} {:>10} {:>10}\n",
         "algorithm", "stars", "suppressed", "groups", "KL"
@@ -379,6 +482,49 @@ fn cmd_sweep(opts: &Options) -> Result<String, LdivError> {
         best.depth, best.kl
     ));
     Ok(out)
+}
+
+/// Binds the anonymization service per the `serve` flags and returns it
+/// together with the banner line. Split from [`run`] so tests (and
+/// embedders) can start a server on an ephemeral port without blocking.
+pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7411");
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        workers: opts.parse_num("workers", defaults.workers)?,
+        queue_depth: opts.parse_num("queue", defaults.queue_depth)?,
+        cache_capacity: opts.parse_num("cache", defaults.cache_capacity)?,
+        dataset_root: opts.get("dataset-root").map(std::path::PathBuf::from),
+    };
+    let server = Server::bind(addr, standard_registry(), config)
+        .map_err(|e| LdivError::Io(format!("{addr}: {e}")))?;
+    // Report the *normalized* configuration the service actually runs
+    // with (worker/queue floors applied), matching GET /stats.
+    let running = server.state().config();
+    let banner = format!(
+        "listening on http://{} ({} workers, queue {}, cache {})\n",
+        server.addr(),
+        running.workers,
+        running.queue_depth,
+        running.cache_capacity
+    );
+    Ok((server, banner))
+}
+
+/// `serve`: run the service until the process is killed.
+///
+/// The banner (with the actual bound port — important under `--addr
+/// 127.0.0.1:0`) is printed and flushed *before* blocking, so callers
+/// scripting the CLI can scrape the port.
+fn cmd_serve(opts: &Options) -> Result<String, LdivError> {
+    let (_server, banner) = start_server(opts)?;
+    print!("{banner}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| LdivError::Io(format!("stdout: {e}")))?;
+    loop {
+        std::thread::park();
+    }
 }
 
 #[cfg(test)]
@@ -606,6 +752,109 @@ mod tests {
         .unwrap();
         assert!(out.contains("best utility"), "{out}");
         assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_format_emits_wire_shapes() {
+        let data = tmp("json_fmt.csv");
+        run(&opts(&[
+            "generate", "--kind", "sal", "--rows", "500", "--seed", "11", "--output", &data,
+        ]))
+        .unwrap();
+
+        let stats = run(&opts(&[
+            "stats", "--input", &data, "--l", "3", "--format", "json",
+        ]))
+        .unwrap();
+        assert!(stats.starts_with("{\"rows\":500,"), "{stats}");
+        assert!(stats.contains("\"l_feasible\":true"), "{stats}");
+        assert!(stats.contains("\"dataset_fingerprint\":\""), "{stats}");
+        assert!(stats.ends_with("}\n"), "{stats}");
+
+        let outfile = tmp("json_fmt_anon.csv");
+        let anon = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp",
+            "--output",
+            &outfile,
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(anon.contains("\"mechanism\":\"tp\""), "{anon}");
+        assert!(anon.contains("\"params\":{\"l\":3,"), "{anon}");
+        assert!(anon.contains("\"kl_divergence\":"), "{anon}");
+        assert!(
+            anon.contains(&format!(
+                "\"output\":{}",
+                Json::from(outfile.as_str()).render()
+            )),
+            "{anon}"
+        );
+
+        let depth = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp+",
+            "--depth",
+            "2",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(depth.contains("\"preprocess_depth\":2"), "{depth}");
+
+        let compare = run(&opts(&[
+            "compare", "--input", &data, "--l", "3", "--format", "json",
+        ]))
+        .unwrap();
+        for name in ["anatomy", "hilbert", "mondrian", "tds", "tp", "tp+"] {
+            assert!(
+                compare.contains(&format!("\"mechanism\":\"{name}\"")),
+                "missing {name}: {compare}"
+            );
+        }
+
+        let err = run(&opts(&["stats", "--input", &data, "--format", "yaml"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn start_server_binds_ephemeral_port_and_answers_health() {
+        use std::io::{Read as _, Write as _};
+        let (server, banner) = start_server(&opts(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache",
+            "8",
+        ]))
+        .unwrap();
+        let addr = server.addr();
+        assert!(
+            banner.contains(&format!("http://{addr}")),
+            "banner must carry the real port: {banner}"
+        );
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"status\":\"ok\""), "{response}");
+        server.shutdown();
     }
 
     #[test]

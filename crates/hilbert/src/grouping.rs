@@ -53,8 +53,8 @@ impl OpenGroup {
 ///
 /// Returns groups covering exactly `rows`. The caller is responsible for
 /// the feasibility precondition (the row multiset must be l-eligible);
-/// when it is violated the final groups may fail eligibility, which
-/// [`hilbert_anonymize`] and the TP+ driver both check.
+/// when it is violated the final groups may fail eligibility, which the
+/// `"hilbert"` mechanism and the TP+ driver both check.
 pub fn hilbert_partition(table: &Table, rows: &[RowId], l: u32) -> Partition {
     assert!(l >= 1, "l must be positive");
     if rows.is_empty() {
@@ -206,23 +206,6 @@ pub(crate) fn hilbert_publish(table: &Table, l: u32) -> (Partition, SuppressedTa
     }
     let published = table.generalize(&partition);
     (partition, published)
-}
-
-/// The full-table Hilbert suppression baseline: partitions every row and
-/// publishes per Definition 1.
-///
-/// Returns the partition and the published table. The partition is
-/// guaranteed l-diverse whenever the table itself is l-eligible; this is
-/// checked and a single-group fallback applied otherwise-infeasible inputs
-/// would violate it.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct the mechanism by name instead: \
-            `MechanismRegistry::run(\"hilbert\", ...)` or `HilbertMechanism` \
-            (returns a unified `Publication`)"
-)]
-pub fn hilbert_anonymize(table: &Table, l: u32) -> (Partition, SuppressedTable) {
-    hilbert_publish(table, l)
 }
 
 /// [`ResiduePartitioner`] adapter: running

@@ -13,9 +13,7 @@
 //!   `"hilbert"` and `"tp+"` in the workspace registry;
 //! * [`HilbertResidue`] — the grouping as a
 //!   [`ResiduePartitioner`](ldiv_core::ResiduePartitioner), which turns
-//!   [`ldiv_core::anonymize`] into the paper's TP+ (the low-level layer);
-//! * [`hilbert_anonymize`] — the deprecated free-function shim over the
-//!   full-table baseline.
+//!   [`ldiv_core::anonymize`] into the paper's TP+ (the low-level layer).
 //!
 //! # Grouping strategy
 //!
@@ -35,7 +33,5 @@ mod grouping;
 mod mechanism;
 
 pub use curve::HilbertCurve;
-#[allow(deprecated)]
-pub use grouping::hilbert_anonymize;
 pub use grouping::{hilbert_partition, HilbertResidue};
 pub use mechanism::{tp_plus_mechanism, HilbertMechanism, TpPlusMechanism};

@@ -9,8 +9,13 @@ use std::collections::HashMap;
 const PARALLEL_THRESHOLD: usize = 40_000;
 
 /// Distinct `(QI vector, SA)` support points of the microdata pdf `f`,
-/// with multiplicities. Keys are `[qi..., sa]`.
-fn support(table: &Table) -> HashMap<Vec<Value>, u32> {
+/// with multiplicities. Keys are `[qi..., sa]`, **sorted**: float
+/// summation is order-sensitive in its last ulps, and a `HashMap`'s
+/// iteration order varies per instance, so summing in hash order would
+/// make repeated KL evaluations of the same publication differ — which
+/// breaks byte-identical wire responses and cache-vs-recompute
+/// comparisons. Sorting pins the summation order.
+pub(crate) fn support_points(table: &Table) -> Vec<(Vec<Value>, u32)> {
     let d = table.dimensionality();
     let mut map: HashMap<Vec<Value>, u32> = HashMap::with_capacity(table.len());
     let mut key = vec![0 as Value; d + 1];
@@ -24,7 +29,9 @@ fn support(table: &Table) -> HashMap<Vec<Value>, u32> {
             }
         }
     }
-    map
+    let mut points: Vec<(Vec<Value>, u32)> = map.into_iter().collect();
+    points.sort_unstable();
+    points
 }
 
 /// `KL(f, f*)` for a suppression-based publication (Eq. 2): a starred
@@ -88,8 +95,7 @@ pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f
         }
     }
 
-    let f_support = support(table);
-    let points: Vec<(&Vec<Value>, &u32)> = f_support.iter().collect();
+    let points = support_points(table);
 
     let term = |point: &[Value], count: u32| -> f64 {
         let f_p = count as f64 / n;
@@ -116,7 +122,7 @@ pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f
     };
 
     if points.len() < PARALLEL_THRESHOLD {
-        points.iter().map(|(p, &c)| term(p, c)).sum()
+        points.iter().map(|(p, c)| term(p, *c)).sum()
     } else {
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -127,7 +133,7 @@ pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f
         std::thread::scope(|scope| {
             let handles: Vec<_> = points
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(|(p, &c)| term(p, c)).sum::<f64>()))
+                .map(|part| scope.spawn(move || part.iter().map(|(p, c)| term(p, *c)).sum::<f64>()))
                 .collect();
             handles
                 .into_iter()
@@ -166,9 +172,10 @@ pub fn kl_divergence_recoded(table: &Table, recoding: &Recoding) -> f64 {
     }
 
     // Pass 2: sum over the exact support.
-    let f_support = support(table);
+    let f_support = support_points(table);
     let mut kl = 0.0;
-    for (point, &count) in &f_support {
+    for (point, count) in &f_support {
+        let count = *count;
         let f_p = count as f64 / n;
         recoding.apply_into(&point[..d], &mut cell[..d]);
         cell[d] = point[d] as u32;
@@ -244,10 +251,11 @@ pub fn kl_divergence_coarse_suppressed(
         }
     }
 
-    let f_support = support(table);
+    let f_support = support_points(table);
     let mut kl = 0.0;
     let mut key: Vec<Value> = Vec::with_capacity(d + 1);
-    for (point, &count) in &f_support {
+    for (point, count) in &f_support {
+        let count = *count;
         let f_p = count as f64 / n;
         let mut fstar = 0.0;
         for p in &patterns {

@@ -13,6 +13,7 @@
 //! * **Anatomy** keeps every QI vector exact and spreads the SA value
 //!   over the group's published sensitive-table distribution.
 
+use crate::kl::support_points;
 use crate::{kl_divergence_recoded, kl_divergence_suppressed};
 use ldiv_api::{AnatomyTables, AttrRange, Payload, Publication};
 use ldiv_microdata::{Partition, Table, Value};
@@ -27,19 +28,6 @@ pub fn kl_divergence(table: &Table, publication: &Publication) -> f64 {
         Payload::Boxes(boxes) => kl_divergence_boxes(table, publication.partition(), boxes),
         Payload::Anatomy(a) => kl_divergence_anatomy_tables(table, publication.partition(), a),
     }
-}
-
-/// Distinct support points of `f` with multiplicities: `(qi ++ sa) → count`.
-fn support_points(table: &Table) -> HashMap<Vec<Value>, u32> {
-    let d = table.dimensionality();
-    let mut support: HashMap<Vec<Value>, u32> = HashMap::with_capacity(table.len());
-    let mut key = vec![0 as Value; d + 1];
-    for (_, qi, sa) in table.rows() {
-        key[..d].copy_from_slice(qi);
-        key[d] = sa;
-        *support.entry(key.clone()).or_insert(0) += 1;
-    }
-    support
 }
 
 /// `KL(f, f*)` for the multi-dimensional range semantics: each published
@@ -76,8 +64,8 @@ pub fn kl_divergence_boxes(table: &Table, partition: &Partition, boxes: &[Vec<At
         .collect();
 
     let mut kl = 0.0;
-    for (point, &count) in &support_points(table) {
-        let f_p = count as f64 / n;
+    for (point, count) in &support_points(table) {
+        let f_p = *count as f64 / n;
         let mut fstar = 0.0;
         for gm in &masses {
             if gm
@@ -135,10 +123,15 @@ pub fn kl_divergence_anatomy_tables(
     for ((qi, g), c) in qi_group_count {
         by_qi.entry(qi).or_default().push((g, c));
     }
+    // `qi_group_count` iterates in hash order; pin each bucket's order so
+    // the fstar accumulation below is reproducible.
+    for entries in by_qi.values_mut() {
+        entries.sort_unstable();
+    }
 
     let mut kl = 0.0;
-    for (point, &count) in &support_points(table) {
-        let f_p = count as f64 / n;
+    for (point, count) in &support_points(table) {
+        let f_p = *count as f64 / n;
         let qi = &point[..d];
         let s = point[d];
         let mut fstar = 0.0;

@@ -44,6 +44,7 @@
 mod csvio;
 mod eligibility;
 mod error;
+mod fingerprint;
 mod generalize;
 mod partition;
 pub mod principles;
@@ -54,6 +55,7 @@ mod table;
 pub use csvio::{read_csv, write_generalized_csv, write_table_csv};
 pub use eligibility::{is_l_eligible, l_eligible_histogram, max_l_for, SaHistogram};
 pub use error::MicrodataError;
+pub use fingerprint::Fnv1a;
 pub use generalize::{GroupShape, SuppressedTable, STAR_TEXT};
 pub use partition::Partition;
 pub use schema::{Attribute, Schema};

@@ -74,6 +74,16 @@ impl Table {
             .map(|(i, (qi, &sa))| (i as RowId, qi, sa))
     }
 
+    /// A deterministic 64-bit content fingerprint over the schema and
+    /// every row, in order (FNV-1a; see [`Fnv1a`](crate::Fnv1a)).
+    ///
+    /// Stable across processes and platforms, so it can key caches that
+    /// outlive the table object. Any change to a cell, an attribute
+    /// name/domain/label, or the row order changes the digest.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::hash_table(self)
+    }
+
     /// Histogram of the SA column over the whole table.
     pub fn sa_histogram(&self) -> SaHistogram {
         SaHistogram::from_values(self.schema.sa_domain_size(), self.sa.iter().copied())

@@ -9,8 +9,11 @@
 //! paper's adaptation methodology (footnote 3 and §6.1), ours is
 //! l-eligibility of both halves.
 
+#[cfg(test)]
 use crate::boxes::BoxTable;
-use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table};
+#[cfg(test)]
+use ldiv_microdata::SuppressedTable;
+use ldiv_microdata::{Partition, RowId, SaHistogram, Table};
 
 /// Partitions the table with l-diversity-gated Mondrian splits.
 ///
@@ -83,27 +86,15 @@ fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, out: &mut Vec<Vec<Ro
     out.push(rows);
 }
 
-/// Shared implementation of the full Mondrian run (also the `"mondrian"`
-/// mechanism's body).
+/// The full Mondrian run in every published form — partition, native
+/// boxes, suppression rendering. Only tests compare all three at once;
+/// the mechanism builds its boxes payload directly.
+#[cfg(test)]
 pub(crate) fn mondrian_publish(table: &Table, l: u32) -> (Partition, BoxTable, SuppressedTable) {
     let partition = mondrian_partition(table, l);
     let boxed = BoxTable::from_partition(table, &partition);
     let suppressed = table.generalize(&partition);
     (partition, boxed, suppressed)
-}
-
-/// Runs Mondrian and publishes both forms: the native multi-dimensional
-/// range table and the suppression rendering of the same partition (for
-/// star-count comparisons against the suppression algorithms).
-#[deprecated(
-    since = "0.2.0",
-    note = "construct the mechanism by name instead: \
-            `MechanismRegistry::run(\"mondrian\", ...)` or `MondrianMechanism` \
-            (returns a unified `Publication` with the boxes payload); the \
-            low-level pieces remain `mondrian_partition` + `BoxTable::from_partition`"
-)]
-pub fn mondrian_anonymize(table: &Table, l: u32) -> (Partition, BoxTable, SuppressedTable) {
-    mondrian_publish(table, l)
 }
 
 #[cfg(test)]

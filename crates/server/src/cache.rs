@@ -1,0 +1,184 @@
+//! The LRU publication cache.
+//!
+//! Anonymizing a table is the expensive step of every request — tens of
+//! milliseconds to seconds — while rendering a cached summary is
+//! microseconds. The cache keys a computed publication summary by the
+//! *content* of the request: the dataset's canonical fingerprint
+//! ([`Table::fingerprint`](ldiv_microdata::Table::fingerprint)), the
+//! mechanism name (lower-cased, as the registry resolves it), and the
+//! canonical [`Params`](ldiv_api::Params) text. Re-uploading the same CSV
+//! bytes therefore hits, regardless of file name or client.
+//!
+//! Recency is tracked with a logical clock (a bump-on-touch counter), and
+//! eviction scans for the stale minimum. The scan is `O(capacity)`, which
+//! at the default capacity of a few hundred entries is noise next to a
+//! single anonymization run — a linked-list LRU would add unsafe code or
+//! index juggling for no measurable win at this scale.
+
+use std::collections::HashMap;
+
+/// What a cached publication is keyed by. Two requests share an entry iff
+/// all three components match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The dataset's content fingerprint.
+    pub dataset: u64,
+    /// The resolved (lower-case) mechanism name.
+    pub mechanism: String,
+    /// The canonical parameter text (`Params::canonical()`).
+    pub params: String,
+}
+
+/// Hit/miss/size counters, surfaced on `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computation.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// A least-recently-used map from [`CacheKey`] to a value.
+///
+/// Not internally synchronized: the server wraps it in a `Mutex`, because
+/// every operation (including `get`, which bumps recency and counters)
+/// mutates.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<CacheKey, (u64, V)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<V> LruCache<V> {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching entirely (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            clock: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, bumping its recency and the hit/miss counters.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
+        self.clock += 1;
+        match self.map.get_mut(key) {
+            Some((touched, value)) => {
+                *touched = self.clock;
+                self.hits += 1;
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// one when at capacity.
+    pub fn insert(&mut self, key: CacheKey, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.clock, value));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            capacity: self.capacity,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(dataset: u64, mechanism: &str) -> CacheKey {
+        CacheKey {
+            dataset,
+            mechanism: mechanism.into(),
+            params: "l=2;fanout=2".into(),
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters_and_lookup() {
+        let mut c = LruCache::new(4);
+        assert_eq!(c.get(&key(1, "tp")), None);
+        c.insert(key(1, "tp"), "one");
+        assert_eq!(c.get(&key(1, "tp")), Some(&"one"));
+        // Same dataset, different mechanism or params: distinct lines.
+        assert_eq!(c.get(&key(1, "tp+")), None);
+        let mut other = key(1, "tp");
+        other.params = "l=3;fanout=2".into();
+        assert_eq!(c.get(&other), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 3, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1, "tp"), 1);
+        c.insert(key(2, "tp"), 2);
+        assert!(c.get(&key(1, "tp")).is_some()); // 1 is now the fresher
+        c.insert(key(3, "tp"), 3); // evicts 2
+        assert!(c.get(&key(2, "tp")).is_none());
+        assert!(c.get(&key(1, "tp")).is_some());
+        assert!(c.get(&key(3, "tp")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = LruCache::new(0);
+        c.insert(key(1, "tp"), 1);
+        assert_eq!(c.get(&key(1, "tp")), None);
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1, "tp"), 1);
+        c.insert(key(2, "tp"), 2);
+        c.insert(key(1, "tp"), 10);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(1, "tp")), Some(&10));
+        assert_eq!(c.get(&key(2, "tp")), Some(&2));
+    }
+}

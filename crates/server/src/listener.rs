@@ -1,0 +1,740 @@
+//! The TCP listener, request routing and server lifecycle.
+//!
+//! Architecture: one accept thread owns the `TcpListener` and hands each
+//! accepted connection to the [`WorkerPool`]; when the bounded queue is
+//! full the accept thread itself answers `503` and closes, so overload
+//! degrades loudly instead of queueing unboundedly. Routing
+//! ([`handle_request`]) is a pure function from request to response over
+//! the shared [`AppState`], which keeps every route unit-testable without
+//! sockets.
+//!
+//! Routes:
+//!
+//! | Route | Behaviour |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /mechanisms` | registered mechanisms + descriptions |
+//! | `GET /stats` | request and cache hit/miss counters |
+//! | `POST /anonymize?algo=A&l=L[&fanout=F][&dataset=PATH]` | CSV body (or dataset file) → JSON publication summary |
+//! | `POST /sweep?l=L[&fanout=F][&dataset=PATH]` | every registered mechanism in parallel |
+
+use crate::cache::{CacheKey, LruCache};
+use crate::http::{parse_head, read_body, HttpError, Request, Response};
+use crate::jobs::WorkerPool;
+use crate::wire::{self, Json};
+use ldiv_api::{LdivError, MechanismRegistry, Params};
+use ldiv_metrics::kl_divergence;
+use ldiv_microdata::{read_csv, Table};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads handling requests (min 1, clamped on use).
+    pub workers: usize,
+    /// Bounded depth of the connection queue (overflow → 503; min 1,
+    /// clamped on use).
+    pub queue_depth: usize,
+    /// Publication-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Directory `?dataset=PATH` references resolve under. `None`
+    /// (default) disables dataset references entirely: a network-exposed
+    /// service must not open arbitrary server-side paths on request.
+    pub dataset_root: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(4),
+            queue_depth: 64,
+            cache_capacity: 256,
+            dataset_root: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The configuration as actually run: the worker pool needs at least
+    /// one thread and a queue depth of at least one, so those floors are
+    /// applied here — keeping what `/stats` and banners report in sync
+    /// with the pool's behaviour.
+    fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self
+    }
+}
+
+/// Everything the routes share: the registry, the publication cache and
+/// the counters.
+pub struct AppState {
+    registry: MechanismRegistry,
+    cache: Mutex<LruCache<Json>>,
+    config: ServerConfig,
+    requests: AtomicU64,
+    anonymize_runs: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AppState {
+    /// State over a registry with the given configuration (normalized:
+    /// worker/queue floors applied).
+    pub fn new(registry: MechanismRegistry, config: ServerConfig) -> Self {
+        let config = config.normalized();
+        AppState {
+            registry,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            config,
+            requests: AtomicU64::new(0),
+            anonymize_runs: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The mechanism registry the server dispatches into.
+    pub fn registry(&self) -> &MechanismRegistry {
+        &self.registry
+    }
+
+    /// The normalized configuration the service is running with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Cache counters (also on `GET /stats`).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    fn count_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// HTTP status for a domain error.
+fn status_for(err: &LdivError) -> u16 {
+    match err {
+        LdivError::Usage(_) | LdivError::Io(_) => 400,
+        LdivError::UnknownMechanism { .. } => 404,
+        LdivError::Infeasible(_) | LdivError::InvalidL(_) | LdivError::InvalidParams(_) => 422,
+        LdivError::Algorithm(_) | LdivError::Internal(_) => 500,
+    }
+}
+
+fn error_response(err: &LdivError) -> Response {
+    Response::json(status_for(err), wire::error_json(err).render())
+}
+
+fn usage(msg: impl Into<String>) -> LdivError {
+    LdivError::Usage(msg.into())
+}
+
+/// Routes one parsed request. Pure over `state` — no sockets involved —
+/// so every route is directly testable.
+pub fn handle_request(state: &AppState, req: &Request) -> Response {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, Json::obj().field("status", "ok").render()),
+        ("GET", "/mechanisms") => {
+            Response::json(200, wire::mechanisms_json(&state.registry).render())
+        }
+        ("GET", "/stats") => Response::json(200, stats_json(state).render()),
+        ("POST", "/anonymize") => match anonymize_route(state, req) {
+            Ok(json) => Response::json(200, json.render()),
+            Err(e) => error_response(&e),
+        },
+        ("POST", "/sweep") => match sweep_route(state, req) {
+            Ok(json) => Response::json(200, json.render()),
+            Err(e) => error_response(&e),
+        },
+        ("GET", "/anonymize")
+        | ("GET", "/sweep")
+        | ("POST", "/healthz")
+        | ("POST", "/mechanisms")
+        | ("POST", "/stats") => Response::json(
+            405,
+            wire::error_json(&usage(format!(
+                "method {} not allowed on {}",
+                req.method, req.path
+            )))
+            .render(),
+        ),
+        (_, path) => Response::json(
+            404,
+            wire::error_json(&usage(format!("no route for '{path}'"))).render(),
+        ),
+    }
+}
+
+fn stats_json(state: &AppState) -> Json {
+    let cache = state.cache_stats();
+    Json::obj()
+        .field("requests", state.requests.load(Ordering::Relaxed) as i64)
+        .field(
+            "anonymize_runs",
+            state.anonymize_runs.load(Ordering::Relaxed) as i64,
+        )
+        .field("rejected", state.rejected.load(Ordering::Relaxed) as i64)
+        .field("workers", state.config.workers)
+        .field("queue_depth", state.config.queue_depth)
+        .field(
+            "cache",
+            Json::obj()
+                .field("hits", cache.hits as i64)
+                .field("misses", cache.misses as i64)
+                .field("entries", cache.entries)
+                .field("capacity", cache.capacity)
+                .field("evictions", cache.evictions as i64),
+        )
+}
+
+/// Parses the shared `l` / `fanout` query params.
+fn params_from(req: &Request) -> Result<Params, LdivError> {
+    let l: u32 = req
+        .query_param("l")
+        .ok_or_else(|| usage("missing query parameter 'l'"))?
+        .parse()
+        .map_err(|e| usage(format!("query parameter 'l': {e}")))?;
+    let mut params = Params::new(l);
+    if let Some(f) = req.query_param("fanout") {
+        params.fanout = f
+            .parse()
+            .map_err(|e| usage(format!("query parameter 'fanout': {e}")))?;
+    }
+    Ok(params)
+}
+
+/// The dataset of a request: a non-empty CSV body, else the file named by
+/// `?dataset=` — which only works when the operator configured a dataset
+/// root, and never resolves outside it (a network client must not be
+/// able to probe or read arbitrary server-side paths).
+fn table_from(state: &AppState, req: &Request) -> Result<Table, LdivError> {
+    if !req.body.is_empty() {
+        return read_csv(&mut &req.body[..], None).map_err(|e| usage(format!("request body: {e}")));
+    }
+    match req.query_param("dataset") {
+        Some(path) => {
+            let Some(root) = &state.config.dataset_root else {
+                return Err(usage(
+                    "dataset references are disabled: POST the CSV body, or start the \
+                     server with a dataset root (`ldiv serve --dataset-root DIR`)",
+                ));
+            };
+            let root = root
+                .canonicalize()
+                .map_err(|e| LdivError::Io(format!("dataset root: {e}")))?;
+            // Canonicalize the joined path and require it to stay under
+            // the root, so `..` segments and symlinks cannot escape.
+            let resolved = root
+                .join(path)
+                .canonicalize()
+                .map_err(|_| usage(format!("dataset '{path}' not found under the dataset root")))?;
+            if !resolved.starts_with(&root) {
+                return Err(usage(format!("dataset '{path}' escapes the dataset root")));
+            }
+            let file = std::fs::File::open(&resolved)
+                .map_err(|_| usage(format!("dataset '{path}' not readable")))?;
+            read_csv(BufReader::new(file), None)
+                .map_err(|e| LdivError::Io(format!("dataset '{path}': {e}")))
+        }
+        None => Err(usage(
+            "no dataset: POST a CSV body or pass ?dataset=PATH (requires a configured \
+             dataset root)",
+        )),
+    }
+}
+
+/// Runs one mechanism over the table with the cache in front: the key is
+/// (dataset fingerprint, resolved mechanism name, canonical params). On a
+/// hit the stored summary is returned with `"cached": true`.
+fn run_cached(
+    state: &AppState,
+    table: &Table,
+    fingerprint: u64,
+    name: &str,
+    params: &Params,
+) -> Result<Json, LdivError> {
+    let mechanism = state
+        .registry
+        .get(name)
+        .ok_or_else(|| LdivError::UnknownMechanism {
+            requested: name.to_string(),
+            known: state
+                .registry
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        })?;
+    let key = CacheKey {
+        dataset: fingerprint,
+        mechanism: mechanism.name().to_ascii_lowercase(),
+        params: params.canonical(),
+    };
+    if let Some(found) = state.cache.lock().expect("cache poisoned").get(&key) {
+        return Ok(found.clone().field("cached", true));
+    }
+    let publication = mechanism.anonymize(table, params)?;
+    state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
+    let kl = kl_divergence(table, &publication);
+    let summary = wire::publication_json(table, &publication, params, kl);
+    state
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .insert(key, summary.clone());
+    Ok(summary)
+}
+
+fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
+    let name = req
+        .query_param("algo")
+        .ok_or_else(|| usage("missing query parameter 'algo'"))?;
+    let params = params_from(req)?;
+    let table = table_from(state, req)?;
+    run_cached(state, &table, table.fingerprint(), name, &params)
+}
+
+/// Fans the dataset across every registered mechanism in parallel (one
+/// scoped thread per mechanism — the pool handles connections, not
+/// sub-tasks, so a sweep can never deadlock the queue that carried it).
+/// Per-mechanism failures (e.g. an l the mechanism finds infeasible)
+/// become error entries rather than failing the whole sweep.
+fn sweep_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
+    let params = params_from(req)?;
+    let table = table_from(state, req)?;
+    let fingerprint = table.fingerprint();
+    let names: Vec<String> = state
+        .registry
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    let mut results: Vec<Option<Json>> = vec![None; names.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|name| {
+                let table = &table;
+                scope.spawn(
+                    move || match run_cached(state, table, fingerprint, name, &params) {
+                        Ok(summary) => summary,
+                        Err(e) => wire::error_json(&e).field("mechanism", name.as_str()),
+                    },
+                )
+            })
+            .collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("sweep worker panicked"));
+        }
+    });
+
+    Ok(Json::obj()
+        .field("params", wire::params_json(&params))
+        .field("dataset_fingerprint", wire::fingerprint_hex(fingerprint))
+        .field(
+            "results",
+            Json::Arr(results.into_iter().map(|r| r.expect("joined")).collect()),
+        ))
+}
+
+/// A running server: the accept thread, its worker pool, and the shared
+/// state. Dropping (or [`shutdown`](Server::shutdown)) stops accepting,
+/// finishes in-flight requests and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `registry` in the background.
+    pub fn bind(
+        addr: &str,
+        registry: MechanismRegistry,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(registry, config));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("ldiv-accept".into())
+            .spawn(move || {
+                let pool_state = Arc::clone(&accept_state);
+                let pool = WorkerPool::new(
+                    accept_state.config.workers,
+                    accept_state.config.queue_depth,
+                    move |stream: TcpStream| serve_connection(&pool_state, stream),
+                );
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Err(stream) = pool.submit(stream) {
+                        // Queue full: reject inline without blocking accept.
+                        accept_state.count_rejected();
+                        let mut w = BufWriter::new(stream);
+                        let _ = Response::json(
+                            503,
+                            wire::error_json(&LdivError::Algorithm(
+                                "server overloaded: connection queue is full".into(),
+                            ))
+                            .render(),
+                        )
+                        .write_to(&mut w);
+                    }
+                }
+                // Pool drops here: queue closes, workers drain and join.
+            })?;
+
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (real port even when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (counters, cache, registry).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains in-flight requests and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a no-op connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One connection: parse, route, respond, close.
+fn serve_connection(state: &AppState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match parse_head(&mut reader) {
+        Ok(mut request) => {
+            // curl sends `Expect: 100-continue` for bodies over 1 KiB and
+            // stalls ~1 s unless the interim comes back before the body.
+            if request.expects_continue() {
+                use std::io::Write as _;
+                let _ = (&stream).write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+            }
+            match read_body(&mut reader, &mut request) {
+                Ok(()) => handle_request(state, &request),
+                Err(HttpError { status, message }) => {
+                    Response::json(status, wire::error_json(&usage(message)).render())
+                }
+            }
+        }
+        Err(HttpError { status, message }) => {
+            Response::json(status, wire::error_json(&usage(message)).render())
+        }
+    };
+    let mut writer = BufWriter::new(stream);
+    let _ = response.write_to(&mut writer);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_api::{Mechanism, Publication};
+    use ldiv_microdata::{samples, write_table_csv, Partition};
+
+    /// A deterministic single-group mechanism for routing tests.
+    struct Whole(&'static str);
+
+    impl Mechanism for Whole {
+        fn name(&self) -> &str {
+            self.0
+        }
+
+        fn description(&self) -> &str {
+            "test mechanism"
+        }
+
+        fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
+            params.validate_for(table)?;
+            let partition = Partition::new_unchecked(vec![(0..table.len() as u32).collect()]);
+            Ok(Publication::suppressed(self.0, table, partition))
+        }
+    }
+
+    fn test_state() -> AppState {
+        let registry = MechanismRegistry::new()
+            .with(Box::new(Whole("alpha")))
+            .with(Box::new(Whole("beta")));
+        AppState::new(registry, ServerConfig::default())
+    }
+
+    fn post(path: &str, query: &[(&str, &str)], body: &[u8]) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn hospital_csv() -> Vec<u8> {
+        let mut csv = Vec::new();
+        write_table_csv(&mut csv, &samples::hospital()).unwrap();
+        csv
+    }
+
+    #[test]
+    fn health_mechanisms_and_unknown_routes() {
+        let state = test_state();
+        assert_eq!(handle_request(&state, &get("/healthz")).status, 200);
+        let mechanisms = handle_request(&state, &get("/mechanisms"));
+        assert_eq!(mechanisms.status, 200);
+        assert!(mechanisms.body.contains("\"alpha\""), "{}", mechanisms.body);
+        assert_eq!(handle_request(&state, &get("/nope")).status, 404);
+        assert_eq!(handle_request(&state, &get("/anonymize")).status, 405);
+        assert_eq!(
+            handle_request(&state, &post("/healthz", &[], b"")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn anonymize_round_trip_and_cache_hit() {
+        let state = test_state();
+        let csv = hospital_csv();
+        let req = post("/anonymize", &[("algo", "alpha"), ("l", "2")], &csv);
+
+        let first = handle_request(&state, &req);
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert!(first.body.contains("\"cached\":false"), "{}", first.body);
+
+        let second = handle_request(&state, &req);
+        assert_eq!(second.status, 200);
+        assert!(second.body.contains("\"cached\":true"), "{}", second.body);
+        // Identical apart from the cached flag.
+        assert_eq!(
+            first.body.replace("\"cached\":false", "\"cached\":true"),
+            second.body
+        );
+
+        let stats = state.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // Different params: a different cache line.
+        let req3 = post(
+            "/anonymize",
+            &[("algo", "alpha"), ("l", "2"), ("fanout", "3")],
+            &csv,
+        );
+        let third = handle_request(&state, &req3);
+        assert!(third.body.contains("\"cached\":false"), "{}", third.body);
+    }
+
+    #[test]
+    fn anonymize_maps_domain_errors_to_statuses() {
+        let state = test_state();
+        let csv = hospital_csv();
+        // Missing l.
+        assert_eq!(
+            handle_request(&state, &post("/anonymize", &[("algo", "alpha")], &csv)).status,
+            400
+        );
+        // Unknown mechanism.
+        assert_eq!(
+            handle_request(
+                &state,
+                &post("/anonymize", &[("algo", "nope"), ("l", "2")], &csv)
+            )
+            .status,
+            404
+        );
+        // Infeasible l.
+        let r = handle_request(
+            &state,
+            &post("/anonymize", &[("algo", "alpha"), ("l", "5")], &csv),
+        );
+        assert_eq!(r.status, 422, "{}", r.body);
+        // No dataset at all.
+        assert_eq!(
+            handle_request(
+                &state,
+                &post("/anonymize", &[("algo", "alpha"), ("l", "2")], b"")
+            )
+            .status,
+            400
+        );
+        // Dataset references are disabled without a configured root.
+        assert_eq!(
+            handle_request(
+                &state,
+                &post(
+                    "/anonymize",
+                    &[
+                        ("algo", "alpha"),
+                        ("l", "2"),
+                        ("dataset", "/nonexistent.csv")
+                    ],
+                    b""
+                )
+            )
+            .status,
+            400
+        );
+    }
+
+    #[test]
+    fn dataset_references_are_confined_to_the_configured_root() {
+        let root = std::env::temp_dir().join("ldiv_server_dataset_root");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("ok.csv"), hospital_csv()).unwrap();
+
+        let registry = MechanismRegistry::new().with(Box::new(Whole("alpha")));
+        let state = AppState::new(
+            registry,
+            ServerConfig {
+                dataset_root: Some(root),
+                ..ServerConfig::default()
+            },
+        );
+
+        // A file under the root resolves.
+        let ok = handle_request(
+            &state,
+            &post(
+                "/anonymize",
+                &[("algo", "alpha"), ("l", "2"), ("dataset", "ok.csv")],
+                b"",
+            ),
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+
+        // Traversal out of the root is refused (canonicalized paths that
+        // resolve outside the root, or that do not resolve at all).
+        for escape in ["../../../../etc/passwd", "/etc/passwd", "missing.csv"] {
+            let refused = handle_request(
+                &state,
+                &post(
+                    "/anonymize",
+                    &[("algo", "alpha"), ("l", "2"), ("dataset", escape)],
+                    b"",
+                ),
+            );
+            assert_eq!(refused.status, 400, "{escape}: {}", refused.body);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_mechanism_and_populates_the_cache() {
+        let state = test_state();
+        let csv = hospital_csv();
+        let sweep = handle_request(&state, &post("/sweep", &[("l", "2")], &csv));
+        assert_eq!(sweep.status, 200, "{}", sweep.body);
+        assert!(
+            sweep.body.contains("\"mechanism\":\"alpha\""),
+            "{}",
+            sweep.body
+        );
+        assert!(
+            sweep.body.contains("\"mechanism\":\"beta\""),
+            "{}",
+            sweep.body
+        );
+
+        // The sweep warmed the cache: a follow-up single anonymize hits.
+        let one = handle_request(
+            &state,
+            &post("/anonymize", &[("algo", "beta"), ("l", "2")], &csv),
+        );
+        assert!(one.body.contains("\"cached\":true"), "{}", one.body);
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let registry = MechanismRegistry::new().with(Box::new(Whole("alpha")));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                workers: 2,
+                queue_depth: 8,
+                cache_capacity: 16,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let body = hospital_csv();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        use std::io::{Read as _, Write as _};
+        write!(
+            stream,
+            "POST /anonymize?algo=alpha&l=2 HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        stream.write_all(&body).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"mechanism\":\"alpha\""), "{response}");
+
+        // Garbage gets a 400, not a hang.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NOT HTTP\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        server.shutdown();
+    }
+}

@@ -1,0 +1,369 @@
+//! The JSON wire format shared by the server and the CLI's
+//! `--format json` outputs.
+//!
+//! The vendored `serde` is an offline marker stub (no serialization
+//! code), so this module carries a small self-contained JSON value type
+//! ([`Json`]) plus the canonical renderings of the workspace's response
+//! shapes: publication summaries, dataset statistics, mechanism listings
+//! and errors. Keeping them here — rather than ad-hoc `format!` strings
+//! in each caller — is what makes `ldiv anonymize --format json` and
+//! `POST /anonymize` byte-identical for the same run.
+//!
+//! Rendering is deterministic: object fields keep insertion order, floats
+//! use Rust's shortest round-trip form, and non-finite floats (which JSON
+//! cannot represent) become `null`.
+
+use ldiv_api::{LdivError, MechanismRegistry, Params, Publication};
+use ldiv_metrics::PublicationSummary;
+use ldiv_microdata::Table;
+use std::fmt;
+
+/// A JSON value with deterministic, insertion-ordered rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; JSON numbers are decimal anyway).
+    Int(i64),
+    /// A float; NaN/∞ render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Fields render in insertion order, making output stable
+    /// for tests, caches and diffs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds (or replaces) a field on an object, builder-style.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object — wire shapes are built
+    /// statically, so a mis-typed receiver is a programming error.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Adds (or replaces) a field on an object in place.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let Json::Obj(fields) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => fields.push((key.to_string(), value)),
+        }
+    }
+
+    /// Looks a field up on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The rendered JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `{:?}` is the shortest representation that parses
+                    // back to the same f64 ("0.1", "1.0", "1e300").
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(i64::from(v))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Writes `s` as a quoted, escaped JSON string.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The hex form used for dataset fingerprints on the wire
+/// (`"a1b2c3d4e5f60718"`). A string, because JSON numbers cannot carry a
+/// full u64 without precision loss in common consumers.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// The `params` sub-object of a publication response.
+pub fn params_json(params: &Params) -> Json {
+    Json::obj()
+        .field("l", params.l)
+        .field("fanout", params.fanout)
+        .field("canonical", params.canonical())
+}
+
+/// The canonical JSON summary of one publication run — the body of
+/// `POST /anonymize`, one element of `POST /sweep`, and the CLI's
+/// `anonymize --format json` output.
+///
+/// Stars follow the workspace accounting: suppression payloads report
+/// their real counts; boxes/anatomy/recoding report zero and are measured
+/// by `kl_divergence` instead. The `cached` field is `false` here; the
+/// server flips it on cache hits.
+pub fn publication_json(
+    table: &Table,
+    publication: &Publication,
+    params: &Params,
+    kl: f64,
+) -> Json {
+    let summary = PublicationSummary::of_publication(table, publication);
+    Json::obj()
+        .field("mechanism", publication.mechanism())
+        .field("params", params_json(params))
+        .field("dataset_fingerprint", fingerprint_hex(table.fingerprint()))
+        .field("rows", summary.rows)
+        .field("dimensionality", summary.dimensionality)
+        .field("groups", summary.groups)
+        .field("stars", summary.stars)
+        .field("star_ratio", summary.star_ratio)
+        .field("suppressed_tuples", summary.suppressed_tuples)
+        .field("avg_group_size", summary.avg_group_size)
+        .field("max_group_size", summary.max_group_size)
+        .field("futile_groups", summary.futile_groups)
+        .field("kl_divergence", kl)
+        .field(
+            "notes",
+            Json::Arr(
+                publication
+                    .notes()
+                    .iter()
+                    .map(|n| n.as_str().into())
+                    .collect(),
+            ),
+        )
+        .field("cached", false)
+}
+
+/// Dataset statistics — the CLI's `stats --format json` output.
+pub fn table_stats_json(table: &Table) -> Json {
+    Json::obj()
+        .field("rows", table.len())
+        .field("dimensionality", table.dimensionality())
+        .field("distinct_sa", table.distinct_sa_count())
+        .field("distinct_qi", table.distinct_qi_count())
+        .field("max_feasible_l", table.max_feasible_l())
+        .field("dataset_fingerprint", fingerprint_hex(table.fingerprint()))
+}
+
+/// The `GET /mechanisms` body: every registered mechanism with its
+/// description.
+pub fn mechanisms_json(registry: &MechanismRegistry) -> Json {
+    Json::obj().field(
+        "mechanisms",
+        Json::Arr(
+            registry
+                .iter()
+                .map(|m| {
+                    Json::obj()
+                        .field("name", m.name())
+                        .field("description", m.description())
+                })
+                .collect(),
+        ),
+    )
+}
+
+/// A machine-readable error body: `{"error": ..., "kind": ...}`.
+pub fn error_json(err: &LdivError) -> Json {
+    let kind = match err {
+        LdivError::Infeasible(_) => "infeasible",
+        LdivError::InvalidL(_) => "invalid_l",
+        LdivError::UnknownMechanism { .. } => "unknown_mechanism",
+        LdivError::InvalidParams(_) => "invalid_params",
+        LdivError::Usage(_) => "usage",
+        LdivError::Io(_) => "io",
+        LdivError::Algorithm(_) => "algorithm",
+        LdivError::Internal(_) => "internal",
+    };
+    Json::obj()
+        .field("error", err.to_string())
+        .field("kind", kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_microdata::{samples, Partition};
+
+    #[test]
+    fn rendering_is_deterministic_and_escaped() {
+        let v = Json::obj()
+            .field("a", 1usize)
+            .field("b", Json::Arr(vec![Json::Null, true.into(), 0.5.into()]))
+            .field("tricky", "a\"b\\c\nd\u{1}");
+        assert_eq!(
+            v.render(),
+            r#"{"a":1,"b":[null,true,0.5],"tricky":"a\"b\\c\nd\u0001"}"#
+        );
+        // Replacement keeps position.
+        assert_eq!(
+            v.clone().field("a", 2usize).render(),
+            v.render().replace("\"a\":1", "\"a\":2")
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Float(1.0).render(), "1.0");
+    }
+
+    #[test]
+    fn publication_json_carries_the_summary_fields() {
+        let t = samples::hospital();
+        let partition =
+            Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        let p = Publication::suppressed("tp", &t, partition).with_note("phase 1");
+        let params = Params::new(2);
+        let kl = ldiv_metrics::kl_divergence(&t, &p);
+        let json = publication_json(&t, &p, &params, kl);
+        assert_eq!(json.get("mechanism"), Some(&Json::Str("tp".into())));
+        assert_eq!(json.get("rows"), Some(&Json::Int(10)));
+        assert_eq!(json.get("stars"), Some(&Json::Int(8)));
+        assert_eq!(json.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(
+            json.get("params").unwrap().get("canonical"),
+            Some(&Json::Str("l=2;fanout=2".into()))
+        );
+        let rendered = json.render();
+        assert!(rendered.contains("\"notes\":[\"phase 1\"]"), "{rendered}");
+        assert!(
+            rendered.contains(&format!(
+                "\"dataset_fingerprint\":\"{}\"",
+                fingerprint_hex(t.fingerprint())
+            )),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn stats_and_error_shapes() {
+        let t = samples::hospital();
+        let s = table_stats_json(&t);
+        assert_eq!(s.get("rows"), Some(&Json::Int(10)));
+        assert_eq!(s.get("max_feasible_l"), Some(&Json::Int(2)));
+
+        let e = error_json(&LdivError::UnknownMechanism {
+            requested: "nope".into(),
+            known: vec!["tp".into()],
+        });
+        assert_eq!(e.get("kind"), Some(&Json::Str("unknown_mechanism".into())));
+    }
+}

@@ -66,6 +66,7 @@
 //! | [`metrics`] | `ldiv-metrics` | star accounting and Eq. (2) KL, uniform over any [`Publication`] |
 //! | [`pipeline`] | `ldiv-pipeline` | §5.6 preprocessing workflows and the utility sweep |
 //! | [`multidim`] | `ldiv-multidim` | Mondrian and the §6.2 star→sub-domain transformation |
+//! | [`server`] | `ldiv-server` | the concurrent anonymization service: HTTP listener, worker pool, publication cache, JSON wire format |
 //! | [`anatomy`] | `ldiv-anatomy` | Anatomy (QI/SA table separation), the §2 alternative methodology |
 
 #![warn(missing_docs)]
@@ -112,6 +113,10 @@ pub use ldiv_pipeline as pipeline;
 
 /// Multi-dimensional generalization: Mondrian and the §6.2 transformation.
 pub use ldiv_multidim as multidim;
+
+/// The concurrent anonymization service: HTTP listener, worker pool,
+/// publication cache and the JSON wire format.
+pub use ldiv_server as server;
 
 /// Anatomy: l-diverse publication via QI/SA table separation (§2).
 pub use ldiv_anatomy as anatomy;
