@@ -32,9 +32,14 @@
 #![warn(rust_2018_idioms)]
 
 use ldiv_api::{AnatomyTables, LdivError, Mechanism, Params, Payload, Publication};
+use ldiv_exec::Executor;
 use ldiv_microdata::{MicrodataError, Partition, RowId, SaHistogram, Table, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
+
+/// Rows per parallel bucketization chunk. Fixed (never derived from the
+/// thread count) so the scan decomposition is budget-independent.
+const BUCKET_CHUNK: usize = 16_384;
 
 /// Re-export: the ST row type now lives in the `ldiv-api` contract crate
 /// (it is part of the anatomy publication payload); the old
@@ -139,6 +144,23 @@ impl AnatomizedTable {
 /// determinism); the ≤ `l − 1` leftovers join groups that keep accepting
 /// them. Fails when the table is not l-eligible.
 pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataError> {
+    anatomize_with(table, l, &Executor::default())
+}
+
+/// [`anatomize`] under an explicit thread budget.
+///
+/// The two scans that dominate large tables fan out over the executor:
+/// the initial SA bucketization (fixed-size row chunks merged in chunk
+/// order, so every bucket keeps ascending row order) and the per-group
+/// sensitive-table assembly (an ordered map over the final groups). The
+/// draining loop between them is inherently sequential — each round's
+/// "l fullest buckets" depends on every earlier round — and stays on
+/// the calling thread. Output is byte-identical for every budget.
+pub fn anatomize_with(
+    table: &Table,
+    l: u32,
+    exec: &Executor,
+) -> Result<AnatomizedTable, MicrodataError> {
     if l == 0 {
         return Err(MicrodataError::InvalidPartition(
             "l must be positive".into(),
@@ -147,9 +169,23 @@ pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataErro
     table.check_l_feasible(l)?;
     let m = table.schema().sa_domain_size() as usize;
 
-    let mut buckets: Vec<Vec<RowId>> = vec![Vec::new(); m];
-    for row in (0..table.len() as RowId).rev() {
-        buckets[table.sa_value(row) as usize].push(row); // popped in row order
+    // Parallel bucketization: chunked scan, per-chunk mini-buckets,
+    // merged in chunk order. Chunks are contiguous ascending row ranges,
+    // so each merged bucket holds its rows in ascending row order —
+    // exactly the order the sequential scan produces.
+    let all_rows: Vec<RowId> = (0..table.len() as RowId).collect();
+    let scanned: Vec<Vec<Vec<RowId>>> = exec.map_chunks(&all_rows, BUCKET_CHUNK, |chunk| {
+        let mut mini: Vec<Vec<RowId>> = vec![Vec::new(); m];
+        for &row in chunk {
+            mini[table.sa_value(row) as usize].push(row);
+        }
+        mini
+    });
+    let mut buckets: Vec<VecDeque<RowId>> = vec![VecDeque::new(); m];
+    for mini in scanned {
+        for (v, rows) in mini.into_iter().enumerate() {
+            buckets[v].extend(rows); // consumed front-first: row order
+        }
     }
 
     let mut groups: Vec<Vec<RowId>> = Vec::new();
@@ -162,7 +198,7 @@ pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataErro
         order.truncate(l as usize);
         let mut g: Vec<RowId> = order
             .iter()
-            .map(|&v| buckets[v].pop().expect("chosen bucket non-empty"))
+            .map(|&v| buckets[v].pop_front().expect("chosen bucket non-empty"))
             .collect();
         g.sort_unstable();
         groups.push(g);
@@ -171,7 +207,7 @@ pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataErro
     // Residue assignment (Anatomy's "residue" step): each leftover joins a
     // group currently lacking its value, largest leftover buckets first.
     for (v, bucket) in buckets.iter_mut().enumerate() {
-        while let Some(row) = bucket.pop() {
+        while let Some(row) = bucket.pop_front() {
             let slot = groups.iter_mut().find(|g| {
                 let mut hist = SaHistogram::of_rows(table, g);
                 hist.add(v as Value);
@@ -193,30 +229,42 @@ pub fn anatomize(table: &Table, l: u32) -> Result<AnatomizedTable, MicrodataErro
     }
 
     let partition = Partition::new_unchecked(groups);
-    if !partition.is_l_diverse(table, l) {
+    // Per-group eligibility is independent — verify in parallel.
+    let eligible = exec
+        .map(partition.groups(), |g| {
+            SaHistogram::of_rows(table, g).is_l_eligible(l)
+        })
+        .into_iter()
+        .all(|ok| ok);
+    if !eligible {
         return Err(MicrodataError::InvalidPartition(
             "anatomy bucketization failed to reach l-diversity".into(),
         ));
     }
 
-    let mut group_of = vec![0u32; table.len()];
-    let mut st = Vec::new();
-    for (gid, g) in partition.groups().iter().enumerate() {
+    // Per-group ST assembly fans out; group ids and the QIT group column
+    // are stamped sequentially in group order, so the ST is sorted by
+    // (group, value) exactly as the sequential build emits it.
+    let counts_per_group: Vec<Vec<(Value, u32)>> = exec.map(partition.groups(), |g| {
         let mut counts: HashMap<Value, u32> = HashMap::new();
         for &r in g {
-            group_of[r as usize] = gid as u32;
             *counts.entry(table.sa_value(r)).or_insert(0) += 1;
         }
-        let mut entries: Vec<SensitiveEntry> = counts
-            .into_iter()
-            .map(|(value, count)| SensitiveEntry {
-                group: gid as u32,
-                value,
-                count,
-            })
-            .collect();
-        entries.sort_by_key(|e| e.value);
-        st.extend(entries);
+        let mut entries: Vec<(Value, u32)> = counts.into_iter().collect();
+        entries.sort_unstable_by_key(|&(value, _)| value);
+        entries
+    });
+    let mut group_of = vec![0u32; table.len()];
+    let mut st = Vec::new();
+    for (gid, (g, entries)) in partition.groups().iter().zip(counts_per_group).enumerate() {
+        for &r in g {
+            group_of[r as usize] = gid as u32;
+        }
+        st.extend(entries.into_iter().map(|(value, count)| SensitiveEntry {
+            group: gid as u32,
+            value,
+            count,
+        }));
     }
 
     Ok(AnatomizedTable {
@@ -256,7 +304,7 @@ impl Mechanism for AnatomyMechanism {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
-        let published = anatomize(table, params.l)?;
+        let published = anatomize_with(table, params.l, &params.executor())?;
         let groups = published.group_count();
         Ok(published
             .to_publication()

@@ -1,14 +1,16 @@
 //! The shared parameter bag every mechanism receives.
 
 use crate::LdivError;
+use ldiv_exec::Executor;
 use ldiv_microdata::Table;
 
 /// Parameters common to every publication mechanism.
 ///
-/// Mechanisms read what applies to them: all of them honour [`l`](Params::l);
-/// taxonomy-based methods (TDS, §5.6 preprocessing) also honour
-/// [`fanout`](Params::fanout). Unknown-to-a-mechanism fields are ignored by
-/// design, so one `Params` value can drive a whole registry sweep.
+/// Mechanisms read what applies to them: all of them honour [`l`](Params::l)
+/// and may fan out over [`threads`](Params::threads); taxonomy-based methods
+/// (TDS, §5.6 preprocessing) also honour [`fanout`](Params::fanout).
+/// Unknown-to-a-mechanism fields are ignored by design, so one `Params`
+/// value can drive a whole registry sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Params {
     /// The diversity requirement (Definition 2). Must be ≥ 1; ≥ 2 to be
@@ -16,12 +18,24 @@ pub struct Params {
     pub l: u32,
     /// Fanout of generated balanced taxonomies (TDS and preprocessing).
     pub fanout: u32,
+    /// Intra-run thread budget; `0` means auto (`LDIV_THREADS`, else the
+    /// machine's parallelism). **Execution-only**: every mechanism must
+    /// publish byte-identical output for every budget, so this field is
+    /// deliberately excluded from [`canonical`](Params::canonical) — a
+    /// cached publication computed at one budget serves requests at any
+    /// other.
+    pub threads: u32,
 }
 
 impl Params {
-    /// Parameters at diversity `l` with default fanout 2.
+    /// Parameters at diversity `l` with default fanout 2 and the auto
+    /// thread budget.
     pub fn new(l: u32) -> Self {
-        Params { l, fanout: 2 }
+        Params {
+            l,
+            fanout: 2,
+            threads: 0,
+        }
     }
 
     /// Replaces the taxonomy fanout.
@@ -30,17 +44,37 @@ impl Params {
         self
     }
 
-    /// The canonical, order-stable text form of the parameter bag —
-    /// `l=4;fanout=2` — used as a cache-key component and in wire
-    /// responses.
+    /// Replaces the intra-run thread budget (`0` = auto, `1` = strictly
+    /// sequential).
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The [`Executor`] for this run's thread budget. Mechanisms use
+    /// this for their fork-join and reduction fan-out.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.threads)
+    }
+
+    /// The canonical, order-stable text form of the *output-affecting*
+    /// parameters — `l=4;fanout=2` — used as a cache-key component and
+    /// in wire responses.
     ///
-    /// Every field participates, fields appear in declaration order, and
-    /// defaults are spelled out rather than omitted, so two `Params`
-    /// values canonicalize equally iff they are equal. New fields must be
-    /// appended here when they are added to the struct (the exhaustive
-    /// destructuring below makes forgetting a compile error).
+    /// Every output-affecting field participates, fields appear in
+    /// declaration order, and defaults are spelled out rather than
+    /// omitted. [`threads`](Params::threads) is excluded on purpose: the
+    /// determinism contract guarantees the thread budget never changes a
+    /// publication, so including it would only split cache lines that
+    /// hold identical results. New fields must be classified here when
+    /// they are added to the struct (the exhaustive destructuring below
+    /// makes forgetting a compile error).
     pub fn canonical(&self) -> String {
-        let Params { l, fanout } = *self;
+        let Params {
+            l,
+            fanout,
+            threads: _, // execution-only: must never affect output
+        } = *self;
         format!("l={l};fanout={fanout}")
     }
 
@@ -73,7 +107,7 @@ mod tests {
     use ldiv_microdata::samples;
 
     #[test]
-    fn canonical_form_is_total_and_injective_on_fields() {
+    fn canonical_form_is_total_and_injective_on_output_fields() {
         assert_eq!(Params::new(4).canonical(), "l=4;fanout=2");
         assert_eq!(Params::new(4).with_fanout(3).canonical(), "l=4;fanout=3");
         assert_ne!(Params::new(4).canonical(), Params::new(5).canonical());
@@ -81,6 +115,31 @@ mod tests {
             Params::new(4).canonical(),
             Params::new(4).with_fanout(4).canonical()
         );
+    }
+
+    #[test]
+    fn canonical_form_ignores_the_thread_budget() {
+        // Regression (cache-key stability): the thread budget is
+        // execution-only — publications are byte-identical across
+        // budgets — so the server cache must keep hitting when the same
+        // request arrives with a different `threads`. If this test
+        // breaks, every cached publication silently stops being shared
+        // across thread configurations.
+        let base = Params::new(4).with_fanout(3);
+        for threads in [0u32, 1, 2, 8, 64] {
+            assert_eq!(
+                base.with_threads(threads).canonical(),
+                base.canonical(),
+                "threads={threads} must not change the cache key"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_honours_the_budget() {
+        assert_eq!(Params::new(2).with_threads(1).executor().threads(), 1);
+        assert_eq!(Params::new(2).with_threads(5).executor().threads(), 5);
+        assert!(Params::new(2).executor().threads() >= 1); // auto
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Per-mechanism intra-run speedup curves for the `ldiv-exec` engine.
+//!
+//! For each dataset size and each registered mechanism, runs the full
+//! publish-and-measure pipeline (anonymize + Eq. (2) KL) once per thread
+//! budget and reports wall-clock times and the speedup over the
+//! sequential (`threads = 1`) baseline. Every parallel run's wire bytes
+//! are checked against the sequential run's — a speedup that changed
+//! the output would be a bug, not a win.
+//!
+//! ```text
+//! cargo run --release -p ldiv-bench --bin parallel_speedup -- \
+//!     --rows 10000,100000,1000000 --threads 1,2,4,8 --l 4
+//! ```
+//!
+//! Defaults keep a laptop run short: `--rows 10000,100000`,
+//! `--threads 1,2,4`, `--l 4`, every registered mechanism. Timings are
+//! a single measured run per cell (the tables are large enough that
+//! per-run noise is small next to the 2x-class effects of interest).
+
+use ldiv_api::Params;
+use ldiv_datagen::{sal, AcsConfig};
+use ldiv_metrics::kl_divergence_with;
+use ldiv_server::wire;
+use ldiversity::standard_registry;
+use std::time::Instant;
+
+fn parse_list<T: std::str::FromStr>(raw: &str, flag: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value '{s}' for {flag}"))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows_list: Vec<usize> = vec![10_000, 100_000];
+    let mut threads_list: Vec<u32> = vec![1, 2, 4];
+    let mut l = 4u32;
+    let mut algos: Option<Vec<String>> = None;
+    let mut seed = 77u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--rows" => rows_list = parse_list(value, "--rows"),
+            "--threads" => threads_list = parse_list(value, "--threads"),
+            "--l" => l = value.parse().expect("bad --l"),
+            "--algos" => algos = Some(value.split(',').map(|s| s.trim().to_string()).collect()),
+            "--seed" => seed = value.parse().expect("bad --seed"),
+            other => panic!("unknown flag '{other}' (try --rows/--threads/--l/--algos/--seed)"),
+        }
+    }
+    if !threads_list.contains(&1) {
+        threads_list.insert(0, 1); // the sequential baseline anchors every speedup
+    }
+    threads_list.sort_unstable();
+    threads_list.dedup();
+
+    let registry = standard_registry();
+    let names: Vec<String> = match algos {
+        Some(list) => list,
+        None => registry.names().iter().map(|s| s.to_string()).collect(),
+    };
+
+    println!(
+        "parallel_speedup: l = {l}, cores available = {}",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    );
+    for &rows in &rows_list {
+        let table = sal(&AcsConfig { rows, seed });
+        println!("\ndataset sal rows={rows} (d={})", table.dimensionality());
+        print!("{:>10}", "mechanism");
+        for &t in &threads_list {
+            print!("  {:>9}", format!("t={t} (s)"));
+            if t != 1 {
+                print!("  {:>6}", "x");
+            }
+        }
+        println!();
+        for name in &names {
+            let mut baseline: Option<(f64, String)> = None;
+            print!("{name:>10}");
+            for &t in &threads_list {
+                let params = Params::new(l).with_threads(t);
+                let start = Instant::now();
+                let outcome = registry.run(name, &table, &params);
+                let cell = match outcome {
+                    Ok(publication) => {
+                        let kl = kl_divergence_with(&table, &publication, &params.executor());
+                        let secs = start.elapsed().as_secs_f64();
+                        let bytes =
+                            wire::publication_json(&table, &publication, &params, kl).render();
+                        Some((secs, bytes))
+                    }
+                    Err(e) => {
+                        print!("  {:>9}", "-");
+                        if t != 1 {
+                            print!("  {:>6}", "-");
+                        }
+                        let _ = e; // infeasible at this l: skip the row cell
+                        None
+                    }
+                };
+                if let Some((secs, bytes)) = cell {
+                    match &baseline {
+                        None => {
+                            baseline = Some((secs, bytes));
+                            print!("  {secs:>9.3}");
+                        }
+                        Some((base_secs, base_bytes)) => {
+                            print!("  {secs:>9.3}  {:>6.2}", base_secs / secs);
+                            assert_eq!(
+                                *base_bytes, bytes,
+                                "{name} at threads={t} diverged from the sequential wire bytes"
+                            );
+                        }
+                    }
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nall parallel runs byte-identical to their sequential baselines \
+         (wire::publication_json)"
+    );
+}

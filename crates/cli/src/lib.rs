@@ -29,8 +29,11 @@
 
 use ldiv_api::{LdivError, Params};
 use ldiv_datagen::{occ, sal, AcsConfig};
-use ldiv_metrics::{kl_divergence, PublicationSummary};
-use ldiv_microdata::{read_csv, write_generalized_csv, write_table_csv, SuppressedTable, Table};
+use ldiv_exec::Executor;
+use ldiv_metrics::{kl_divergence_with, PublicationSummary};
+use ldiv_microdata::{
+    read_csv_with, write_generalized_csv, write_table_csv, SuppressedTable, Table,
+};
 use ldiv_server::wire::{self, Json};
 use ldiv_server::{Server, ServerConfig};
 use ldiversity::standard_registry;
@@ -131,17 +134,19 @@ ldiv — l-diverse anonymization toolkit
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
   ldiv stats     --input FILE [--l L] [--format text|json]
-  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--format text|json]
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--format text|json]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
-  ldiv compare   --input FILE --l L [--format text|json]
+  ldiv compare   --input FILE --l L [--threads T] [--format text|json]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
-  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--dataset-root DIR]
+  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--dataset-root DIR]
 
 MECHANISM is any registered publication method:
   tp | tp+ | hilbert | tds | mondrian | anatomy
 
 `--input -` reads the dataset CSV from standard input. `--format json`
 emits the server wire format (see `ldiv_server::wire`).
+`--threads T` caps intra-run parallelism (0 = auto via LDIV_THREADS or
+the machine, 1 = sequential); output is byte-identical for every T.
 `serve` binds 127.0.0.1:7411 by default; `--addr 127.0.0.1:0` picks an
 ephemeral port (printed on stdout). POST /anonymize, POST /sweep,
 GET /mechanisms, /healthz, /stats.
@@ -163,19 +168,25 @@ pub fn run(opts: &Options) -> Result<String, LdivError> {
     }
 }
 
-/// Loads a table from a path, with `-` as the stdin sentinel.
-fn load_table(path: &str) -> Result<Table, LdivError> {
+/// Loads a table from a path, with `-` as the stdin sentinel. The
+/// executor drives the chunked CSV parse (`--threads` where the command
+/// has it, the auto budget elsewhere).
+fn load_table(path: &str, exec: &Executor) -> Result<Table, LdivError> {
     if path == "-" {
         let stdin = std::io::stdin();
-        return read_table_from(stdin.lock(), "stdin");
+        return read_table_from(stdin.lock(), "stdin", exec);
     }
     let file = std::fs::File::open(path).map_err(|e| LdivError::Io(format!("{path}: {e}")))?;
-    read_table_from(std::io::BufReader::new(file), path)
+    read_table_from(std::io::BufReader::new(file), path, exec)
 }
 
 /// Reads a table CSV from any source, labelling errors with its name.
-fn read_table_from(reader: impl std::io::BufRead, source: &str) -> Result<Table, LdivError> {
-    read_csv(reader, None).map_err(|e| LdivError::Io(format!("{source}: {e}")))
+fn read_table_from(
+    reader: impl std::io::BufRead,
+    source: &str,
+    exec: &Executor,
+) -> Result<Table, LdivError> {
+    read_csv_with(reader, None, exec).map_err(|e| LdivError::Io(format!("{source}: {e}")))
 }
 
 fn create_file(path: &str) -> Result<std::io::BufWriter<std::fs::File>, LdivError> {
@@ -215,7 +226,7 @@ fn cmd_generate(opts: &Options) -> Result<String, LdivError> {
 
 fn cmd_stats(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
-    let table = load_table(input)?;
+    let table = load_table(input, &Executor::default())?;
     let queried_l: Option<u32> = match opts.get("l") {
         None => None,
         Some(l) => Some(l.parse().map_err(|e| usage_err(format!("--l: {e}")))?),
@@ -272,6 +283,7 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let l = opts.require_l()?;
     let algo = opts.require("algo")?;
     let fanout: u32 = opts.parse_num("fanout", 2)?;
+    let threads: u32 = opts.parse_num("threads", 0)?;
     let depth: Option<u32> = match opts.get("depth") {
         None => None,
         Some(s) => Some(s.parse().map_err(|e| usage_err(format!("--depth: {e}")))?),
@@ -287,10 +299,11 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     // output file is created, so a usage mistake cannot leave side
     // effects behind.
     let format = opts.format()?;
-    let table = load_table(input)?;
+    let params = Params::new(l).with_fanout(fanout).with_threads(threads);
+    let exec = params.executor();
+    let table = load_table(input, &exec)?;
 
     let registry = standard_registry();
-    let params = Params::new(l).with_fanout(fanout);
 
     // `--depth` folds in the §5.6 preprocessing workflow via the
     // Anonymizer builder; the publication describes the coarsened table,
@@ -327,7 +340,7 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let output = opts.require("output")?;
     let publication = registry.run(algo, &table, &params)?;
     let published = suppression_rendering(&table, &publication);
-    let kl = kl_divergence(&table, &publication);
+    let kl = kl_divergence_with(&table, &publication, &exec);
 
     let mut f = create_file(output)?;
     write_generalized_csv(&mut f, &table, &published).map_err(io_err(output))?;
@@ -344,7 +357,7 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     // Summarize the table actually written, so stars/suppressed match the
     // CSV the user just received even when the mechanism's native payload
     // (boxes, anatomy, recoding) has no stars of its own.
-    let summary = PublicationSummary::of(&table, &published);
+    let summary = PublicationSummary::of_with(&table, &published, &exec);
     let mut msg = format!(
         "wrote {} rows to {output}\nmechanism: {}\nstars: {} ({:.2}% of QI cells)\nsuppressed tuples: {}\nQI-groups: {}\nKL-divergence: {:.4}\n",
         summary.rows,
@@ -374,7 +387,7 @@ fn cmd_anatomize(opts: &Options) -> Result<String, LdivError> {
     let qit_path = opts.require("qit")?;
     let st_path = opts.require("st")?;
     let l = opts.require_l()?;
-    let table = load_table(input)?;
+    let table = load_table(input, &Executor::default())?;
     // Anatomy's native two-table output needs the low-level API (the
     // unified payload does not carry CSV writers).
     let published = ldiv_anatomy::anatomize(&table, l)?;
@@ -398,11 +411,13 @@ fn cmd_anatomize(opts: &Options) -> Result<String, LdivError> {
 fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
     let l = opts.require_l()?;
-    let table = load_table(input)?;
+    let threads: u32 = opts.parse_num("threads", 0)?;
+    let params = Params::new(l).with_threads(threads);
+    let exec = params.executor();
+    let table = load_table(input, &exec)?;
     table.check_l_feasible(l)?;
 
     let registry = standard_registry();
-    let params = Params::new(l);
     if opts.format()? == Format::Json {
         // The same shape as the server's POST /sweep: one summary or
         // error entry per registered mechanism, in registry order.
@@ -411,7 +426,7 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
             .iter()
             .map(|name| match registry.run(name, &table, &params) {
                 Ok(publication) => {
-                    let kl = kl_divergence(&table, &publication);
+                    let kl = kl_divergence_with(&table, &publication, &exec);
                     wire::publication_json(&table, &publication, &params, kl)
                 }
                 Err(e) => wire::error_json(&e).field("mechanism", *name),
@@ -434,7 +449,7 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
     for name in registry.names() {
         match registry.run(name, &table, &params) {
             Ok(publication) => {
-                let kl = kl_divergence(&table, &publication);
+                let kl = kl_divergence_with(&table, &publication, &exec);
                 out.push_str(&format!(
                     "{name:>9} {:>12} {:>12} {:>10} {kl:>10.4}\n",
                     publication.star_count(),
@@ -453,7 +468,7 @@ fn cmd_sweep(opts: &Options) -> Result<String, LdivError> {
     let l = opts.require_l()?;
     let fanout: u32 = opts.parse_num("fanout", 2)?;
     let max_depth: u32 = opts.parse_num("depth", 8)?;
-    let table = load_table(input)?;
+    let table = load_table(input, &Executor::default())?;
     table.check_l_feasible(l)?;
     let points = ldiv_pipeline::preprocessing_sweep(
         &table,
@@ -494,6 +509,7 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
         workers: opts.parse_num("workers", defaults.workers)?,
         queue_depth: opts.parse_num("queue", defaults.queue_depth)?,
         cache_capacity: opts.parse_num("cache", defaults.cache_capacity)?,
+        threads: opts.parse_num("threads", defaults.threads)?,
         dataset_root: opts.get("dataset-root").map(std::path::PathBuf::from),
     };
     let server = Server::bind(addr, standard_registry(), config)
@@ -502,11 +518,16 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
     // with (worker/queue floors applied), matching GET /stats.
     let running = server.state().config();
     let banner = format!(
-        "listening on http://{} ({} workers, queue {}, cache {})\n",
+        "listening on http://{} ({} workers, queue {}, cache {}, {} threads/run)\n",
         server.addr(),
         running.workers,
         running.queue_depth,
-        running.cache_capacity
+        running.cache_capacity,
+        if running.threads == 0 {
+            "auto".to_string()
+        } else {
+            running.threads.to_string()
+        }
     );
     Ok((server, banner))
 }
@@ -568,7 +589,8 @@ mod tests {
         // The `-` sentinel routes through `read_table_from(.., "stdin")`
         // rather than opening a file literally named "-". Exercised here
         // with an in-memory reader so the test never touches real stdin.
-        let err = read_table_from(std::io::Cursor::new(""), "stdin").unwrap_err();
+        let exec = Executor::sequential();
+        let err = read_table_from(std::io::Cursor::new(""), "stdin", &exec).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("stdin"), "{msg}");
         assert_eq!(err.exit_code(), 1);
@@ -576,6 +598,7 @@ mod tests {
         let table = read_table_from(
             std::io::Cursor::new("qi0,qi1,sa\n1,2,flu\n3,4,cold\n"),
             "stdin",
+            &exec,
         )
         .unwrap();
         assert_eq!(table.len(), 2);

@@ -9,6 +9,7 @@
 
 use crate::error::CoreError;
 use crate::tp::{tuple_minimize, TpOutcome};
+use ldiv_exec::Executor;
 use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table};
 
 /// Strategy for splitting the residue set into smaller l-eligible groups.
@@ -20,6 +21,24 @@ pub trait ResiduePartitioner {
     /// are rejected by [`anonymize`], which then falls back to the
     /// single-group residue.
     fn partition_residue(&self, table: &Table, residue: &[RowId], l: u32) -> Partition;
+
+    /// [`partition_residue`](ResiduePartitioner::partition_residue)
+    /// under an explicit thread budget. The default ignores the executor
+    /// (correct for inherently sequential strategies); parallel
+    /// implementations override it and must keep the output identical
+    /// for every budget — [`anonymize_with`] passes the run's budget
+    /// here, so this is what makes `--threads` reach the `tp+` residue
+    /// phase.
+    fn partition_residue_with(
+        &self,
+        table: &Table,
+        residue: &[RowId],
+        l: u32,
+        exec: &Executor,
+    ) -> Partition {
+        let _ = exec;
+        self.partition_residue(table, residue, l)
+    }
 
     /// A short name for reports and benches.
     fn name(&self) -> &'static str {
@@ -74,18 +93,31 @@ impl AnonymizationResult {
 
 /// Runs TP and publishes the table, re-partitioning the residue with the
 /// given strategy (TP+ when the strategy is a real heuristic, plain TP with
-/// [`SingleGroupResidue`]).
+/// [`SingleGroupResidue`]). Uses the auto thread budget for the residue
+/// strategy.
 pub fn anonymize<P: ResiduePartitioner>(
     table: &Table,
     l: u32,
     partitioner: &P,
+) -> Result<AnonymizationResult, CoreError> {
+    anonymize_with(table, l, partitioner, &Executor::default())
+}
+
+/// [`anonymize`] under an explicit thread budget, forwarded to the
+/// residue partitioner (the TP phases themselves are the paper's greedy
+/// sequential passes). Output is identical for every budget.
+pub fn anonymize_with<P: ResiduePartitioner>(
+    table: &Table,
+    l: u32,
+    partitioner: &P,
+    exec: &Executor,
 ) -> Result<AnonymizationResult, CoreError> {
     let tp = tuple_minimize(table, l)?;
     let mut partition = tp.partition.clone();
     let mut fell_back = false;
 
     if !tp.residue.is_empty() {
-        let sub = partitioner.partition_residue(table, &tp.residue, l);
+        let sub = partitioner.partition_residue_with(table, &tp.residue, l, exec);
         if residue_partition_ok(table, &tp.residue, &sub, l) {
             partition.extend(sub);
         } else {

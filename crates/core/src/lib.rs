@@ -63,7 +63,9 @@ mod residue;
 mod tp;
 
 pub use error::CoreError;
-pub use hybrid::{anonymize, AnonymizationResult, ResiduePartitioner, SingleGroupResidue};
+pub use hybrid::{
+    anonymize, anonymize_with, AnonymizationResult, ResiduePartitioner, SingleGroupResidue,
+};
 pub use mechanism::{TpHybridMechanism, TpMechanism};
 pub use residue::ResidueSet;
 pub use tp::{tuple_minimize, tuple_minimize_groups, Phase, StructureCounters, TpOutcome, TpStats};

@@ -5,7 +5,7 @@
 //! §5.6 hybrid hook behind the `"tp+"` registry entry, whose Hilbert
 //! partitioner lives in `ldiv-hilbert`.
 
-use crate::hybrid::{anonymize, ResiduePartitioner, SingleGroupResidue};
+use crate::hybrid::{anonymize_with, ResiduePartitioner, SingleGroupResidue};
 use ldiv_api::{LdivError, Mechanism, Params, Payload, Publication};
 use ldiv_microdata::Table;
 
@@ -37,7 +37,7 @@ impl<P: ResiduePartitioner + Send + Sync> Mechanism for TpHybridMechanism<P> {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
-        let result = anonymize(table, params.l, &self.partitioner)?;
+        let result = anonymize_with(table, params.l, &self.partitioner, &params.executor())?;
         let refined = result.partition.group_count() - result.tp.partition.group_count();
         let mut publication = Publication::new(
             self.name.clone(),
@@ -84,6 +84,7 @@ impl Mechanism for TpMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hybrid::anonymize;
     use ldiv_microdata::samples;
 
     #[test]

@@ -2,8 +2,13 @@
 
 use crate::curve::HilbertCurve;
 use ldiv_core::ResiduePartitioner;
+use ldiv_exec::Executor;
 use ldiv_microdata::{Partition, RowId, SuppressedTable, Table, Value};
 use std::collections::BTreeSet;
+
+/// Rows per parallel indexing chunk. Fixed (never derived from the
+/// thread count) so the work decomposition is budget-independent.
+const INDEX_CHUNK: usize = 8_192;
 
 /// One group being assembled: its rows, an SA multiplicity sketch and its
 /// span on the curve (for nearest-group queries during leftover
@@ -56,6 +61,18 @@ impl OpenGroup {
 /// when it is violated the final groups may fail eligibility, which the
 /// `"hilbert"` mechanism and the TP+ driver both check.
 pub fn hilbert_partition(table: &Table, rows: &[RowId], l: u32) -> Partition {
+    hilbert_partition_with(table, rows, l, &Executor::default())
+}
+
+/// [`hilbert_partition`] under an explicit thread budget.
+///
+/// The expensive part — mapping every row's QI vector to its Hilbert
+/// index — fans out over fixed-size chunks; the index is a pure function
+/// of the row, and the ordered buckets erase arrival order, so the
+/// grouping that follows is byte-identical for every budget. The
+/// draining itself is inherently sequential (each group depends on what
+/// earlier groups consumed).
+pub fn hilbert_partition_with(table: &Table, rows: &[RowId], l: u32, exec: &Executor) -> Partition {
     assert!(l >= 1, "l must be positive");
     if rows.is_empty() {
         return Partition::default();
@@ -63,15 +80,25 @@ pub fn hilbert_partition(table: &Table, rows: &[RowId], l: u32) -> Partition {
     let curve = curve_for(table);
     let m = table.schema().sa_domain_size() as usize;
 
-    // Bucket rows by SA value, ordered by Hilbert index.
+    // Bucket rows by SA value, ordered by Hilbert index. Index
+    // computation is the hot loop; it parallelizes embarrassingly.
+    let indexed: Vec<Vec<(u128, RowId, Value)>> = exec.map_chunks(rows, INDEX_CHUNK, |chunk| {
+        let mut axes = vec![0u32; table.dimensionality()];
+        chunk
+            .iter()
+            .map(|&r| {
+                for (a, &v) in axes.iter_mut().zip(table.qi_row(r)) {
+                    *a = v as u32;
+                }
+                (curve.index_of(&axes), r, table.sa_value(r))
+            })
+            .collect()
+    });
     let mut buckets: Vec<BTreeSet<(u128, RowId)>> = vec![BTreeSet::new(); m];
-    let mut axes = vec![0u32; table.dimensionality()];
-    for &r in rows {
-        for (a, &v) in axes.iter_mut().zip(table.qi_row(r)) {
-            *a = v as u32;
+    for part in indexed {
+        for (h, r, sa) in part {
+            buckets[sa as usize].insert((h, r));
         }
-        let h = curve.index_of(&axes);
-        buckets[table.sa_value(r) as usize].insert((h, r));
     }
 
     let mut groups: Vec<OpenGroup> = Vec::with_capacity(rows.len() / l as usize + 1);
@@ -195,9 +222,19 @@ fn curve_for(table: &Table) -> HilbertCurve {
 
 /// Shared implementation of the full-table baseline (also the
 /// `"hilbert"` mechanism's body).
+#[cfg(test)]
 pub(crate) fn hilbert_publish(table: &Table, l: u32) -> (Partition, SuppressedTable) {
+    hilbert_publish_with(table, l, &Executor::default())
+}
+
+/// The full-table baseline under an explicit thread budget.
+pub(crate) fn hilbert_publish_with(
+    table: &Table,
+    l: u32,
+    exec: &Executor,
+) -> (Partition, SuppressedTable) {
     let rows: Vec<RowId> = (0..table.len() as RowId).collect();
-    let mut partition = hilbert_partition(table, &rows, l);
+    let mut partition = hilbert_partition_with(table, &rows, l, exec);
     if !partition.is_l_diverse(table, l) {
         // Defensive fallback, reachable only on non-l-eligible inputs or
         // pathological tiny leftovers: one group is l-diverse iff the whole
@@ -216,6 +253,18 @@ pub struct HilbertResidue;
 impl ResiduePartitioner for HilbertResidue {
     fn partition_residue(&self, table: &Table, residue: &[RowId], l: u32) -> Partition {
         hilbert_partition(table, residue, l)
+    }
+
+    fn partition_residue_with(
+        &self,
+        table: &Table,
+        residue: &[RowId],
+        l: u32,
+        exec: &Executor,
+    ) -> Partition {
+        // Same grouping for every budget (the indexing scan is the only
+        // parallel part); this is how `tp+` honours `Params::threads`.
+        hilbert_partition_with(table, residue, l, exec)
     }
 
     fn name(&self) -> &'static str {

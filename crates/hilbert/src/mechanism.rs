@@ -1,7 +1,7 @@
 //! The unified-API faces of this crate: the `"hilbert"` baseline and the
 //! `"tp+"` hybrid.
 
-use crate::grouping::{hilbert_publish, HilbertResidue};
+use crate::grouping::{hilbert_publish_with, HilbertResidue};
 use ldiv_api::{LdivError, Mechanism, Params, Payload, Publication};
 use ldiv_core::TpHybridMechanism;
 use ldiv_microdata::Table;
@@ -29,7 +29,7 @@ impl Mechanism for HilbertMechanism {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
-        let (partition, published) = hilbert_publish(table, params.l);
+        let (partition, published) = hilbert_publish_with(table, params.l, &params.executor());
         Ok(Publication::new(
             "hilbert",
             partition,
@@ -41,6 +41,7 @@ impl Mechanism for HilbertMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grouping::hilbert_publish;
 
     #[test]
     fn mechanisms_match_the_low_level_calls() {

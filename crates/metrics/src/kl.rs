@@ -1,12 +1,17 @@
 //! The KL-divergence of the paper's Eq. (2).
 
 use crate::Recoding;
+use ldiv_exec::Executor;
 use ldiv_microdata::{SuppressedTable, Table, Value};
 use std::collections::HashMap;
 
-/// Minimum number of support points before the computation fans out over
-/// threads.
-const PARALLEL_THRESHOLD: usize = 40_000;
+/// Support points per reduction chunk. The KL sums are computed as
+/// per-chunk partial sums added in chunk order
+/// ([`Executor::sum_chunked`]); since the chunk boundaries depend only
+/// on this constant — never on the thread budget — every budget yields
+/// a bit-identical `f64`, which is what keeps wire responses and cache
+/// entries byte-stable across `--threads` settings.
+pub(crate) const KL_CHUNK: usize = 4_096;
 
 /// Distinct `(QI vector, SA)` support points of the microdata pdf `f`,
 /// with multiplicities. Keys are `[qi..., sa]`, **sorted**: float
@@ -36,11 +41,22 @@ pub(crate) fn support_points(table: &Table) -> Vec<(Vec<Value>, u32)> {
 
 /// `KL(f, f*)` for a suppression-based publication (Eq. 2): a starred
 /// value spreads uniformly over its whole attribute domain, retained
-/// values stay point masses, every row keeps its own SA value.
+/// values stay point masses, every row keeps its own SA value. Uses the
+/// auto thread budget.
 ///
 /// Runs in `O(n + |support| · #patterns)` where a *pattern* is a distinct
 /// star mask among the groups (≤ 2^d, typically ≪).
 pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f64 {
+    kl_divergence_suppressed_with(table, published, &Executor::default())
+}
+
+/// [`kl_divergence_suppressed`] under an explicit thread budget
+/// (bit-identical result for every budget).
+pub fn kl_divergence_suppressed_with(
+    table: &Table,
+    published: &SuppressedTable,
+    exec: &Executor,
+) -> f64 {
     assert_eq!(table.dimensionality(), published.dimensionality());
     assert_eq!(
         table.len(),
@@ -96,60 +112,54 @@ pub fn kl_divergence_suppressed(table: &Table, published: &SuppressedTable) -> f
     }
 
     let points = support_points(table);
-
-    let term = |point: &[Value], count: u32| -> f64 {
-        let f_p = count as f64 / n;
-        let mut fstar = 0.0;
+    let patterns = &patterns;
+    // One key buffer per chunk (not per point), per-chunk partial sums
+    // added in chunk order — the same reduction shape as `sum_chunked`,
+    // so the value is bit-identical for every budget.
+    exec.map_chunks(&points, KL_CHUNK, |part| {
         let mut key: Vec<Value> = Vec::with_capacity(d + 1);
-        for p in &patterns {
-            key.clear();
-            for (&star, &pv) in p.stars.iter().zip(&point[..d]) {
-                if !star {
-                    key.push(pv);
+        part.iter()
+            .map(|(point, count)| {
+                let f_p = *count as f64 / n;
+                let mut fstar = 0.0;
+                for p in patterns {
+                    key.clear();
+                    for (&star, &pv) in p.stars.iter().zip(&point[..d]) {
+                        if !star {
+                            key.push(pv);
+                        }
+                    }
+                    key.push(point[d]);
+                    if let Some(&m) = p.mass.get(&key) {
+                        fstar += m;
+                    }
                 }
-            }
-            key.push(point[d]);
-            if let Some(&m) = p.mass.get(&key) {
-                fstar += m;
-            }
-        }
-        let fstar_p = fstar / n;
-        debug_assert!(
-            fstar_p > 0.0,
-            "f* must be positive on the support of f (point {point:?})"
-        );
-        f_p * (f_p / fstar_p).ln()
-    };
-
-    if points.len() < PARALLEL_THRESHOLD {
-        points.iter().map(|(p, c)| term(p, *c)).sum()
-    } else {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(16);
-        let chunk = points.len().div_ceil(threads);
-        let term = &term;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = points
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().map(|(p, c)| term(p, *c)).sum::<f64>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("kl worker"))
-                .sum()
-        })
-    }
+                let fstar_p = fstar / n;
+                debug_assert!(
+                    fstar_p > 0.0,
+                    "f* must be positive on the support of f (point {point:?})"
+                );
+                f_p * (f_p / fstar_p).ln()
+            })
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum()
 }
 
 /// `KL(f, f*)` for a global recoding (single-dimensional generalization,
 /// the TDS output): value `v` of attribute `A_i` spreads uniformly over
-/// its sub-domain.
+/// its sub-domain. Uses the auto thread budget.
 ///
 /// Global recoding maps every support point to exactly one generalized
 /// cell, so the computation is a pair of hash passes — `O(n)`.
 pub fn kl_divergence_recoded(table: &Table, recoding: &Recoding) -> f64 {
+    kl_divergence_recoded_with(table, recoding, &Executor::default())
+}
+
+/// [`kl_divergence_recoded`] under an explicit thread budget
+/// (bit-identical result for every budget).
+pub fn kl_divergence_recoded_with(table: &Table, recoding: &Recoding, exec: &Executor) -> f64 {
     assert_eq!(table.dimensionality(), recoding.dimensionality());
     let d = table.dimensionality();
     let n = table.len() as f64;
@@ -171,22 +181,28 @@ pub fn kl_divergence_recoded(table: &Table, recoding: &Recoding) -> f64 {
         }
     }
 
-    // Pass 2: sum over the exact support.
+    // Pass 2: sum over the exact support — one cell buffer per chunk,
+    // partial sums added in chunk order (bit-identical for any budget).
     let f_support = support_points(table);
-    let mut kl = 0.0;
-    for (point, count) in &f_support {
-        let count = *count;
-        let f_p = count as f64 / n;
-        recoding.apply_into(&point[..d], &mut cell[..d]);
-        cell[d] = point[d] as u32;
-        let cell_rows = cell_count[&cell] as f64;
-        let width: f64 = (0..d)
-            .map(|a| recoding.bucket_width(a, point[a]) as f64)
-            .product();
-        let fstar_p = cell_rows / (n * width);
-        kl += f_p * (f_p / fstar_p).ln();
-    }
-    kl
+    let cell_count = &cell_count;
+    exec.map_chunks(&f_support, KL_CHUNK, |part| {
+        let mut cell = vec![0u32; d + 1];
+        part.iter()
+            .map(|(point, count)| {
+                let f_p = *count as f64 / n;
+                recoding.apply_into(&point[..d], &mut cell[..d]);
+                cell[d] = point[d] as u32;
+                let cell_rows = cell_count[&cell] as f64;
+                let width: f64 = (0..d)
+                    .map(|a| recoding.bucket_width(a, point[a]) as f64)
+                    .product();
+                let fstar_p = cell_rows / (n * width);
+                f_p * (f_p / fstar_p).ln()
+            })
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum()
 }
 
 /// `KL(f, f*)` for a *coarsened-then-suppressed* publication: the §5.6
@@ -196,11 +212,23 @@ pub fn kl_divergence_recoded(table: &Table, recoding: &Recoding) -> f64 {
 /// (spreads over the bucket's sub-domain).
 ///
 /// `published` must be a publication of the coarsened table (its retained
-/// values are bucket ids); `table` is the original microdata.
+/// values are bucket ids); `table` is the original microdata. Uses the
+/// auto thread budget.
 pub fn kl_divergence_coarse_suppressed(
     table: &Table,
     recoding: &Recoding,
     published: &SuppressedTable,
+) -> f64 {
+    kl_divergence_coarse_suppressed_with(table, recoding, published, &Executor::default())
+}
+
+/// [`kl_divergence_coarse_suppressed`] under an explicit thread budget
+/// (bit-identical result for every budget).
+pub fn kl_divergence_coarse_suppressed_with(
+    table: &Table,
+    recoding: &Recoding,
+    published: &SuppressedTable,
+    exec: &Executor,
 ) -> f64 {
     assert_eq!(table.dimensionality(), published.dimensionality());
     assert_eq!(table.dimensionality(), recoding.dimensionality());
@@ -252,31 +280,35 @@ pub fn kl_divergence_coarse_suppressed(
     }
 
     let f_support = support_points(table);
-    let mut kl = 0.0;
-    let mut key: Vec<Value> = Vec::with_capacity(d + 1);
-    for (point, count) in &f_support {
-        let count = *count;
-        let f_p = count as f64 / n;
-        let mut fstar = 0.0;
-        for p in &patterns {
-            key.clear();
-            let mut bucket_spread = 1.0;
-            for (a, &star) in p.stars.iter().enumerate() {
-                if !star {
-                    key.push(recoding.bucket(a, point[a]) as Value);
-                    bucket_spread /= recoding.bucket_width(a, point[a]) as f64;
+    let patterns = &patterns;
+    exec.map_chunks(&f_support, KL_CHUNK, |part| {
+        let mut key: Vec<Value> = Vec::with_capacity(d + 1);
+        part.iter()
+            .map(|(point, count)| {
+                let f_p = *count as f64 / n;
+                let mut fstar = 0.0;
+                for p in patterns {
+                    key.clear();
+                    let mut bucket_spread = 1.0;
+                    for (a, &star) in p.stars.iter().enumerate() {
+                        if !star {
+                            key.push(recoding.bucket(a, point[a]) as Value);
+                            bucket_spread /= recoding.bucket_width(a, point[a]) as f64;
+                        }
+                    }
+                    key.push(point[d]);
+                    if let Some(&m) = p.mass.get(&key) {
+                        fstar += m * bucket_spread;
+                    }
                 }
-            }
-            key.push(point[d]);
-            if let Some(&m) = p.mass.get(&key) {
-                fstar += m * bucket_spread;
-            }
-        }
-        let fstar_p = fstar / n;
-        debug_assert!(fstar_p > 0.0, "f* must cover the support (point {point:?})");
-        kl += f_p * (f_p / fstar_p).ln();
-    }
-    kl
+                let fstar_p = fstar / n;
+                debug_assert!(fstar_p > 0.0, "f* must cover the support (point {point:?})");
+                f_p * (f_p / fstar_p).ln()
+            })
+            .sum::<f64>()
+    })
+    .into_iter()
+    .sum()
 }
 
 #[cfg(test)]

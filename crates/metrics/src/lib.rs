@@ -33,9 +33,15 @@ mod loss;
 mod publication;
 mod stats;
 
-pub use kl::{kl_divergence_coarse_suppressed, kl_divergence_recoded, kl_divergence_suppressed};
+pub use kl::{
+    kl_divergence_coarse_suppressed, kl_divergence_coarse_suppressed_with, kl_divergence_recoded,
+    kl_divergence_recoded_with, kl_divergence_suppressed, kl_divergence_suppressed_with,
+};
 pub use loss::{discernibility, ncp_recoded, ncp_suppressed};
-pub use publication::{kl_divergence, kl_divergence_anatomy_tables, kl_divergence_boxes};
+pub use publication::{
+    kl_divergence, kl_divergence_anatomy_tables, kl_divergence_anatomy_tables_with,
+    kl_divergence_boxes, kl_divergence_boxes_with, kl_divergence_with,
+};
 pub use stats::PublicationSummary;
 
 /// Re-export: the recoding description now lives in the `ldiv-api`

@@ -13,29 +13,56 @@
 //! * **Anatomy** keeps every QI vector exact and spreads the SA value
 //!   over the group's published sensitive-table distribution.
 
-use crate::kl::support_points;
-use crate::{kl_divergence_recoded, kl_divergence_suppressed};
+use crate::kl::{support_points, KL_CHUNK};
+use crate::{kl_divergence_recoded_with, kl_divergence_suppressed_with};
 use ldiv_api::{AnatomyTables, AttrRange, Payload, Publication};
-use ldiv_microdata::{Partition, Table, Value};
+use ldiv_exec::Executor;
+use ldiv_microdata::{Partition, RowId, Table, Value};
 use std::collections::HashMap;
 
 /// `KL(f, f*)` of Eq. (2) for any publication, dispatching on the
-/// payload's semantics.
+/// payload's semantics. Uses the auto thread budget.
 pub fn kl_divergence(table: &Table, publication: &Publication) -> f64 {
+    kl_divergence_with(table, publication, &Executor::default())
+}
+
+/// [`kl_divergence`] under an explicit thread budget.
+///
+/// Every payload's reduction is chunked with thread-independent
+/// boundaries, so the value is bit-identical for any budget — a cached
+/// wire response computed at `--threads 8` is byte-equal to a sequential
+/// recomputation.
+pub fn kl_divergence_with(table: &Table, publication: &Publication, exec: &Executor) -> f64 {
     match publication.payload() {
-        Payload::Suppressed(s) => kl_divergence_suppressed(table, s),
-        Payload::Recoded(r) => kl_divergence_recoded(table, r),
-        Payload::Boxes(boxes) => kl_divergence_boxes(table, publication.partition(), boxes),
-        Payload::Anatomy(a) => kl_divergence_anatomy_tables(table, publication.partition(), a),
+        Payload::Suppressed(s) => kl_divergence_suppressed_with(table, s, exec),
+        Payload::Recoded(r) => kl_divergence_recoded_with(table, r, exec),
+        Payload::Boxes(boxes) => {
+            kl_divergence_boxes_with(table, publication.partition(), boxes, exec)
+        }
+        Payload::Anatomy(a) => {
+            kl_divergence_anatomy_tables_with(table, publication.partition(), a, exec)
+        }
     }
 }
 
 /// `KL(f, f*)` for the multi-dimensional range semantics: each published
 /// row spreads uniformly over its group's box, keeping its own SA value.
+/// Uses the auto thread budget.
 ///
 /// Exact but `O(|support| · #groups)` in the worst case (boxes may
 /// overlap arbitrarily after the §6.2 star-to-box transformation).
 pub fn kl_divergence_boxes(table: &Table, partition: &Partition, boxes: &[Vec<AttrRange>]) -> f64 {
+    kl_divergence_boxes_with(table, partition, boxes, &Executor::default())
+}
+
+/// [`kl_divergence_boxes`] under an explicit thread budget
+/// (bit-identical result for every budget).
+pub fn kl_divergence_boxes_with(
+    table: &Table,
+    partition: &Partition,
+    boxes: &[Vec<AttrRange>],
+    exec: &Executor,
+) -> f64 {
     assert_eq!(partition.group_count(), boxes.len());
     assert_eq!(partition.covered_rows(), table.len());
     let d = table.dimensionality();
@@ -45,29 +72,27 @@ pub fn kl_divergence_boxes(table: &Table, partition: &Partition, boxes: &[Vec<At
     }
 
     // Per group and SA value: mass × uniform spread over the box.
+    // Groups are independent; the index builds as an ordered map.
     struct GroupMass<'a> {
         ranges: &'a [AttrRange],
         by_sa: HashMap<Value, f64>,
     }
-    let masses: Vec<GroupMass<'_>> = partition
-        .groups()
-        .iter()
-        .zip(boxes)
-        .map(|(rows, ranges)| {
-            let spread: f64 = ranges.iter().map(|r| 1.0 / r.width() as f64).product();
-            let mut by_sa: HashMap<Value, f64> = HashMap::new();
-            for &r in rows {
-                *by_sa.entry(table.sa_value(r)).or_insert(0.0) += spread;
-            }
-            GroupMass { ranges, by_sa }
-        })
-        .collect();
+    let pairs: Vec<(&Vec<RowId>, &Vec<AttrRange>)> = partition.groups().iter().zip(boxes).collect();
+    let masses: Vec<GroupMass<'_>> = exec.map(&pairs, |&(rows, ranges)| {
+        let spread: f64 = ranges.iter().map(|r| 1.0 / r.width() as f64).product();
+        let mut by_sa: HashMap<Value, f64> = HashMap::new();
+        for &r in rows {
+            *by_sa.entry(table.sa_value(r)).or_insert(0.0) += spread;
+        }
+        GroupMass { ranges, by_sa }
+    });
 
-    let mut kl = 0.0;
-    for (point, count) in &support_points(table) {
+    let points = support_points(table);
+    let masses = &masses;
+    exec.sum_chunked(&points, KL_CHUNK, |(point, count)| {
         let f_p = *count as f64 / n;
         let mut fstar = 0.0;
-        for gm in &masses {
+        for gm in masses {
             if gm
                 .ranges
                 .iter()
@@ -81,18 +106,28 @@ pub fn kl_divergence_boxes(table: &Table, partition: &Partition, boxes: &[Vec<At
         }
         let fstar_p = fstar / n;
         debug_assert!(fstar_p > 0.0, "f* must cover the support");
-        kl += f_p * (f_p / fstar_p).ln();
-    }
-    kl
+        f_p * (f_p / fstar_p).ln()
+    })
 }
 
 /// `KL(f, f*)` under anatomy's semantics: each published tuple keeps its
 /// exact QI vector, and its SA value spreads over the group's published
-/// SA distribution (`count / |group|`).
+/// SA distribution (`count / |group|`). Uses the auto thread budget.
 pub fn kl_divergence_anatomy_tables(
     table: &Table,
     partition: &Partition,
     tables: &AnatomyTables,
+) -> f64 {
+    kl_divergence_anatomy_tables_with(table, partition, tables, &Executor::default())
+}
+
+/// [`kl_divergence_anatomy_tables`] under an explicit thread budget
+/// (bit-identical result for every budget).
+pub fn kl_divergence_anatomy_tables_with(
+    table: &Table,
+    partition: &Partition,
+    tables: &AnatomyTables,
+    exec: &Executor,
 ) -> f64 {
     let d = table.dimensionality();
     let n = table.len() as f64;
@@ -129,8 +164,10 @@ pub fn kl_divergence_anatomy_tables(
         entries.sort_unstable();
     }
 
-    let mut kl = 0.0;
-    for (point, count) in &support_points(table) {
+    let points = support_points(table);
+    let by_qi = &by_qi;
+    let sa_share = &sa_share;
+    exec.sum_chunked(&points, KL_CHUNK, |(point, count)| {
         let f_p = *count as f64 / n;
         let qi = &point[..d];
         let s = point[d];
@@ -144,14 +181,14 @@ pub fn kl_divergence_anatomy_tables(
         }
         let fstar_p = fstar / n;
         debug_assert!(fstar_p > 0.0, "f* must cover the support");
-        kl += f_p * (f_p / fstar_p).ln();
-    }
-    kl
+        f_p * (f_p / fstar_p).ln()
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kl_divergence_suppressed;
     use ldiv_api::Publication;
     use ldiv_microdata::samples;
 

@@ -6,14 +6,36 @@
 //! attribute labels first and fall back to integer codes.
 
 use crate::{Attribute, MicrodataError, Schema, SuppressedTable, Table, TableBuilder, Value};
+use ldiv_exec::Executor;
 use std::io::{BufRead, Write};
 
+/// Lines per parallel parsing chunk. Fixed (never derived from the
+/// thread count) so the decomposition — and the first error reported —
+/// is identical for every budget.
+const PARSE_CHUNK: usize = 4_096;
+
 /// Reads a table whose last column is the SA and all other columns are QIs.
+/// Uses the auto thread budget for the parse.
 ///
 /// When `schema` is `None`, a schema is inferred: every column becomes a
 /// labelled categorical attribute whose domain is the set of distinct cell
 /// strings in first-appearance order.
 pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, MicrodataError> {
+    read_csv_with(reader, schema, &Executor::default())
+}
+
+/// [`read_csv`] under an explicit thread budget.
+///
+/// I/O and schema inference stay sequential (inference orders each
+/// domain by first appearance, which is inherently a scan); the two
+/// per-line passes — cell splitting and label-to-code parsing — fan out
+/// over fixed-size line chunks. Results (and the first error, in file
+/// order) are identical for every budget.
+pub fn read_csv_with<R: BufRead>(
+    reader: R,
+    schema: Option<Schema>,
+    exec: &Executor,
+) -> Result<Table, MicrodataError> {
     let mut lines = reader.lines();
     let header = lines
         .next()
@@ -26,22 +48,41 @@ pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, 
         ));
     }
 
-    let mut raw_rows: Vec<Vec<String>> = Vec::new();
+    // Sequential I/O: collect the non-empty data lines with their file
+    // line numbers (for error messages).
+    let mut raw_lines: Vec<(usize, String)> = Vec::new();
     for (lineno, line) in lines.enumerate() {
         let line = line.map_err(|e| MicrodataError::Csv(e.to_string()))?;
         if line.trim().is_empty() {
             continue;
         }
-        let cells: Vec<String> = split_csv_line(&line);
-        if cells.len() != names.len() {
-            return Err(MicrodataError::Csv(format!(
-                "line {}: expected {} cells, found {}",
-                lineno + 2,
-                names.len(),
-                cells.len()
-            )));
-        }
-        raw_rows.push(cells);
+        raw_lines.push((lineno + 2, line));
+    }
+
+    // Parallel pass 1: split every line into cells, checking arity. Each
+    // chunk stops at its first bad line; taking the first error in chunk
+    // order reports exactly the first bad line of the file.
+    let split: Vec<Result<Vec<Vec<String>>, MicrodataError>> =
+        exec.map_chunks(&raw_lines, PARSE_CHUNK, |chunk| {
+            chunk
+                .iter()
+                .map(|(file_line, line)| {
+                    let cells = split_csv_line(line);
+                    if cells.len() != names.len() {
+                        return Err(MicrodataError::Csv(format!(
+                            "line {}: expected {} cells, found {}",
+                            file_line,
+                            names.len(),
+                            cells.len()
+                        )));
+                    }
+                    Ok(cells)
+                })
+                .collect()
+        });
+    let mut raw_rows: Vec<Vec<String>> = Vec::with_capacity(raw_lines.len());
+    for part in split {
+        raw_rows.extend(part?);
     }
 
     let schema = match schema {
@@ -58,15 +99,28 @@ pub fn read_csv<R: BufRead>(reader: R, schema: Option<Schema>) -> Result<Table, 
         None => infer_schema(&names, &raw_rows)?,
     };
 
+    // Parallel pass 2: code every cell against the schema.
+    type CodedChunk = Result<Vec<(Vec<Value>, Value)>, MicrodataError>;
     let d = schema.dimensionality();
+    let schema_ref = &schema;
+    let coded: Vec<CodedChunk> = exec.map_chunks(&raw_rows, PARSE_CHUNK, |chunk| {
+        chunk
+            .iter()
+            .map(|cells| {
+                let mut qi = vec![0 as Value; d];
+                for (i, cell) in cells[..d].iter().enumerate() {
+                    qi[i] = parse_cell(schema_ref.qi_attribute(i), cell)?;
+                }
+                let sa = parse_cell(schema_ref.sensitive(), &cells[d])?;
+                Ok((qi, sa))
+            })
+            .collect()
+    });
     let mut builder = TableBuilder::with_capacity(schema.clone(), raw_rows.len());
-    let mut qi_buf: Vec<Value> = vec![0; d];
-    for cells in &raw_rows {
-        for (i, cell) in cells[..d].iter().enumerate() {
-            qi_buf[i] = parse_cell(schema.qi_attribute(i), cell)?;
+    for part in coded {
+        for (qi, sa) in part? {
+            builder.push_row(&qi, sa)?;
         }
-        let sa = parse_cell(schema.sensitive(), &cells[d])?;
-        builder.push_row(&qi_buf, sa)?;
     }
     Ok(builder.build())
 }

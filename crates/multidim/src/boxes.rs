@@ -1,6 +1,7 @@
 //! Range-generalized publications and the §6.2 transformation.
 
 use ldiv_api::{Payload, Publication};
+use ldiv_exec::Executor;
 use ldiv_microdata::{Partition, RowId, SaHistogram, SuppressedTable, Table};
 
 /// Re-export: the range type now lives in the `ldiv-api` contract crate
@@ -36,28 +37,32 @@ pub struct BoxTable {
 
 impl BoxTable {
     /// Builds the tightest range publication of a partition: each group
-    /// publishes, per attribute, the min..max of its values.
+    /// publishes, per attribute, the min..max of its values. Uses the
+    /// auto thread budget.
     pub fn from_partition(table: &Table, partition: &Partition) -> BoxTable {
+        BoxTable::from_partition_with(table, partition, &Executor::default())
+    }
+
+    /// [`from_partition`](BoxTable::from_partition) under an explicit
+    /// thread budget: groups are independent, so the covering ranges fan
+    /// out as an ordered parallel map (same group order for any budget).
+    pub fn from_partition_with(table: &Table, partition: &Partition, exec: &Executor) -> BoxTable {
         let d = table.dimensionality();
-        let groups = partition
-            .groups()
-            .iter()
-            .map(|g| {
-                let first = table.qi_row(g[0]);
-                let mut ranges: Vec<AttrRange> =
-                    first.iter().map(|&v| AttrRange { lo: v, hi: v }).collect();
-                for &r in &g[1..] {
-                    for (range, &v) in ranges.iter_mut().zip(table.qi_row(r)) {
-                        range.lo = range.lo.min(v);
-                        range.hi = range.hi.max(v);
-                    }
+        let groups = exec.map(partition.groups(), |g| {
+            let first = table.qi_row(g[0]);
+            let mut ranges: Vec<AttrRange> =
+                first.iter().map(|&v| AttrRange { lo: v, hi: v }).collect();
+            for &r in &g[1..] {
+                for (range, &v) in ranges.iter_mut().zip(table.qi_row(r)) {
+                    range.lo = range.lo.min(v);
+                    range.hi = range.hi.max(v);
                 }
-                BoxGroup {
-                    ranges,
-                    rows: g.clone(),
-                }
-            })
-            .collect();
+            }
+            BoxGroup {
+                ranges,
+                rows: g.clone(),
+            }
+        });
         BoxTable {
             dimensionality: d,
             n: partition.covered_rows(),

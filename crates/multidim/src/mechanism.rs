@@ -1,7 +1,7 @@
 //! The unified-API face of Mondrian.
 
 use crate::boxes::BoxTable;
-use crate::mondrian::mondrian_partition;
+use crate::mondrian::mondrian_partition_with;
 use ldiv_api::{LdivError, Mechanism, Params, Publication};
 use ldiv_microdata::Table;
 
@@ -26,9 +26,12 @@ impl Mechanism for MondrianMechanism {
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
         // The boxes payload is native here; skip mondrian_publish's
-        // suppression rendering, which this path would throw away.
-        let partition = mondrian_partition(table, params.l);
-        let boxed = BoxTable::from_partition(table, &partition);
+        // suppression rendering, which this path would throw away. Both
+        // the recursion and the covering boxes honour the run's thread
+        // budget (identical output for every budget).
+        let exec = params.executor();
+        let partition = mondrian_partition_with(table, params.l, &exec);
+        let boxed = BoxTable::from_partition_with(table, &partition, &exec);
         let splits = partition.group_count().saturating_sub(1);
         let imprecision = boxed.imprecision();
         let mut publication = boxed.to_publication("mondrian");
@@ -41,6 +44,7 @@ impl Mechanism for MondrianMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mondrian::mondrian_partition;
     use ldiv_api::Payload;
     use ldiv_microdata::samples;
 

@@ -11,26 +11,46 @@
 
 #[cfg(test)]
 use crate::boxes::BoxTable;
+use ldiv_exec::Executor;
 #[cfg(test)]
 use ldiv_microdata::SuppressedTable;
 use ldiv_microdata::{Partition, RowId, SaHistogram, Table};
 
-/// Partitions the table with l-diversity-gated Mondrian splits.
+/// Below this many rows a subtree is not worth forking: the split work is
+/// `O(rows · d + rows log rows)`, so small subtrees cost less than a
+/// thread hand-off.
+const FORK_MIN_ROWS: usize = 4_096;
+
+/// Partitions the table with l-diversity-gated Mondrian splits, using
+/// the auto thread budget (see [`Executor::new`]).
 ///
 /// Deterministic: candidate attributes are ordered by normalized spread
 /// with index tie-break, and median splits put ties on the low side.
+/// The thread budget never changes the result — forked subtrees merge in
+/// the same low-then-high order the sequential recursion emits.
 pub fn mondrian_partition(table: &Table, l: u32) -> Partition {
+    mondrian_partition_with(table, l, &Executor::default())
+}
+
+/// [`mondrian_partition`] under an explicit thread budget.
+///
+/// The recursion forks the two halves of a successful split onto the
+/// executor ([`Executor::join`]) whenever both subtrees are large enough
+/// to amortize the hand-off; `join` returns results in argument order,
+/// so the concatenated group list is byte-identical to the sequential
+/// run for every budget.
+pub fn mondrian_partition_with(table: &Table, l: u32, exec: &Executor) -> Partition {
     assert!(l >= 1, "l must be positive");
-    let mut groups: Vec<Vec<RowId>> = Vec::new();
     let all: Vec<RowId> = (0..table.len() as RowId).collect();
     if all.is_empty() {
         return Partition::default();
     }
-    split_recursive(table, l, all, &mut groups);
-    Partition::new_unchecked(groups)
+    Partition::new_unchecked(split_recursive(table, l, all, exec))
 }
 
-fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, out: &mut Vec<Vec<RowId>>) {
+/// Splits `rows` recursively, returning the leaf groups of this subtree
+/// in deterministic (low-before-high, depth-first) order.
+fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, exec: &Executor) -> Vec<Vec<RowId>> {
     let d = table.dimensionality();
 
     // Attributes ordered by normalized span of present values, widest
@@ -78,12 +98,21 @@ fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, out: &mut Vec<Vec<Ro
         let low_ok = SaHistogram::of_rows(table, &low).is_l_eligible(l);
         let high_ok = SaHistogram::of_rows(table, &high).is_l_eligible(l);
         if low_ok && high_ok {
-            split_recursive(table, l, low, out);
-            split_recursive(table, l, high, out);
-            return;
+            let (mut lo, hi) = if exec.is_parallel() && low.len().min(high.len()) >= FORK_MIN_ROWS {
+                exec.join(
+                    || split_recursive(table, l, low, exec),
+                    || split_recursive(table, l, high, exec),
+                )
+            } else {
+                let lo = split_recursive(table, l, low, exec);
+                let hi = split_recursive(table, l, high, exec);
+                (lo, hi)
+            };
+            lo.extend(hi);
+            return lo;
         }
     }
-    out.push(rows);
+    vec![rows]
 }
 
 /// The full Mondrian run in every published form — partition, native

@@ -23,8 +23,9 @@ use crate::http::{parse_head, read_body, HttpError, Request, Response};
 use crate::jobs::WorkerPool;
 use crate::wire::{self, Json};
 use ldiv_api::{LdivError, MechanismRegistry, Params};
-use ldiv_metrics::kl_divergence;
-use ldiv_microdata::{read_csv, Table};
+use ldiv_exec::Executor;
+use ldiv_metrics::kl_divergence_with;
+use ldiv_microdata::{read_csv_with, Table};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,6 +42,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Publication-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Intra-run thread budget applied to every anonymization run this
+    /// server performs (`0` = auto, `1` = sequential). Execution-only:
+    /// responses and cache keys are identical for every budget, so this
+    /// knob trades single-request latency against concurrent-request
+    /// throughput without any behavioural effect.
+    pub threads: u32,
     /// Directory `?dataset=PATH` references resolve under. `None`
     /// (default) disables dataset references entirely: a network-exposed
     /// service must not open arbitrary server-side paths on request.
@@ -55,6 +62,10 @@ impl Default for ServerConfig {
                 .unwrap_or(4),
             queue_depth: 64,
             cache_capacity: 256,
+            // Sequential per run by default: the worker pool already
+            // saturates the machine across requests; operators serving
+            // few, huge tables can raise this (or set 0 for auto).
+            threads: 1,
             dataset_root: None,
         }
     }
@@ -184,6 +195,7 @@ fn stats_json(state: &AppState) -> Json {
         .field("rejected", state.rejected.load(Ordering::Relaxed) as i64)
         .field("workers", state.config.workers)
         .field("queue_depth", state.config.queue_depth)
+        .field("run_threads", state.config.threads)
         .field(
             "cache",
             Json::obj()
@@ -195,14 +207,17 @@ fn stats_json(state: &AppState) -> Json {
         )
 }
 
-/// Parses the shared `l` / `fanout` query params.
-fn params_from(req: &Request) -> Result<Params, LdivError> {
+/// Parses the shared `l` / `fanout` query params; the intra-run thread
+/// budget comes from the server configuration (it is an operator knob,
+/// not a client one — clients cannot change the output with it anyway,
+/// but they also must not dictate the server's fan-out).
+fn params_from(state: &AppState, req: &Request) -> Result<Params, LdivError> {
     let l: u32 = req
         .query_param("l")
         .ok_or_else(|| usage("missing query parameter 'l'"))?
         .parse()
         .map_err(|e| usage(format!("query parameter 'l': {e}")))?;
-    let mut params = Params::new(l);
+    let mut params = Params::new(l).with_threads(state.config.threads);
     if let Some(f) = req.query_param("fanout") {
         params.fanout = f
             .parse()
@@ -216,8 +231,14 @@ fn params_from(req: &Request) -> Result<Params, LdivError> {
 /// root, and never resolves outside it (a network client must not be
 /// able to probe or read arbitrary server-side paths).
 fn table_from(state: &AppState, req: &Request) -> Result<Table, LdivError> {
+    // The parse honours the server's per-run thread budget, like every
+    // anonymization it feeds — without this, each concurrent request
+    // would fan its CSV parse over the whole machine even under the
+    // deliberate `threads = 1` default.
+    let exec = Executor::new(state.config.threads);
     if !req.body.is_empty() {
-        return read_csv(&mut &req.body[..], None).map_err(|e| usage(format!("request body: {e}")));
+        return read_csv_with(&mut &req.body[..], None, &exec)
+            .map_err(|e| usage(format!("request body: {e}")));
     }
     match req.query_param("dataset") {
         Some(path) => {
@@ -241,7 +262,7 @@ fn table_from(state: &AppState, req: &Request) -> Result<Table, LdivError> {
             }
             let file = std::fs::File::open(&resolved)
                 .map_err(|_| usage(format!("dataset '{path}' not readable")))?;
-            read_csv(BufReader::new(file), None)
+            read_csv_with(BufReader::new(file), None, &exec)
                 .map_err(|e| LdivError::Io(format!("dataset '{path}': {e}")))
         }
         None => Err(usage(
@@ -283,7 +304,7 @@ fn run_cached(
     }
     let publication = mechanism.anonymize(table, params)?;
     state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
-    let kl = kl_divergence(table, &publication);
+    let kl = kl_divergence_with(table, &publication, &params.executor());
     let summary = wire::publication_json(table, &publication, params, kl);
     state
         .cache
@@ -297,7 +318,7 @@ fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
     let name = req
         .query_param("algo")
         .ok_or_else(|| usage("missing query parameter 'algo'"))?;
-    let params = params_from(req)?;
+    let params = params_from(state, req)?;
     let table = table_from(state, req)?;
     run_cached(state, &table, table.fingerprint(), name, &params)
 }
@@ -308,7 +329,7 @@ fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
 /// Per-mechanism failures (e.g. an l the mechanism finds infeasible)
 /// become error entries rather than failing the whole sweep.
 fn sweep_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
-    let params = params_from(req)?;
+    let params = params_from(state, req)?;
     let table = table_from(state, req)?;
     let fingerprint = table.fingerprint();
     let names: Vec<String> = state
@@ -670,6 +691,41 @@ mod tests {
             );
             assert_eq!(refused.status, 400, "{escape}: {}", refused.body);
         }
+    }
+
+    #[test]
+    fn responses_and_cache_keys_are_identical_across_thread_budgets() {
+        // Regression for the determinism contract at the service level:
+        // (1) the cache key ignores the thread budget, so a publication
+        // computed at any budget serves all budgets; (2) two servers
+        // configured with different budgets produce byte-identical
+        // bodies (including the KL float) for the same request.
+        let k8 = CacheKey {
+            dataset: 42,
+            mechanism: "alpha".into(),
+            params: Params::new(2).with_threads(8).canonical(),
+        };
+        let k1 = CacheKey {
+            dataset: 42,
+            mechanism: "alpha".into(),
+            params: Params::new(2).with_threads(1).canonical(),
+        };
+        assert_eq!(k8, k1, "thread budget must not split cache lines");
+
+        let csv = hospital_csv();
+        let req = post("/anonymize", &[("algo", "alpha"), ("l", "2")], &csv);
+        let body_of = |threads: u32| {
+            let registry = MechanismRegistry::new().with(Box::new(Whole("alpha")));
+            let state = AppState::new(
+                registry,
+                ServerConfig {
+                    threads,
+                    ..ServerConfig::default()
+                },
+            );
+            handle_request(&state, &req).body
+        };
+        assert_eq!(body_of(1), body_of(8));
     }
 
     #[test]

@@ -126,6 +126,17 @@ impl Anonymizer {
         self
     }
 
+    /// Sets the intra-run thread budget (`0` = auto via `LDIV_THREADS`
+    /// or the machine's parallelism, `1` = strictly sequential).
+    ///
+    /// Execution-only: the publication is byte-identical for every
+    /// budget — the differential suite `tests/parallel_equivalence.rs`
+    /// enforces this for every registered mechanism.
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.params.threads = threads;
+        self
+    }
+
     /// Selects the mechanism by registry name (`"tp"`, `"tp+"`,
     /// `"anatomy"`, `"mondrian"`, `"hilbert"`, `"tds"`, …).
     pub fn mechanism(mut self, name: impl Into<String>) -> Self {
@@ -158,7 +169,8 @@ impl Anonymizer {
             None => {
                 let publication = self.registry.run(&self.mechanism, table, &self.params)?;
                 publication.validate(table, self.params.l)?;
-                let kl = ldiv_metrics::kl_divergence(table, &publication);
+                let kl =
+                    ldiv_metrics::kl_divergence_with(table, &publication, &self.params.executor());
                 Ok(Anonymized {
                     publication,
                     recoding: None,

@@ -63,6 +63,7 @@
 //! | [`matching`] | `ldiv-matching` | Hungarian matching; optimal `m = 2` solver |
 //! | [`hardness`] | `ldiv-hardness` | 3DM reduction, exhaustive reference solvers |
 //! | [`datagen`] | `ldiv-datagen` | synthetic ACS-like SAL/OCC datasets |
+//! | [`exec`] | `ldiv-exec` | intra-run parallelism: scoped fork-join executor with a thread budget |
 //! | [`metrics`] | `ldiv-metrics` | star accounting and Eq. (2) KL, uniform over any [`Publication`] |
 //! | [`pipeline`] | `ldiv-pipeline` | §5.6 preprocessing workflows and the utility sweep |
 //! | [`multidim`] | `ldiv-multidim` | Mondrian and the §6.2 star→sub-domain transformation |
@@ -102,6 +103,12 @@ pub use ldiv_hardness as hardness;
 
 /// Synthetic ACS-like dataset generation (SAL / OCC families).
 pub use ldiv_datagen as datagen;
+
+/// Intra-run parallel execution: the scoped fork-join executor behind
+/// every mechanism's thread budget.
+pub use ldiv_exec as exec;
+
+pub use ldiv_exec::Executor;
 
 /// Information-loss metrics (stars, KL-divergence of Eq. 2), uniform
 /// over any mechanism's publication.

@@ -1,0 +1,57 @@
+//! Nightly-scale smoke test: a 200k-row table through every registered
+//! mechanism at `--threads 4`.
+//!
+//! Ignored in tier-1 (`cargo test`) because it is minutes-scale on a
+//! small machine; CI runs it in the scheduled nightly-style job with
+//! `cargo test --release --test large_table -- --ignored`. The
+//! wall-clock bound is deliberately generous — it exists to catch
+//! accidental quadratic blowups and deadlocked fork-joins, not to
+//! benchmark (the `parallel_speedup` bin does that).
+
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::metrics::kl_divergence_with;
+use ldiversity::{standard_registry, Params};
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "nightly-scale: 200k rows through every mechanism (run with -- --ignored)"]
+fn all_mechanisms_complete_on_200k_rows_at_4_threads() {
+    const ROWS: usize = 200_000;
+    // Generous per-mechanism budget: worst seed observed is far below
+    // this; a hang or accidental O(n²) blows straight through it.
+    const PER_MECHANISM: Duration = Duration::from_secs(600);
+
+    let table = sal(&AcsConfig {
+        rows: ROWS,
+        seed: 99,
+    });
+    let params = Params::new(4).with_threads(4);
+    let registry = standard_registry();
+    for name in registry.names() {
+        let start = Instant::now();
+        let publication = registry
+            .run(name, &table, &params)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let kl = kl_divergence_with(&table, &publication, &params.executor());
+        let elapsed = start.elapsed();
+
+        // Non-empty, sane stats.
+        assert!(publication.group_count() > 0, "{name}: empty publication");
+        assert_eq!(
+            publication.partition().covered_rows(),
+            ROWS,
+            "{name}: row coverage"
+        );
+        assert!(publication.is_l_diverse(&table, 4), "{name}");
+        assert!(kl.is_finite() && kl >= -1e-9, "{name}: kl = {kl}");
+        assert!(
+            elapsed < PER_MECHANISM,
+            "{name}: took {elapsed:?} (budget {PER_MECHANISM:?})"
+        );
+        eprintln!(
+            "{name:>9}: {:>7.2}s, {} groups, kl {kl:.4}",
+            elapsed.as_secs_f64(),
+            publication.group_count()
+        );
+    }
+}
