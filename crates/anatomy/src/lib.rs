@@ -388,6 +388,39 @@ mod tests {
     }
 
     #[test]
+    fn repair_merge_rederives_a_consistent_qit_st_pair() {
+        // The sharding repair hook: stitch two per-"shard" anatomy
+        // publications (global row ids, one with an ineligible residue
+        // group) and check the rebuilt QIT/ST describes the whole table —
+        // `validate` cross-checks ST multiplicities against group sizes.
+        use ldiv_api::Payload;
+        use ldiv_microdata::Partition;
+        let t = samples::hospital();
+        let params = Params::new(2);
+        let anatomy_of = |groups: Vec<Vec<u32>>| {
+            Publication::anatomy("anatomy", &t, Partition::new_unchecked(groups))
+        };
+        let stitched = AnatomyMechanism
+            .repair_merge(
+                &t,
+                &params,
+                vec![
+                    anatomy_of(vec![vec![0, 2, 3, 8], vec![4]]),
+                    anatomy_of(vec![vec![1, 5, 6, 9], vec![7]]),
+                ],
+            )
+            .unwrap();
+        stitched.validate(&t, 2).unwrap();
+        assert!(stitched.is_l_diverse(&t, 2));
+        let Payload::Anatomy(tables) = stitched.payload() else {
+            panic!("payload kind changed: {:?}", stitched.payload());
+        };
+        assert_eq!(tables.group_of.len(), t.len());
+        let total: u32 = tables.entries.iter().map(|e| e.count).sum();
+        assert_eq!(total as usize, t.len());
+    }
+
+    #[test]
     fn anatomy_beats_generalization_on_information_loss() {
         // The anatomy paper's headline: publishing exact QI values loses
         // far less information than generalization at the same l.

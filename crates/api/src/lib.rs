@@ -59,10 +59,11 @@ mod params;
 mod publication;
 mod recoding;
 mod registry;
+pub mod repair;
 
 pub use error::LdivError;
 pub use mechanism::Mechanism;
-pub use params::Params;
+pub use params::{Params, MAX_SHARDS, SHARDS_ENV};
 pub use publication::{AnatomyTables, AttrRange, Payload, Publication, SensitiveEntry};
 pub use recoding::Recoding;
 pub use registry::MechanismRegistry;

@@ -4,13 +4,28 @@ use crate::LdivError;
 use ldiv_exec::Executor;
 use ldiv_microdata::Table;
 
+/// Hard ceiling on the partition-level shard count, mirroring
+/// [`ldiv_exec::MAX_THREADS`]; it guards against typos like
+/// `--shards 100000`, not against any sane configuration.
+pub const MAX_SHARDS: u32 = 64;
+
+/// The environment variable consulted when [`Params::shards`] is `0`
+/// (auto). The CI gate runs the whole suite under `LDIV_SHARDS=2` to
+/// flush out code paths that silently assume a single shard.
+pub const SHARDS_ENV: &str = "LDIV_SHARDS";
+
 /// Parameters common to every publication mechanism.
 ///
 /// Mechanisms read what applies to them: all of them honour [`l`](Params::l)
 /// and may fan out over [`threads`](Params::threads); taxonomy-based methods
 /// (TDS, §5.6 preprocessing) also honour [`fanout`](Params::fanout).
 /// Unknown-to-a-mechanism fields are ignored by design, so one `Params`
-/// value can drive a whole registry sweep.
+/// value can drive a whole registry sweep. [`shards`](Params::shards) is
+/// honoured by the partition-level sharding driver (`ldiv-shard`), never
+/// by an individual mechanism: a direct [`Mechanism::anonymize`] call
+/// always publishes the single-shard output.
+///
+/// [`Mechanism::anonymize`]: crate::Mechanism::anonymize
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Params {
     /// The diversity requirement (Definition 2). Must be ≥ 1; ≥ 2 to be
@@ -25,16 +40,25 @@ pub struct Params {
     /// cached publication computed at one budget serves requests at any
     /// other.
     pub threads: u32,
+    /// Partition-level shard count for the `ldiv-shard` driver; `0`
+    /// means auto ([`SHARDS_ENV`], else 1 — sharding stays opt-in).
+    /// **Output-affecting**: anonymizing K shards and stitching them
+    /// publishes a different (slightly less useful) table than one
+    /// global run, so the resolved count participates in
+    /// [`canonical`](Params::canonical) and therefore in cache keys.
+    pub shards: u32,
 }
 
 impl Params {
-    /// Parameters at diversity `l` with default fanout 2 and the auto
-    /// thread budget.
+    /// Parameters at diversity `l` with default fanout 2, the auto
+    /// thread budget and the auto (single unless [`SHARDS_ENV`] says
+    /// otherwise) shard count.
     pub fn new(l: u32) -> Self {
         Params {
             l,
             fanout: 2,
             threads: 0,
+            shards: 0,
         }
     }
 
@@ -51,6 +75,33 @@ impl Params {
         self
     }
 
+    /// Replaces the partition-level shard count (`0` = auto via
+    /// [`SHARDS_ENV`], `1` = unsharded).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count this run publishes with: the explicit value, or —
+    /// when `0` — the [`SHARDS_ENV`] override, else 1. Clamped to
+    /// `1..=`[`MAX_SHARDS`]. Output depends on this resolution, which is
+    /// why [`canonical`](Params::canonical) spells it out instead of the
+    /// raw field. (On degenerate inputs the driver may effectively run
+    /// fewer shards — a K-way split needs K rows; the publication's
+    /// stitch note records the effective count.)
+    pub fn resolved_shards(&self) -> u32 {
+        let raw = if self.shards == 0 {
+            std::env::var(SHARDS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1)
+        } else {
+            self.shards
+        };
+        raw.clamp(1, MAX_SHARDS)
+    }
+
     /// The [`Executor`] for this run's thread budget. Mechanisms use
     /// this for their fork-join and reduction fan-out.
     pub fn executor(&self) -> Executor {
@@ -58,24 +109,28 @@ impl Params {
     }
 
     /// The canonical, order-stable text form of the *output-affecting*
-    /// parameters — `l=4;fanout=2` — used as a cache-key component and
-    /// in wire responses.
+    /// parameters — `l=4;fanout=2;shards=1` — used as a cache-key
+    /// component and in wire responses.
     ///
     /// Every output-affecting field participates, fields appear in
     /// declaration order, and defaults are spelled out rather than
     /// omitted. [`threads`](Params::threads) is excluded on purpose: the
     /// determinism contract guarantees the thread budget never changes a
     /// publication, so including it would only split cache lines that
-    /// hold identical results. New fields must be classified here when
-    /// they are added to the struct (the exhaustive destructuring below
-    /// makes forgetting a compile error).
+    /// hold identical results. [`shards`](Params::shards) *does* change
+    /// the published table, so its **resolved** value (auto spelled out,
+    /// so an env-dependent `0` can never alias two different outputs
+    /// under one key) is included. New fields must be classified here
+    /// when they are added to the struct (the exhaustive destructuring
+    /// below makes forgetting a compile error).
     pub fn canonical(&self) -> String {
         let Params {
             l,
             fanout,
             threads: _, // execution-only: must never affect output
+            shards: _,  // spelled out resolved, below
         } = *self;
-        format!("l={l};fanout={fanout}")
+        format!("l={l};fanout={fanout};shards={}", self.resolved_shards())
     }
 
     /// Checks that the parameters are internally valid and feasible for a
@@ -108,12 +163,45 @@ mod tests {
 
     #[test]
     fn canonical_form_is_total_and_injective_on_output_fields() {
-        assert_eq!(Params::new(4).canonical(), "l=4;fanout=2");
-        assert_eq!(Params::new(4).with_fanout(3).canonical(), "l=4;fanout=3");
+        // Shards pinned explicitly: the suite also runs under an
+        // `LDIV_SHARDS` override in CI, which moves the *auto* form.
+        assert_eq!(
+            Params::new(4).with_shards(1).canonical(),
+            "l=4;fanout=2;shards=1"
+        );
+        assert_eq!(
+            Params::new(4).with_fanout(3).with_shards(1).canonical(),
+            "l=4;fanout=3;shards=1"
+        );
         assert_ne!(Params::new(4).canonical(), Params::new(5).canonical());
         assert_ne!(
             Params::new(4).canonical(),
             Params::new(4).with_fanout(4).canonical()
+        );
+        assert_ne!(
+            Params::new(4).with_shards(1).canonical(),
+            Params::new(4).with_shards(2).canonical(),
+            "sharding changes the published table, so it must move the key"
+        );
+    }
+
+    #[test]
+    fn shard_resolution_spells_out_auto_and_clamps() {
+        assert_eq!(Params::new(4).with_shards(3).resolved_shards(), 3);
+        assert_eq!(Params::new(4).with_shards(1_000_000).resolved_shards(), 64);
+        // The auto form follows the environment override, exactly like
+        // the canonical string reports it.
+        let auto = Params::new(4).resolved_shards();
+        let expect = std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+            .clamp(1, MAX_SHARDS);
+        assert_eq!(auto, expect);
+        assert_eq!(
+            Params::new(4).canonical(),
+            format!("l=4;fanout=2;shards={auto}")
         );
     }
 
@@ -125,7 +213,7 @@ mod tests {
         // request arrives with a different `threads`. If this test
         // breaks, every cached publication silently stops being shared
         // across thread configurations.
-        let base = Params::new(4).with_fanout(3);
+        let base = Params::new(4).with_fanout(3).with_shards(2);
         for threads in [0u32, 1, 2, 8, 64] {
             assert_eq!(
                 base.with_threads(threads).canonical(),

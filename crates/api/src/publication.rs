@@ -280,6 +280,20 @@ impl Publication {
                         "recoding dimensionality mismatch".into(),
                     ));
                 }
+                // A recoded release disbands into the groups its
+                // recoding induces — whatever the partition annotation
+                // says, an adversary sees rows sharing a recoded QI
+                // vector as one group. Definition 2 must hold for
+                // *those* groups, or the publication over-claims.
+                for g in recoding.induced_groups(table) {
+                    if !SaHistogram::of_rows(table, &g).is_l_eligible(l) {
+                        return Err(LdivError::Internal(format!(
+                            "recoded publication by '{}' discloses a non-{l}-eligible \
+                             recoding-induced group",
+                            self.mechanism
+                        )));
+                    }
+                }
             }
         }
         Ok(())

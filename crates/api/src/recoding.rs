@@ -93,6 +93,97 @@ impl Recoding {
         }
     }
 
+    /// The *finest common coarsening* of two recodings (the join in the
+    /// per-attribute partition lattice): the finest recoding under which
+    /// any two values sharing a bucket in *either* input still share one.
+    ///
+    /// This is the stitch rule for recoded publications under
+    /// partition-level sharding: each shard picks its own recoding, and
+    /// publishing the whole table under the join generalizes every
+    /// shard's output (never splits a bucket a shard relied on), so
+    /// groups a shard formed stay together. Bucket ids are renumbered
+    /// densely in order of each class's smallest value, keeping the
+    /// result deterministic.
+    ///
+    /// # Panics
+    /// Panics when the recodings cover different schemas (attribute
+    /// count or domain size mismatch).
+    pub fn join(&self, other: &Recoding) -> Recoding {
+        assert_eq!(
+            self.dimensionality(),
+            other.dimensionality(),
+            "joining recodings over different schemas"
+        );
+        let bucket_of = self
+            .bucket_of
+            .iter()
+            .zip(&other.bucket_of)
+            .map(|(a, b)| {
+                assert_eq!(a.len(), b.len(), "joining recodings over different domains");
+                // Union-find over the domain: merge every value with its
+                // bucket's first member, in both recodings.
+                let mut parent: Vec<u32> = (0..a.len() as u32).collect();
+                fn find(parent: &mut [u32], v: u32) -> u32 {
+                    let mut root = v;
+                    while parent[root as usize] != root {
+                        root = parent[root as usize];
+                    }
+                    let mut cur = v;
+                    while parent[cur as usize] != root {
+                        cur = std::mem::replace(&mut parent[cur as usize], root);
+                    }
+                    root
+                }
+                for assign in [a, b] {
+                    let buckets = assign.iter().copied().max().map_or(0, |m| m + 1);
+                    let mut first: Vec<Option<u32>> = vec![None; buckets as usize];
+                    for (v, &bucket) in assign.iter().enumerate() {
+                        match first[bucket as usize] {
+                            Some(f) => {
+                                let (rf, rv) = (find(&mut parent, f), find(&mut parent, v as u32));
+                                parent[rf.max(rv) as usize] = rf.min(rv);
+                            }
+                            None => first[bucket as usize] = Some(v as u32),
+                        }
+                    }
+                }
+                // Dense ids in order of each class's smallest value.
+                let mut id_of_root: Vec<Option<u32>> = vec![None; a.len()];
+                let mut next = 0u32;
+                (0..a.len() as u32)
+                    .map(|v| {
+                        let root = find(&mut parent, v) as usize;
+                        *id_of_root[root].get_or_insert_with(|| {
+                            next += 1;
+                            next - 1
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        Recoding::new(bucket_of)
+    }
+
+    /// Collapses one attribute to a single bucket (fully generalizes
+    /// it), leaving every other attribute untouched — the inverse of a
+    /// TDS specialization step, used by the sharding stitch to coarsen a
+    /// joined recoding until its induced groups are l-eligible.
+    pub fn collapse_attribute(&self, attr: usize) -> Recoding {
+        let bucket_of = self
+            .bucket_of
+            .iter()
+            .enumerate()
+            .map(|(a, assign)| {
+                if a == attr {
+                    vec![0; assign.len()]
+                } else {
+                    assign.clone()
+                }
+            })
+            .collect();
+        Recoding::new(bucket_of)
+    }
+
     /// Buckets every row of a table, returning the groups of rows sharing
     /// a recoded QI vector — the QI-groups the recoding induces.
     pub fn induced_groups(&self, table: &Table) -> Vec<Vec<ldiv_microdata::RowId>> {
@@ -162,5 +253,28 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn sparse_bucket_ids_rejected() {
         Recoding::new(vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn join_is_the_finest_common_coarsening() {
+        // a: {0,1}{2,3}{4}   b: {0}{1,2}{3}{4}
+        // join: {0,1,2,3}{4} — 1~2 in b chains the two a-buckets.
+        let a = Recoding::new(vec![vec![0, 0, 1, 1, 2]]);
+        let b = Recoding::new(vec![vec![0, 1, 1, 2, 3]]);
+        for joined in [a.join(&b), b.join(&a)] {
+            assert_eq!(joined.bucket_count(0), 2);
+            for v in 0..4 {
+                assert_eq!(joined.bucket(0, v), 0, "value {v}");
+                assert_eq!(joined.bucket_width(0, v), 4);
+            }
+            assert_eq!(joined.bucket(0, 4), 1);
+        }
+        // Joining with itself (or the identity refined by it) is a no-op.
+        assert_eq!(a.join(&a), a);
+        let id = Recoding::new(vec![(0..5).collect()]); // identity over the domain
+        assert_eq!(a.join(&id), a);
+        // Full recoding absorbs everything.
+        let full = Recoding::new(vec![vec![0; 5]]);
+        assert_eq!(a.join(&full), full);
     }
 }

@@ -44,6 +44,17 @@ impl MechanismRegistry {
             .map(|b| b.as_ref())
     }
 
+    /// [`get`](Self::get), reporting the failed lookup as
+    /// [`LdivError::UnknownMechanism`] with the known names — the one
+    /// error shape every dispatch path (direct runs, the sharding
+    /// driver, the server routes) surfaces for a bad name.
+    pub fn get_or_unknown(&self, name: &str) -> Result<&dyn Mechanism, LdivError> {
+        self.get(name).ok_or_else(|| LdivError::UnknownMechanism {
+            requested: name.to_string(),
+            known: self.names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
     /// The registered names, sorted.
     pub fn names(&self) -> Vec<&str> {
         self.by_name.values().map(|m| m.name()).collect()
@@ -73,11 +84,7 @@ impl MechanismRegistry {
         table: &Table,
         params: &Params,
     ) -> Result<Publication, LdivError> {
-        let mechanism = self.get(name).ok_or_else(|| LdivError::UnknownMechanism {
-            requested: name.to_string(),
-            known: self.names().iter().map(|s| s.to_string()).collect(),
-        })?;
-        mechanism.anonymize(table, params)
+        self.get_or_unknown(name)?.anonymize(table, params)
     }
 }
 

@@ -1,0 +1,150 @@
+//! Per-mechanism scaling curves for partition-level sharding
+//! (`ldiv-shard`): rows/s versus shard count, plus the KL-utility delta
+//! each shard count costs relative to the unsharded run.
+//!
+//! Where `parallel_speedup` asserts that `--threads` changes *nothing*,
+//! sharding changes the published table — so this bin reports two curves
+//! per mechanism: throughput (anonymize + stitch + KL, wall-clock) and
+//! the Eq. (2) KL ratio against shards = 1. The shards = 1 run itself is
+//! asserted byte-identical to the unsharded mechanism (the same gate
+//! `tests/shard_equivalence.rs` pins), so the baseline is honest.
+//!
+//! ```text
+//! cargo run --release -p ldiv-bench --bin shard_scaling -- \
+//!     --rows 100000 --shards 1,2,4,8 --l 4
+//! ```
+//!
+//! Defaults keep a laptop run short: `--rows 50000`, `--shards 1,2,4`,
+//! `--l 4`, every registered mechanism, `--threads 0` (auto).
+
+use ldiv_api::Params;
+use ldiv_datagen::{sal, AcsConfig};
+use ldiv_metrics::kl_divergence_with;
+use ldiv_server::wire;
+use ldiversity::shard::run_sharded;
+use ldiversity::standard_registry;
+use std::time::Instant;
+
+fn parse_list<T: std::str::FromStr>(raw: &str, flag: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value '{s}' for {flag}"))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows_list: Vec<usize> = vec![50_000];
+    let mut shards_list: Vec<u32> = vec![1, 2, 4];
+    let mut l = 4u32;
+    let mut threads = 0u32;
+    let mut algos: Option<Vec<String>> = None;
+    let mut seed = 77u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--rows" => rows_list = parse_list(value, "--rows"),
+            "--shards" => shards_list = parse_list(value, "--shards"),
+            "--l" => l = value.parse().expect("bad --l"),
+            "--threads" => threads = value.parse().expect("bad --threads"),
+            "--algos" => algos = Some(value.split(',').map(|s| s.trim().to_string()).collect()),
+            "--seed" => seed = value.parse().expect("bad --seed"),
+            other => {
+                panic!("unknown flag '{other}' (try --rows/--shards/--l/--threads/--algos/--seed)")
+            }
+        }
+    }
+    if !shards_list.contains(&1) {
+        shards_list.insert(0, 1); // the unsharded baseline anchors every delta
+    }
+    shards_list.sort_unstable();
+    shards_list.dedup();
+
+    let registry = standard_registry();
+    let names: Vec<String> = match algos {
+        Some(list) => {
+            // Fail a typo'd --algos up front: a silent '-' column would
+            // read as "infeasible at this l", not "no such mechanism".
+            for name in &list {
+                if registry.get(name).is_none() {
+                    panic!("unknown mechanism '{name}' (known: {:?})", registry.names());
+                }
+            }
+            list
+        }
+        None => registry.names().iter().map(|s| s.to_string()).collect(),
+    };
+
+    println!(
+        "shard_scaling: l = {l}, threads = {threads} (0 = auto), cores available = {}",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    );
+    for &rows in &rows_list {
+        let table = sal(&AcsConfig { rows, seed });
+        println!("\ndataset sal rows={rows} (d={})", table.dimensionality());
+        print!("{:>10}", "mechanism");
+        for &k in &shards_list {
+            print!("  {:>11}", format!("k={k} rows/s"));
+            if k != 1 {
+                print!("  {:>7}", "KL x");
+            }
+        }
+        println!();
+        for name in &names {
+            let mut baseline_kl: Option<f64> = None;
+            print!("{name:>10}");
+            for &k in &shards_list {
+                let params = Params::new(l).with_threads(threads).with_shards(k);
+                let start = Instant::now();
+                let outcome = run_sharded(&registry, name, &table, &params);
+                match outcome {
+                    Ok(publication) => {
+                        let kl = kl_divergence_with(&table, &publication, &params.executor());
+                        let secs = start.elapsed().as_secs_f64();
+                        print!("  {:>11.0}", rows as f64 / secs);
+                        match baseline_kl {
+                            None => {
+                                // Honest baseline: shards = 1 through the
+                                // driver must be the mechanism's own bytes.
+                                let direct = registry
+                                    .get(name)
+                                    .expect("registered")
+                                    .anonymize(&table, &params)
+                                    .expect("baseline run");
+                                let direct_kl =
+                                    kl_divergence_with(&table, &direct, &params.executor());
+                                assert_eq!(
+                                    wire::publication_json(&table, &direct, &params, direct_kl)
+                                        .render(),
+                                    wire::publication_json(&table, &publication, &params, kl)
+                                        .render(),
+                                    "{name}: shards=1 diverged from the unsharded mechanism"
+                                );
+                                baseline_kl = Some(kl);
+                            }
+                            Some(base_kl) => {
+                                print!("  {:>7.3}", kl / base_kl.max(1e-12));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        print!("  {:>11}", "-");
+                        if k != 1 {
+                            print!("  {:>7}", "-");
+                        }
+                        let _ = e; // infeasible at this l: skip the cell
+                    }
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nKL x = sharded KL / unsharded KL (1.000 = free). shards=1 wire \
+         bytes asserted identical to the unsharded mechanism."
+    );
+}

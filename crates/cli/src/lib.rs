@@ -134,11 +134,11 @@ ldiv — l-diverse anonymization toolkit
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
   ldiv stats     --input FILE [--l L] [--format text|json]
-  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--format text|json]
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--format text|json]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
-  ldiv compare   --input FILE --l L [--threads T] [--format text|json]
+  ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
-  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--dataset-root DIR]
+  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--dataset-root DIR]
 
 MECHANISM is any registered publication method:
   tp | tp+ | hilbert | tds | mondrian | anatomy
@@ -147,6 +147,12 @@ MECHANISM is any registered publication method:
 emits the server wire format (see `ldiv_server::wire`).
 `--threads T` caps intra-run parallelism (0 = auto via LDIV_THREADS or
 the machine, 1 = sequential); output is byte-identical for every T.
+`--shards K` splits the table K ways, anonymizes the shards
+concurrently and stitches with eligibility repair (0 = auto via
+LDIV_SHARDS, else 1). Unlike --threads this CHANGES the published
+table — the stitched output trades a little utility for shard-level
+scaling. `anonymize --depth` (preprocessing) always runs unsharded;
+combining it with an explicit --shards is a usage error.
 `serve` binds 127.0.0.1:7411 by default; `--addr 127.0.0.1:0` picks an
 ephemeral port (printed on stdout). POST /anonymize, POST /sweep,
 GET /mechanisms, /healthz, /stats.
@@ -284,6 +290,7 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let algo = opts.require("algo")?;
     let fanout: u32 = opts.parse_num("fanout", 2)?;
     let threads: u32 = opts.parse_num("threads", 0)?;
+    let shards: u32 = opts.parse_num("shards", 0)?;
     let depth: Option<u32> = match opts.get("depth") {
         None => None,
         Some(s) => Some(s.parse().map_err(|e| usage_err(format!("--depth: {e}")))?),
@@ -295,11 +302,26 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
              (drop --depth to write a CSV)",
         ));
     }
+    // An explicitly requested shard count would be silently dropped by
+    // the preprocessing workflow (it always runs unsharded), so reject
+    // the combination like --depth/--output above. The auto form
+    // (--shards 0 / LDIV_SHARDS) stays permitted: preprocessing is
+    // documented to ignore it.
+    if depth.is_some() && shards > 1 {
+        return Err(usage_err(
+            "--shards cannot be combined with --depth: the §5.6 \
+             preprocessing workflow runs unsharded (drop --shards, or \
+             drop --depth for a sharded run)",
+        ));
+    }
     // Flag validation happens before the (expensive) run and before any
     // output file is created, so a usage mistake cannot leave side
     // effects behind.
     let format = opts.format()?;
-    let params = Params::new(l).with_fanout(fanout).with_threads(threads);
+    let params = Params::new(l)
+        .with_fanout(fanout)
+        .with_threads(threads)
+        .with_shards(shards);
     let exec = params.executor();
     let table = load_table(input, &exec)?;
 
@@ -315,10 +337,16 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
             .preprocess_depth(depth)
             .run(&table)?;
         if format == Format::Json {
+            // Preprocessing ran unsharded whatever the auto form would
+            // resolve to (explicit counts were rejected above), so the
+            // reported params — whose canonical string is a cache-key
+            // component — must say shards=1, not the ambient
+            // LDIV_SHARDS resolution.
+            let report_params = params.with_shards(1);
             return Ok(json_line(
                 Json::obj()
                     .field("mechanism", run.publication.mechanism())
-                    .field("params", wire::params_json(&params))
+                    .field("params", wire::params_json(&report_params))
                     .field("preprocess_depth", depth)
                     .field(
                         "dataset_fingerprint",
@@ -338,7 +366,7 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     }
 
     let output = opts.require("output")?;
-    let publication = registry.run(algo, &table, &params)?;
+    let publication = ldiversity::shard::run_sharded(&registry, algo, &table, &params)?;
     let published = suppression_rendering(&table, &publication);
     let kl = kl_divergence_with(&table, &publication, &exec);
 
@@ -412,19 +440,21 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
     let input = opts.require("input")?;
     let l = opts.require_l()?;
     let threads: u32 = opts.parse_num("threads", 0)?;
-    let params = Params::new(l).with_threads(threads);
+    let shards: u32 = opts.parse_num("shards", 0)?;
+    let params = Params::new(l).with_threads(threads).with_shards(shards);
     let exec = params.executor();
     let table = load_table(input, &exec)?;
     table.check_l_feasible(l)?;
 
     let registry = standard_registry();
+    let run = |name: &str| ldiversity::shard::run_sharded(&registry, name, &table, &params);
     if opts.format()? == Format::Json {
         // The same shape as the server's POST /sweep: one summary or
         // error entry per registered mechanism, in registry order.
         let results: Vec<Json> = registry
             .names()
             .iter()
-            .map(|name| match registry.run(name, &table, &params) {
+            .map(|name| match run(name) {
                 Ok(publication) => {
                     let kl = kl_divergence_with(&table, &publication, &exec);
                     wire::publication_json(&table, &publication, &params, kl)
@@ -447,7 +477,7 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
         "algorithm", "stars", "suppressed", "groups", "KL"
     );
     for name in registry.names() {
-        match registry.run(name, &table, &params) {
+        match run(name) {
             Ok(publication) => {
                 let kl = kl_divergence_with(&table, &publication, &exec);
                 out.push_str(&format!(
@@ -510,15 +540,17 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
         queue_depth: opts.parse_num("queue", defaults.queue_depth)?,
         cache_capacity: opts.parse_num("cache", defaults.cache_capacity)?,
         threads: opts.parse_num("threads", defaults.threads)?,
+        shards: opts.parse_num("shards", defaults.shards)?,
         dataset_root: opts.get("dataset-root").map(std::path::PathBuf::from),
     };
     let server = Server::bind(addr, standard_registry(), config)
         .map_err(|e| LdivError::Io(format!("{addr}: {e}")))?;
     // Report the *normalized* configuration the service actually runs
-    // with (worker/queue floors applied), matching GET /stats.
+    // with (worker/queue floors applied, shard auto resolved), matching
+    // GET /stats.
     let running = server.state().config();
     let banner = format!(
-        "listening on http://{} ({} workers, queue {}, cache {}, {} threads/run)\n",
+        "listening on http://{} ({} workers, queue {}, cache {}, {} threads/run, {} shards/run)\n",
         server.addr(),
         running.workers,
         running.queue_depth,
@@ -527,7 +559,8 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
             "auto".to_string()
         } else {
             running.threads.to_string()
-        }
+        },
+        running.resolved_shards()
     );
     Ok((server, banner))
 }
@@ -639,6 +672,61 @@ mod tests {
             let text = std::fs::read_to_string(&outfile).unwrap();
             assert_eq!(text.lines().count(), 801, "{algo}");
         }
+    }
+
+    #[test]
+    fn anonymize_with_shards_stitches_a_full_publication() {
+        let data = tmp("sharded.csv");
+        run(&opts(&[
+            "generate", "--kind", "sal", "--rows", "900", "--seed", "6", "--output", &data,
+        ]))
+        .unwrap();
+        let outfile = tmp("sharded_out.csv");
+        let msg = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp+",
+            "--shards",
+            "4",
+            "--output",
+            &outfile,
+        ]))
+        .unwrap();
+        assert!(msg.contains("sharded: 4 shards"), "{msg}");
+
+        // An explicit shard count under --depth would be silently
+        // ignored; it is a usage error like --depth/--output.
+        let err = run(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp+",
+            "--depth",
+            "2",
+            "--shards",
+            "4",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--shards"), "{err}");
+        // Every row published, exactly once.
+        let text = std::fs::read_to_string(&outfile).unwrap();
+        assert_eq!(text.lines().count(), 901);
+
+        // The JSON form carries the resolved shard count in the params.
+        let json = run(&opts(&[
+            "compare", "--input", &data, "--l", "3", "--shards", "2", "--format", "json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"shards\":2"), "{json}");
+        assert!(json.contains("shards=2"), "{json}");
     }
 
     #[test]
@@ -835,6 +923,11 @@ mod tests {
         ]))
         .unwrap();
         assert!(depth.contains("\"preprocess_depth\":2"), "{depth}");
+        // Preprocessing always runs unsharded, and the reported params
+        // must say so even when LDIV_SHARDS would resolve the auto form
+        // higher (the CI override pass exercises exactly that).
+        assert!(depth.contains("\"shards\":1"), "{depth}");
+        assert!(depth.contains("shards=1"), "{depth}");
 
         let compare = run(&opts(&[
             "compare", "--input", &data, "--l", "3", "--format", "json",

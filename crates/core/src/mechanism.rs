@@ -111,4 +111,37 @@ mod tests {
             Err(LdivError::InvalidL(0))
         ));
     }
+
+    #[test]
+    fn repair_merge_stitches_shard_runs_into_fresh_suppression() {
+        // The sharding repair hook on real TP output: anonymize two
+        // halves independently, remap to global ids, stitch. The result
+        // must be a valid suppressed publication of the *whole* table
+        // with stars re-derived from the repaired partition.
+        let t = samples::hospital();
+        let params = Params::new(2);
+        let shard = |rows: Vec<u32>| {
+            let sub = t.select_rows(&rows);
+            let p = TpMechanism.anonymize(&sub, &params).unwrap();
+            let (m, partition, payload, _) = p.into_parts();
+            let groups = partition
+                .groups()
+                .iter()
+                .map(|g| g.iter().map(|&local| rows[local as usize]).collect())
+                .collect();
+            Publication::new(m, ldiv_microdata::Partition::new_unchecked(groups), payload)
+        };
+        let stitched = TpMechanism
+            .repair_merge(
+                &t,
+                &params,
+                vec![shard((0..5).collect()), shard((5..10).collect())],
+            )
+            .unwrap();
+        stitched.validate(&t, 2).unwrap();
+        assert_eq!(stitched.covered_rows(), t.len());
+        let suppressed = stitched.as_suppressed().expect("suppression payload kept");
+        assert_eq!(suppressed.groups().len(), stitched.group_count());
+        assert!(stitched.notes()[0].contains("stitched 2 shards"));
+    }
 }

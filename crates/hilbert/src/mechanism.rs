@@ -67,4 +67,32 @@ mod tests {
         assert!(HilbertMechanism.anonymize(&t, &Params::new(5)).is_err());
         assert!(tp_plus_mechanism().anonymize(&t, &Params::new(5)).is_err());
     }
+
+    #[test]
+    fn repair_merge_restores_eligibility_across_shard_seams() {
+        // Hand the sharding repair hook two per-"shard" publications
+        // whose trailing groups violate l = 2 (singleton residues): the
+        // stitch must fuse them and publish one valid suppression of the
+        // whole table for both faces of this crate.
+        use ldiv_microdata::Partition;
+        let t = ldiv_microdata::samples::hospital();
+        let params = Params::new(2);
+        let suppressed_of = |name: &str, groups: Vec<Vec<u32>>| {
+            Publication::suppressed(name, &t, Partition::new_unchecked(groups))
+        };
+        for mechanism in [&HilbertMechanism as &dyn Mechanism, &tp_plus_mechanism()] {
+            let name = mechanism.name();
+            let shards = vec![
+                suppressed_of(name, vec![vec![0, 1, 4, 5], vec![8]]),
+                suppressed_of(name, vec![vec![2, 3, 6, 7], vec![9]]),
+            ];
+            let stitched = mechanism.repair_merge(&t, &params, shards).unwrap();
+            stitched
+                .validate(&t, 2)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(stitched.is_l_diverse(&t, 2), "{name}");
+            // The two singleton violators fused into one group.
+            assert_eq!(stitched.group_count(), 3, "{name}");
+        }
+    }
 }

@@ -48,6 +48,13 @@ pub struct ServerConfig {
     /// knob trades single-request latency against concurrent-request
     /// throughput without any behavioural effect.
     pub threads: u32,
+    /// Partition-level shard count applied to every run (`0` = auto via
+    /// `LDIV_SHARDS`, else 1; `K > 1` splits each table K ways and
+    /// stitches with eligibility repair). An operator knob like
+    /// [`threads`](ServerConfig::threads), but **output-affecting**: the
+    /// resolved count participates in `Params::canonical`, so cached
+    /// publications never alias across shard configurations.
+    pub shards: u32,
     /// Directory `?dataset=PATH` references resolve under. `None`
     /// (default) disables dataset references entirely: a network-exposed
     /// service must not open arbitrary server-side paths on request.
@@ -66,6 +73,9 @@ impl Default for ServerConfig {
             // saturates the machine across requests; operators serving
             // few, huge tables can raise this (or set 0 for auto).
             threads: 1,
+            // Auto (= 1 unless LDIV_SHARDS overrides): sharding changes
+            // output, so it stays opt-in.
+            shards: 0,
             dataset_root: None,
         }
     }
@@ -79,7 +89,21 @@ impl ServerConfig {
     fn normalized(mut self) -> Self {
         self.workers = self.workers.max(1);
         self.queue_depth = self.queue_depth.max(1);
+        // Pin the auto shard form once at startup: every request then
+        // carries an explicit count, so the hot path never re-reads the
+        // environment (canonical() and params_json() short-circuit on
+        // non-zero values) and a mid-flight env change cannot skew
+        // cache keys.
+        self.shards = self.resolved_shards();
         self
+    }
+
+    /// The partition-level shard count runs actually use: the `0` auto
+    /// form resolved (env override, clamping) exactly as `Params` does,
+    /// so `/stats` and banners report what the cache keys say. After
+    /// [`AppState::new`] normalizes the config this is the identity.
+    pub fn resolved_shards(&self) -> u32 {
+        Params::new(1).with_shards(self.shards).resolved_shards()
     }
 }
 
@@ -196,6 +220,7 @@ fn stats_json(state: &AppState) -> Json {
         .field("workers", state.config.workers)
         .field("queue_depth", state.config.queue_depth)
         .field("run_threads", state.config.threads)
+        .field("run_shards", state.config.resolved_shards())
         .field(
             "cache",
             Json::obj()
@@ -208,16 +233,20 @@ fn stats_json(state: &AppState) -> Json {
 }
 
 /// Parses the shared `l` / `fanout` query params; the intra-run thread
-/// budget comes from the server configuration (it is an operator knob,
-/// not a client one — clients cannot change the output with it anyway,
-/// but they also must not dictate the server's fan-out).
+/// budget and the shard count come from the server configuration (they
+/// are operator knobs, not client ones — a client must not dictate the
+/// server's fan-out, nor flip it onto the sharded output path).
 fn params_from(state: &AppState, req: &Request) -> Result<Params, LdivError> {
     let l: u32 = req
         .query_param("l")
         .ok_or_else(|| usage("missing query parameter 'l'"))?
         .parse()
         .map_err(|e| usage(format!("query parameter 'l': {e}")))?;
-    let mut params = Params::new(l).with_threads(state.config.threads);
+    // `config.shards` is pinned non-zero by `normalized()`, so the
+    // request params never fall back to the env-reading auto form.
+    let mut params = Params::new(l)
+        .with_threads(state.config.threads)
+        .with_shards(state.config.shards);
     if let Some(f) = req.query_param("fanout") {
         params.fanout = f
             .parse()
@@ -282,18 +311,7 @@ fn run_cached(
     name: &str,
     params: &Params,
 ) -> Result<Json, LdivError> {
-    let mechanism = state
-        .registry
-        .get(name)
-        .ok_or_else(|| LdivError::UnknownMechanism {
-            requested: name.to_string(),
-            known: state
-                .registry
-                .names()
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-        })?;
+    let mechanism = state.registry.get_or_unknown(name)?;
     let key = CacheKey {
         dataset: fingerprint,
         mechanism: mechanism.name().to_ascii_lowercase(),
@@ -302,7 +320,9 @@ fn run_cached(
     if let Some(found) = state.cache.lock().expect("cache poisoned").get(&key) {
         return Ok(found.clone().field("cached", true));
     }
-    let publication = mechanism.anonymize(table, params)?;
+    // The sharding driver honours `params.shards` (a mechanism alone
+    // would not); with a resolved count of 1 this is `anonymize` itself.
+    let publication = ldiv_shard::anonymize_sharded(mechanism, table, params)?;
     state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
     let kl = kl_divergence_with(table, &publication, &params.executor());
     let summary = wire::publication_json(table, &publication, params, kl);
@@ -726,6 +746,46 @@ mod tests {
             handle_request(&state, &req).body
         };
         assert_eq!(body_of(1), body_of(8));
+    }
+
+    #[test]
+    fn shard_config_is_output_affecting_and_reported() {
+        // Unlike `threads`, the shard count changes the published table:
+        // the canonical params (and therefore the cache key) must split,
+        // and /stats must report the resolved count.
+        let state_of = |shards: u32| {
+            AppState::new(
+                MechanismRegistry::new().with(Box::new(Whole("alpha"))),
+                ServerConfig {
+                    shards,
+                    ..ServerConfig::default()
+                },
+            )
+        };
+        let csv = hospital_csv();
+        let req = post("/anonymize", &[("algo", "alpha"), ("l", "2")], &csv);
+
+        let sharded = state_of(2);
+        let body = handle_request(&sharded, &req).body;
+        assert!(
+            body.contains("shards=2"),
+            "canonical params must spell the shard count: {body}"
+        );
+        assert!(body.contains("\"shards\":2"), "{body}");
+        let stats = handle_request(&sharded, &get("/stats")).body;
+        assert!(stats.contains("\"run_shards\":2"), "{stats}");
+
+        let unsharded = state_of(1);
+        let key_of = |state: &AppState| CacheKey {
+            dataset: 42,
+            mechanism: "alpha".into(),
+            params: Params::new(2).with_shards(state.config.shards).canonical(),
+        };
+        assert_ne!(
+            key_of(&sharded),
+            key_of(&unsharded),
+            "shard configurations must never share cache lines"
+        );
     }
 
     #[test]

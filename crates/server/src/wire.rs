@@ -200,11 +200,17 @@ pub fn fingerprint_hex(fp: u64) -> String {
     format!("{fp:016x}")
 }
 
-/// The `params` sub-object of a publication response.
+/// The `params` sub-object of a publication response. The shard count
+/// appears in its **resolved** form (auto spelled out), matching what
+/// [`Params::canonical`] bakes into the cache key. On degenerate
+/// inputs the sharding driver may run fewer shards than requested
+/// (a K-way split of an n < K-row table); the stitch note in `notes`
+/// records the effective count.
 pub fn params_json(params: &Params) -> Json {
     Json::obj()
         .field("l", params.l)
         .field("fanout", params.fanout)
+        .field("shards", params.resolved_shards())
         .field("canonical", params.canonical())
 }
 
@@ -331,7 +337,9 @@ mod tests {
         let partition =
             Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
         let p = Publication::suppressed("tp", &t, partition).with_note("phase 1");
-        let params = Params::new(2);
+        // Shards pinned: the suite also runs under an LDIV_SHARDS
+        // override, which moves the auto form of the canonical string.
+        let params = Params::new(2).with_shards(1);
         let kl = ldiv_metrics::kl_divergence(&t, &p);
         let json = publication_json(&t, &p, &params, kl);
         assert_eq!(json.get("mechanism"), Some(&Json::Str("tp".into())));
@@ -340,7 +348,11 @@ mod tests {
         assert_eq!(json.get("cached"), Some(&Json::Bool(false)));
         assert_eq!(
             json.get("params").unwrap().get("canonical"),
-            Some(&Json::Str("l=2;fanout=2".into()))
+            Some(&Json::Str("l=2;fanout=2;shards=1".into()))
+        );
+        assert_eq!(
+            json.get("params").unwrap().get("shards"),
+            Some(&Json::Int(1))
         );
         let rendered = json.render();
         assert!(rendered.contains("\"notes\":[\"phase 1\"]"), "{rendered}");

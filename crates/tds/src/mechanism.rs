@@ -84,4 +84,59 @@ mod tests {
         ));
         assert!(TdsMechanism.anonymize(&t, &Params::new(6)).is_err());
     }
+
+    #[test]
+    fn repair_merge_joins_shard_recodings_into_one_covering_recoding() {
+        // The sharding repair hook on real TDS output: two halves run
+        // independently and pick their own recodings; the stitch must
+        // publish ONE recoding (the finest common coarsening) that
+        // generalizes both, with groups re-induced from it over the
+        // whole table.
+        use ldiv_microdata::{Partition, RowId};
+        let t = samples::hospital();
+        let params = Params::new(2);
+        let shard = |rows: Vec<RowId>| {
+            let sub = t.select_rows(&rows);
+            let p = TdsMechanism.anonymize(&sub, &params).unwrap();
+            let (m, partition, payload, _) = p.into_parts();
+            let groups = partition
+                .groups()
+                .iter()
+                .map(|g| g.iter().map(|&local| rows[local as usize]).collect())
+                .collect();
+            Publication::new(m, Partition::new_unchecked(groups), payload)
+        };
+        let shards = vec![shard((0..5).collect()), shard((5..10).collect())];
+        let shard_recodings: Vec<_> = shards
+            .iter()
+            .map(|p| match p.payload() {
+                Payload::Recoded(r) => r.clone(),
+                other => panic!("wrong payload: {other:?}"),
+            })
+            .collect();
+        let stitched = TdsMechanism.repair_merge(&t, &params, shards).unwrap();
+        stitched.validate(&t, 2).unwrap();
+        assert!(stitched.is_l_diverse(&t, 2));
+        let Payload::Recoded(joined) = stitched.payload() else {
+            panic!("payload kind changed: {:?}", stitched.payload());
+        };
+        // The join never splits a bucket a shard relied on: values that
+        // share a bucket in a shard recoding share one in the result.
+        for (tag, r) in shard_recodings.iter().enumerate() {
+            for attr in 0..t.dimensionality() {
+                let domain = t.schema().qi_attribute(attr).domain_size() as u16;
+                for a in 0..domain {
+                    for b in 0..domain {
+                        if r.bucket(attr, a) == r.bucket(attr, b) {
+                            assert_eq!(
+                                joined.bucket(attr, a),
+                                joined.bucket(attr, b),
+                                "shard {tag} attr {attr}: join split bucket {{{a}, {b}}}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }

@@ -137,6 +137,26 @@ impl Anonymizer {
         self
     }
 
+    /// Sets the partition-level shard count (`0` = auto via
+    /// `LDIV_SHARDS`, `1` = unsharded). With K > 1 the run splits the
+    /// table K ways (`ldiv-shard`), anonymizes the shards concurrently
+    /// and stitches them with eligibility repair.
+    ///
+    /// **Output-affecting**, unlike [`threads`](Anonymizer::threads):
+    /// the stitched table trades a little utility for shard-level
+    /// scaling — `tests/shard_equivalence.rs` bounds the trade and pins
+    /// `shards = 1` byte-identical to the unsharded path. The §5.6
+    /// preprocessing workflow runs unsharded: combining
+    /// [`preprocess_depth`](Anonymizer::preprocess_depth) with an
+    /// explicit shard count > 1 makes [`run`](Anonymizer::run) return
+    /// [`LdivError::InvalidParams`] rather than silently dropping the
+    /// request (the auto form — `0`, possibly resolved through
+    /// `LDIV_SHARDS` — stays permitted).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.params.shards = shards;
+        self
+    }
+
     /// Selects the mechanism by registry name (`"tp"`, `"tp+"`,
     /// `"anatomy"`, `"mondrian"`, `"hilbert"`, `"tds"`, …).
     pub fn mechanism(mut self, name: impl Into<String>) -> Self {
@@ -167,7 +187,8 @@ impl Anonymizer {
     pub fn run(&self, table: &Table) -> Result<Anonymized, LdivError> {
         match self.preprocess_depth {
             None => {
-                let publication = self.registry.run(&self.mechanism, table, &self.params)?;
+                let publication =
+                    ldiv_shard::run_sharded(&self.registry, &self.mechanism, table, &self.params)?;
                 publication.validate(table, self.params.l)?;
                 let kl =
                     ldiv_metrics::kl_divergence_with(table, &publication, &self.params.executor());
@@ -179,17 +200,20 @@ impl Anonymizer {
                 })
             }
             Some(depth) => {
-                let mechanism = self.registry.get(&self.mechanism).ok_or_else(|| {
-                    LdivError::UnknownMechanism {
-                        requested: self.mechanism.clone(),
-                        known: self
-                            .registry
-                            .names()
-                            .iter()
-                            .map(|s| s.to_string())
-                            .collect(),
-                    }
-                })?;
+                // Preprocessing runs unsharded; an explicitly requested
+                // shard count would be silently dropped, so reject it
+                // (the CLI surfaces the same conflict as a usage error
+                // before it ever reaches this path). The auto form —
+                // `0`, even when `LDIV_SHARDS` resolves it above 1 — is
+                // the documented "unsharded preprocessing" default.
+                if self.params.shards > 1 {
+                    return Err(LdivError::InvalidParams(format!(
+                        "preprocessing (preprocess_depth) runs unsharded; drop the explicit \
+                         shards={} or drop the preprocessing depth for a sharded run",
+                        self.params.shards
+                    )));
+                }
+                let mechanism = self.registry.get_or_unknown(&self.mechanism)?;
                 let recoding =
                     ldiv_pipeline::uniform_recoding(table.schema(), self.params.fanout, depth);
                 let run = ldiv_pipeline::anonymize_preprocessed_with(
@@ -252,10 +276,50 @@ mod tests {
     }
 
     #[test]
+    fn sharded_builder_runs_stay_l_diverse_for_every_mechanism() {
+        let t = samples::hospital();
+        for name in standard_registry().names() {
+            let run = Anonymizer::new()
+                .l(2)
+                .mechanism(name)
+                .shards(2)
+                .run(&t)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(run.publication.is_l_diverse(&t, 2), "{name}");
+            assert!(run.kl.is_finite() && run.kl >= -1e-9, "{name}: {}", run.kl);
+            // `run` validated the publication, which includes full cover.
+            assert_eq!(run.publication.covered_rows(), t.len(), "{name}");
+        }
+    }
+
+    #[test]
     fn unknown_mechanism_is_reported() {
         let t = samples::hospital();
         let err = Anonymizer::new().mechanism("nope").run(&t).unwrap_err();
         assert!(matches!(err, LdivError::UnknownMechanism { .. }));
+    }
+
+    #[test]
+    fn preprocessing_rejects_an_explicit_shard_count() {
+        // The CLI surfaces this conflict as a usage error; the library
+        // must not silently drop the requested sharding either. The
+        // auto form (0) stays permitted — preprocessing is documented
+        // to run unsharded under it.
+        let t = samples::hospital();
+        let err = Anonymizer::new()
+            .l(2)
+            .shards(4)
+            .preprocess_depth(1)
+            .run(&t)
+            .unwrap_err();
+        assert!(matches!(err, LdivError::InvalidParams(_)), "{err}");
+        assert!(err.to_string().contains("unsharded"), "{err}");
+        Anonymizer::new()
+            .l(2)
+            .shards(0)
+            .preprocess_depth(1)
+            .run(&t)
+            .unwrap();
     }
 
     #[test]

@@ -68,6 +68,7 @@
 //! | [`pipeline`] | `ldiv-pipeline` | §5.6 preprocessing workflows and the utility sweep |
 //! | [`multidim`] | `ldiv-multidim` | Mondrian and the §6.2 star→sub-domain transformation |
 //! | [`server`] | `ldiv-server` | the concurrent anonymization service: HTTP listener, worker pool, publication cache, JSON wire format |
+//! | [`shard`] | `ldiv-shard` | partition-level sharding: stratified splitting, concurrent shard runs, eligibility-repair stitching |
 //! | [`anatomy`] | `ldiv-anatomy` | Anatomy (QI/SA table separation), the §2 alternative methodology |
 
 #![warn(missing_docs)]
@@ -124,6 +125,10 @@ pub use ldiv_multidim as multidim;
 /// The concurrent anonymization service: HTTP listener, worker pool,
 /// publication cache and the JSON wire format.
 pub use ldiv_server as server;
+
+/// Partition-level sharding: stratified table splitting, concurrent
+/// per-shard anonymization, eligibility-repair stitching.
+pub use ldiv_shard as shard;
 
 /// Anatomy: l-diverse publication via QI/SA table separation (§2).
 pub use ldiv_anatomy as anatomy;

@@ -1,0 +1,106 @@
+//! Golden wire-format tests: committed per-mechanism JSON fixtures
+//! diffed against `ldiv_server::wire` output.
+//!
+//! The wire bytes are load-bearing: the server's publication cache, the
+//! CLI's `--format json`, and the parallel/shard differential suites all
+//! compare them. Drift — a renamed field, a reordered key, a float
+//! formatting change — silently invalidates every cached publication and
+//! every downstream consumer, so it must fail *loudly* here instead.
+//!
+//! Fixtures live in `tests/golden/` and pin the paper's Table 1
+//! (`samples::hospital`) at l = 2: every registered mechanism unsharded,
+//! plus sharded (`shards = 2`) fixtures for one suppression and one
+//! non-suppression mechanism so the stitch's wire face is pinned too.
+//! Params are fully explicit (`shards` included) so the fixtures hold
+//! under the CI `LDIV_SHARDS` override pass.
+//!
+//! To regenerate after an *intentional* wire change:
+//!
+//! ```text
+//! LDIV_UPDATE_GOLDEN=1 cargo test --test golden_wire
+//! git diff tests/golden/   # review every byte you are about to bless
+//! ```
+
+use ldiversity::metrics::kl_divergence_with;
+use ldiversity::microdata::samples;
+use ldiversity::server::wire;
+use ldiversity::shard::run_sharded;
+use ldiversity::{standard_registry, Params};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The canonical wire bytes of one hospital-table run.
+fn wire_bytes(mechanism: &str, shards: u32) -> String {
+    let table = samples::hospital();
+    let registry = standard_registry();
+    let params = Params::new(2).with_shards(shards);
+    let publication = run_sharded(&registry, mechanism, &table, &params)
+        .unwrap_or_else(|e| panic!("{mechanism} shards={shards}: {e}"));
+    let kl = kl_divergence_with(&table, &publication, &params.executor());
+    wire::publication_json(&table, &publication, &params, kl).render()
+}
+
+fn check_golden(fixture: &str, actual: &str) {
+    let path = fixture_path(fixture);
+    if std::env::var("LDIV_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, format!("{actual}\n")).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with LDIV_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim_end(),
+        actual,
+        "wire drift against {}: if intentional, regenerate with \
+         LDIV_UPDATE_GOLDEN=1 and review the diff — stale server caches \
+         and every JSON consumer are on the line",
+        path.display()
+    );
+}
+
+#[test]
+fn unsharded_wire_bytes_match_the_committed_fixtures() {
+    for name in standard_registry().names() {
+        let fixture = format!("{}_l2.json", name.replace('+', "_plus"));
+        check_golden(&fixture, &wire_bytes(name, 1));
+    }
+}
+
+#[test]
+fn sharded_wire_bytes_match_the_committed_fixtures() {
+    // One suppression payload (tp+) and one non-suppression payload
+    // (anatomy) through the stitch: pins the sharded canonical params,
+    // the stitch notes, and the rebuilt payload accounting.
+    for name in ["tp+", "anatomy"] {
+        let fixture = format!("{}_l2_shards2.json", name.replace('+', "_plus"));
+        check_golden(&fixture, &wire_bytes(name, 2));
+    }
+}
+
+#[test]
+fn fixtures_carry_the_fields_consumers_rely_on() {
+    // Belt-and-braces: independent of fixture bytes, the shape contract
+    // the cache and CLI parse against.
+    let body = wire_bytes("tp", 1);
+    for field in [
+        "\"mechanism\":",
+        "\"params\":",
+        "\"canonical\":\"l=2;fanout=2;shards=1\"",
+        "\"dataset_fingerprint\":",
+        "\"rows\":10",
+        "\"stars\":",
+        "\"kl_divergence\":",
+        "\"cached\":false",
+    ] {
+        assert!(body.contains(field), "missing {field} in {body}");
+    }
+}

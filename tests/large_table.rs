@@ -1,12 +1,12 @@
-//! Nightly-scale smoke test: a 200k-row table through every registered
-//! mechanism at `--threads 4`.
+//! Nightly-scale smoke tests: a 200k-row table through every registered
+//! mechanism at `--threads 4`, unsharded and at `--shards 4`.
 //!
-//! Ignored in tier-1 (`cargo test`) because it is minutes-scale on a
-//! small machine; CI runs it in the scheduled nightly-style job with
+//! Ignored in tier-1 (`cargo test`) because they are minutes-scale on a
+//! small machine; CI runs them in the scheduled nightly-style job with
 //! `cargo test --release --test large_table -- --ignored`. The
-//! wall-clock bound is deliberately generous — it exists to catch
+//! wall-clock bounds are deliberately generous — they exist to catch
 //! accidental quadratic blowups and deadlocked fork-joins, not to
-//! benchmark (the `parallel_speedup` bin does that).
+//! benchmark (the `parallel_speedup` and `shard_scaling` bins do that).
 
 use ldiversity::datagen::{sal, AcsConfig};
 use ldiversity::metrics::kl_divergence_with;
@@ -50,6 +50,50 @@ fn all_mechanisms_complete_on_200k_rows_at_4_threads() {
         );
         eprintln!(
             "{name:>9}: {:>7.2}s, {} groups, kl {kl:.4}",
+            elapsed.as_secs_f64(),
+            publication.group_count()
+        );
+    }
+}
+
+#[test]
+#[ignore = "nightly-scale: 200k rows × 4 shards through every mechanism (run with -- --ignored)"]
+fn all_mechanisms_complete_on_200k_rows_at_4_shards() {
+    // The `--shards 4` leg of the nightly smoke: same table and
+    // thread budget, but split four ways and stitched with eligibility
+    // repair. Guarantees are re-asserted post-stitch; timings print so
+    // the scheduled job's artifact carries the sharded curve alongside
+    // `shard_scaling`'s.
+    const ROWS: usize = 200_000;
+    const PER_MECHANISM: Duration = Duration::from_secs(600);
+
+    let table = sal(&AcsConfig {
+        rows: ROWS,
+        seed: 99,
+    });
+    let params = Params::new(4).with_threads(4).with_shards(4);
+    let registry = standard_registry();
+    for name in registry.names() {
+        let start = Instant::now();
+        let publication = ldiversity::shard::run_sharded(&registry, name, &table, &params)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let kl = kl_divergence_with(&table, &publication, &params.executor());
+        let elapsed = start.elapsed();
+
+        assert!(publication.group_count() > 0, "{name}: empty publication");
+        assert_eq!(
+            publication.partition().covered_rows(),
+            ROWS,
+            "{name}: row coverage"
+        );
+        assert!(publication.is_l_diverse(&table, 4), "{name}");
+        assert!(kl.is_finite() && kl >= -1e-9, "{name}: kl = {kl}");
+        assert!(
+            elapsed < PER_MECHANISM,
+            "{name}: took {elapsed:?} (budget {PER_MECHANISM:?})"
+        );
+        eprintln!(
+            "{name:>9} (shards=4): {:>7.2}s, {} groups, kl {kl:.4}",
             elapsed.as_secs_f64(),
             publication.group_count()
         );

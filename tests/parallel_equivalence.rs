@@ -22,15 +22,18 @@ use ldiversity::server::wire;
 use ldiversity::{standard_registry, Executor, Params};
 
 /// The canonical wire bytes of one run — mechanism output plus the KL
-/// measured under the same budget.
+/// measured under the same budget. Dispatched through the sharding
+/// driver (the path the facade, CLI and server all take): with the
+/// default shard count this is the mechanism itself, and under the CI
+/// `LDIV_SHARDS` override pass the byte-identity gate below covers the
+/// sharded stitch too.
 fn wire_bytes(
     table: &ldiversity::microdata::Table,
     registry: &ldiversity::MechanismRegistry,
     name: &str,
     params: &Params,
 ) -> String {
-    let publication = registry
-        .run(name, table, params)
+    let publication = ldiversity::shard::run_sharded(registry, name, table, params)
         .unwrap_or_else(|e| panic!("{name} at threads={}: {e}", params.threads));
     let kl = kl_divergence_with(table, &publication, &params.executor());
     wire::publication_json(table, &publication, params, kl).render()

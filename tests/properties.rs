@@ -5,11 +5,16 @@
 //!   each group's SA multiset is l-eligible;
 //! * the row multiset is preserved: suppression, anatomy and recoding
 //!   all publish *exactly* the input rows, no drops, no duplicates;
+//! * both of the above hold **under partition-level sharding** too
+//!   (`shards` is drawn alongside `l`, so the eligibility-repair stitch
+//!   is exercised on adversarial small tables where shards routinely
+//!   cannot reach the requested l);
 //! * [`Table::fingerprint`] is order-sensitive (swapping two distinct
 //!   rows changes the digest) but schema-stable (rebuilding the same
 //!   schema and rows reproduces it exactly).
 
 use ldiversity::microdata::{Attribute, RowId, Schema, Table, TableBuilder, Value};
+use ldiversity::shard::run_sharded;
 use ldiversity::{standard_registry, Params};
 use proptest::prelude::*;
 
@@ -31,30 +36,35 @@ fn build_table(sa: &[Value], qi_a: &[Value], qi_b: &[Value]) -> Table {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Every mechanism on every feasible random table: groups are
-    /// l-eligible and the partition covers the row multiset exactly.
+    /// Every mechanism on every feasible random table, at every drawn
+    /// shard count: groups are l-eligible and the partition covers the
+    /// row multiset exactly. `shards = 1` is the unsharded path; 2..=4
+    /// on 6..48-row tables force reduced-l shard runs, so the
+    /// eligibility-repair stitch is property-checked too.
     #[test]
     fn all_mechanisms_publish_l_diverse_row_preserving_partitions(
         sa in proptest::collection::vec(0u16..6, 6..48),
         qi_a in proptest::collection::vec(0u16..6, 6..48),
         qi_b in proptest::collection::vec(0u16..5, 6..48),
         l in 2u32..4,
+        shards in 1u32..=4,
     ) {
         let table = build_table(&sa, &qi_a, &qi_b);
         prop_assume!(table.check_l_feasible(l).is_ok());
         let registry = standard_registry();
-        let params = Params::new(l);
+        let params = Params::new(l).with_shards(shards);
         for name in registry.names() {
-            let publication = registry
-                .run(name, &table, &params)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let publication = run_sharded(&registry, name, &table, &params)
+                .unwrap_or_else(|e| panic!("{name} shards={shards}: {e}"));
             // `validate` = exact cover + per-group l-eligibility, plus
             // payload-shape consistency; spelled out again below so a
             // validate() regression cannot mask a broken invariant.
-            publication.validate(&table, l).unwrap_or_else(|e| panic!("{name}: {e}"));
+            publication
+                .validate(&table, l)
+                .unwrap_or_else(|e| panic!("{name} shards={shards}: {e}"));
             prop_assert!(
                 publication.is_l_diverse(&table, l),
-                "{name}: a group violates Definition 2"
+                "{name} shards={shards}: a group violates Definition 2"
             );
             let mut covered: Vec<RowId> = publication
                 .partition()
@@ -65,7 +75,10 @@ proptest! {
                 .collect();
             covered.sort_unstable();
             let expect: Vec<RowId> = (0..table.len() as RowId).collect();
-            prop_assert_eq!(covered, expect, "{}: row multiset not preserved", name);
+            prop_assert_eq!(
+                covered, expect,
+                "{} shards={}: row multiset not preserved", name, shards
+            );
         }
     }
 

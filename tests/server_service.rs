@@ -129,7 +129,6 @@ fn cache_keys_are_stable_and_sensitive() {
 #[test]
 fn parallel_sweep_matches_sequential_runs() {
     let (_, csv) = dataset(900, 21);
-    let params = Params::new(3);
 
     let state = AppState::new(standard_registry(), ServerConfig::default());
     let sweep = handle_request(&state, &post("/sweep", &[("l", "3")], &csv));
@@ -138,12 +137,19 @@ fn parallel_sweep_matches_sequential_runs() {
     // Sequential reference: the same wire rendering, one mechanism at a
     // time, on a fresh registry, over the same parsed table the server
     // saw (parsing re-infers the schema, so the generator table itself
-    // is not byte-comparable).
+    // is not byte-comparable). Dispatched through the sharding driver
+    // with the server's own thread/shard configuration, so the reference
+    // matches what the routes ran — including under an `LDIV_SHARDS`
+    // override.
+    let config = state.config();
+    let params = Params::new(3)
+        .with_threads(config.threads)
+        .with_shards(config.shards);
     let table = ldiversity::microdata::read_csv(&csv[..], None).unwrap();
     let registry = standard_registry();
     for name in registry.names() {
-        let publication = registry.run(name, &table, &params).unwrap();
-        let kl = ldiversity::metrics::kl_divergence(&table, &publication);
+        let publication = ldiversity::shard::run_sharded(&registry, name, &table, &params).unwrap();
+        let kl = ldiversity::metrics::kl_divergence_with(&table, &publication, &params.executor());
         let expected = wire::publication_json(&table, &publication, &params, kl).render();
         assert!(
             sweep.body.contains(&expected),

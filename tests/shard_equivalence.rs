@@ -1,0 +1,174 @@
+//! Differential guarantee suite for partition-level sharding
+//! (`ldiv-shard`) — the gate ISSUE 5 ships the feature behind.
+//!
+//! Unlike `--threads` (execution-only, byte-identical by contract),
+//! `--shards` **changes the published table**, so the guarantees are
+//! semantic and must be proven per mechanism and shard count:
+//!
+//! * **(a) row preservation** — the stitched partition covers exactly
+//!   the input row multiset (no drops, no duplicates);
+//! * **(b) post-stitch eligibility** — every published group is
+//!   l-eligible after the eligibility-repair pass (Definition 2);
+//! * **(c) shards = 1 is the unsharded path** — byte-identical on
+//!   `ldiv_server::wire` bytes, the exact bytes `POST /anonymize`
+//!   returns, so opting out of sharding is provably free;
+//! * **(d) bounded utility cost** — sharding degrades the Eq. (2)
+//!   KL-divergence by at most a small constant factor (logged, so the
+//!   nightly runs accumulate the real curve).
+
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::metrics::kl_divergence_with;
+use ldiversity::microdata::RowId;
+use ldiversity::server::wire;
+use ldiversity::shard::run_sharded;
+use ldiversity::{standard_registry, Params};
+
+fn workload() -> ldiversity::microdata::Table {
+    // Large enough that each of 4 shards is comfortably feasible at
+    // l = 4, small enough for tier-1 (6 mechanisms × 3 shard counts).
+    sal(&AcsConfig {
+        rows: 8_000,
+        seed: 2024,
+    })
+}
+
+/// How much worse a sharded publication's KL may be before we call it a
+/// bug: `unsharded × factor + slack`. Sharding K ways loses locality at
+/// K−1 seams plus whatever the repair pass merges, but it must stay the
+/// same order of magnitude — a blowup here means the stitch (not the
+/// split) is destroying utility.
+const KL_FACTOR: f64 = 3.0;
+const KL_SLACK: f64 = 0.05;
+
+#[test]
+fn every_mechanism_preserves_rows_and_eligibility_under_sharding() {
+    let table = workload();
+    let registry = standard_registry();
+    let l = 4u32;
+    for name in registry.names() {
+        let unsharded_kl = {
+            let params = Params::new(l).with_shards(1);
+            let publication = run_sharded(&registry, name, &table, &params)
+                .unwrap_or_else(|e| panic!("{name} shards=1: {e}"));
+            kl_divergence_with(&table, &publication, &params.executor())
+        };
+        for shards in [2u32, 4] {
+            let params = Params::new(l).with_shards(shards);
+            let publication = run_sharded(&registry, name, &table, &params)
+                .unwrap_or_else(|e| panic!("{name} shards={shards}: {e}"));
+
+            // (a) The input row multiset is preserved exactly.
+            let mut covered: Vec<RowId> = publication
+                .partition()
+                .groups()
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            covered.sort_unstable();
+            let expect: Vec<RowId> = (0..table.len() as RowId).collect();
+            assert_eq!(
+                covered, expect,
+                "{name} shards={shards}: rows not preserved"
+            );
+
+            // (b) Every group is l-eligible post-stitch — `validate`
+            // additionally cross-checks the payload shape.
+            publication
+                .validate(&table, l)
+                .unwrap_or_else(|e| panic!("{name} shards={shards}: {e}"));
+            assert!(
+                publication.is_l_diverse(&table, l),
+                "{name} shards={shards}: a group violates Definition 2"
+            );
+
+            // (d) Utility cost is bounded and logged.
+            let kl = kl_divergence_with(&table, &publication, &params.executor());
+            assert!(
+                kl.is_finite() && kl >= -1e-9,
+                "{name} shards={shards}: {kl}"
+            );
+            eprintln!(
+                "shard_equivalence: {name:>9} shards={shards}: kl {kl:.4} \
+                 (unsharded {unsharded_kl:.4}, ratio {:.2})",
+                kl / unsharded_kl.max(1e-12)
+            );
+            assert!(
+                kl <= unsharded_kl * KL_FACTOR + KL_SLACK,
+                "{name} shards={shards}: kl {kl:.4} exceeds {KL_FACTOR}x + {KL_SLACK} \
+                 of unsharded {unsharded_kl:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shards_one_is_byte_identical_to_the_unsharded_path() {
+    // (c): for every mechanism, the sharding driver at shards = 1 must
+    // produce the same wire bytes as a direct mechanism run — the exact
+    // response body `POST /anonymize` serves. This is what makes
+    // sharding strictly opt-in: no flag, no change.
+    let table = workload();
+    let registry = standard_registry();
+    let params = Params::new(4).with_shards(1);
+    for name in registry.names() {
+        let mechanism = registry.get(name).unwrap();
+        let unsharded = mechanism
+            .anonymize(&table, &params)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sharded =
+            run_sharded(&registry, name, &table, &params).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let bytes = |p: &ldiversity::Publication| {
+            let kl = kl_divergence_with(&table, p, &params.executor());
+            wire::publication_json(&table, p, &params, kl).render()
+        };
+        assert_eq!(
+            bytes(&unsharded),
+            bytes(&sharded),
+            "{name}: shards=1 diverged from the unsharded path"
+        );
+    }
+}
+
+#[test]
+fn sharded_wire_bytes_are_deterministic_and_distinct_per_shard_count() {
+    // Two independent sharded runs render identical bytes (the cache
+    // depends on it), and different shard counts render *different*
+    // canonical params — so no cache line can serve the wrong output.
+    let table = workload();
+    let registry = standard_registry();
+    let render = |shards: u32| {
+        let params = Params::new(4).with_shards(shards);
+        let publication = run_sharded(&registry, "tp+", &table, &params).unwrap();
+        let kl = kl_divergence_with(&table, &publication, &params.executor());
+        wire::publication_json(&table, &publication, &params, kl).render()
+    };
+    assert_eq!(render(2), render(2));
+    let (two, four) = (render(2), render(4));
+    assert!(two.contains("shards=2"), "{two}");
+    assert!(four.contains("shards=4"), "{four}");
+    assert_ne!(two, four, "different shard counts must not alias");
+}
+
+#[test]
+fn repair_handles_shards_that_cannot_reach_l() {
+    // A small skewed table split many ways forces shards below the
+    // requested l; the stitched publication must still reach it.
+    let table = sal(&AcsConfig {
+        rows: 120,
+        seed: 31,
+    })
+    .project(&[0, 5])
+    .unwrap();
+    let l = table.max_feasible_l().clamp(2, 4);
+    let registry = standard_registry();
+    for name in registry.names() {
+        let params = Params::new(l).with_shards(16);
+        let publication =
+            run_sharded(&registry, name, &table, &params).unwrap_or_else(|e| panic!("{name}: {e}"));
+        publication
+            .validate(&table, l)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(publication.covered_rows(), table.len(), "{name}");
+    }
+}
