@@ -304,7 +304,9 @@ impl Mechanism for AnatomyMechanism {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
-        let published = anatomize_with(table, params.l, &params.executor())?;
+        let exec = params.executor();
+        ldiv_guard::fault::mechanism_entry(self.name(), &exec);
+        let published = anatomize_with(table, params.l, &exec)?;
         let groups = published.group_count();
         Ok(published
             .to_publication()

@@ -55,6 +55,10 @@ pub enum LdivError {
         /// Description of the violated invariant.
         String,
     ),
+    /// The run's time budget ([`Params::deadline`](crate::Params::deadline),
+    /// `--deadline-ms`, `LDIV_DEADLINE_MS`) elapsed before the
+    /// publication was ready. The server maps this to HTTP 504.
+    DeadlineExceeded,
 }
 
 impl LdivError {
@@ -84,6 +88,12 @@ impl fmt::Display for LdivError {
             LdivError::Io(msg) => write!(f, "{msg}"),
             LdivError::Algorithm(msg) => write!(f, "{msg}"),
             LdivError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            LdivError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded: the run's time budget elapsed before completion"
+                )
+            }
         }
     }
 }
@@ -111,6 +121,8 @@ mod tests {
     fn exit_codes_follow_the_cli_contract() {
         assert_eq!(LdivError::Usage("bad flag".into()).exit_code(), 2);
         assert_eq!(LdivError::InvalidL(0).exit_code(), 1);
+        assert_eq!(LdivError::DeadlineExceeded.exit_code(), 1);
+        assert!(LdivError::DeadlineExceeded.to_string().contains("deadline"));
         assert_eq!(
             LdivError::Io("missing.csv: not found".into()).exit_code(),
             1

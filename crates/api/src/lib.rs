@@ -62,6 +62,7 @@ mod registry;
 pub mod repair;
 
 pub use error::LdivError;
+pub use ldiv_exec::{Deadline, DEADLINE_ENV};
 pub use mechanism::Mechanism;
 pub use params::{Params, MAX_SHARDS, SHARDS_ENV};
 pub use publication::{AnatomyTables, AttrRange, Payload, Publication, SensitiveEntry};

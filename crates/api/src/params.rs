@@ -1,7 +1,7 @@
 //! The shared parameter bag every mechanism receives.
 
 use crate::LdivError;
-use ldiv_exec::Executor;
+use ldiv_exec::{Deadline, Executor};
 use ldiv_microdata::Table;
 
 /// Hard ceiling on the partition-level shard count, mirroring
@@ -47,6 +47,14 @@ pub struct Params {
     /// global run, so the resolved count participates in
     /// [`canonical`](Params::canonical) and therefore in cache keys.
     pub shards: u32,
+    /// The run's time budget, anchored to an absolute instant when the
+    /// request enters the system ([`Deadline::none`] by default).
+    /// **Execution-only**, exactly like [`threads`](Params::threads): a
+    /// deadline either lets the run finish (same bytes as an unlimited
+    /// run) or aborts it with [`LdivError::DeadlineExceeded`] — it never
+    /// changes a published table — so it is excluded from
+    /// [`canonical`](Params::canonical) and cache keys.
+    pub deadline: Deadline,
 }
 
 impl Params {
@@ -59,6 +67,7 @@ impl Params {
             fanout: 2,
             threads: 0,
             shards: 0,
+            deadline: Deadline::none(),
         }
     }
 
@@ -82,6 +91,14 @@ impl Params {
         self
     }
 
+    /// Attaches a time budget to the run. The deadline is an absolute
+    /// instant, so every shard and nested fork of this run expires at
+    /// the same moment. Execution-only — never part of the cache key.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
     /// The shard count this run publishes with: the explicit value, or —
     /// when `0` — the [`SHARDS_ENV`] override, else 1. Clamped to
     /// `1..=`[`MAX_SHARDS`]. Output depends on this resolution, which is
@@ -102,10 +119,12 @@ impl Params {
         raw.clamp(1, MAX_SHARDS)
     }
 
-    /// The [`Executor`] for this run's thread budget. Mechanisms use
-    /// this for their fork-join and reduction fan-out.
+    /// The [`Executor`] for this run's thread budget, carrying the
+    /// run's deadline. Mechanisms use this for their fork-join and
+    /// reduction fan-out; the executor's loops double as the
+    /// cooperative cancellation points.
     pub fn executor(&self) -> Executor {
-        Executor::new(self.threads)
+        Executor::new(self.threads).with_deadline(self.deadline)
     }
 
     /// The canonical, order-stable text form of the *output-affecting*
@@ -127,8 +146,9 @@ impl Params {
         let Params {
             l,
             fanout,
-            threads: _, // execution-only: must never affect output
-            shards: _,  // spelled out resolved, below
+            threads: _,  // execution-only: must never affect output
+            shards: _,   // spelled out resolved, below
+            deadline: _, // execution-only: finishes or 504s, never changes bytes
         } = *self;
         format!("l={l};fanout={fanout};shards={}", self.resolved_shards())
     }
@@ -221,6 +241,35 @@ mod tests {
                 "threads={threads} must not change the cache key"
             );
         }
+    }
+
+    #[test]
+    fn canonical_form_ignores_the_deadline() {
+        // Regression (cache-key stability): a deadline either lets the
+        // run publish the same bytes as an unlimited run or aborts it
+        // with DeadlineExceeded — it never alters output — so
+        // `--deadline-ms` must not split cache lines. Every request
+        // anchors a *fresh* Instant; if the deadline leaked into
+        // canonical(), no two requests would ever share a cache entry.
+        let base = Params::new(4).with_fanout(3).with_shards(2);
+        for ms in [1u64, 50, 10_000] {
+            assert_eq!(
+                base.with_deadline(Deadline::within_ms(ms)).canonical(),
+                base.canonical(),
+                "deadline_ms={ms} must not change the cache key"
+            );
+        }
+        assert_eq!(
+            base.with_deadline(Deadline::none()).canonical(),
+            base.with_deadline(Deadline::within_ms(25)).canonical()
+        );
+    }
+
+    #[test]
+    fn executor_carries_the_deadline() {
+        let p = Params::new(2).with_deadline(Deadline::within_ms(60_000));
+        assert!(p.executor().deadline().is_limited());
+        assert!(!Params::new(2).executor().deadline().is_limited());
     }
 
     #[test]

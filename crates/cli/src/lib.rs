@@ -27,9 +27,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use ldiv_api::{LdivError, Params};
+use ldiv_api::{Deadline, LdivError, Params};
 use ldiv_datagen::{occ, sal, AcsConfig};
 use ldiv_exec::Executor;
+use ldiv_guard::guarded;
 use ldiv_metrics::{kl_divergence_with, PublicationSummary};
 use ldiv_microdata::{
     read_csv_with, write_generalized_csv, write_table_csv, SuppressedTable, Table,
@@ -134,11 +135,11 @@ ldiv — l-diverse anonymization toolkit
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
   ldiv stats     --input FILE [--l L] [--format text|json]
-  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--format text|json]
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--format text|json]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
   ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
-  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--dataset-root DIR]
+  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--deadline-ms MS] [--dataset-root DIR]
 
 MECHANISM is any registered publication method:
   tp | tp+ | hilbert | tds | mondrian | anatomy
@@ -153,9 +154,15 @@ LDIV_SHARDS, else 1). Unlike --threads this CHANGES the published
 table — the stitched output trades a little utility for shard-level
 scaling. `anonymize --depth` (preprocessing) always runs unsharded;
 combining it with an explicit --shards is a usage error.
+`--deadline-ms MS` caps a run's wall-clock budget (0 = auto via
+LDIV_DEADLINE_MS, else unlimited); an elapsed budget is a clean
+'deadline exceeded' error (HTTP 504 under serve), never a partial
+publication. The deadline is execution-only — it does not change the
+output bytes or the cache key.
 `serve` binds 127.0.0.1:7411 by default; `--addr 127.0.0.1:0` picks an
 ephemeral port (printed on stdout). POST /anonymize, POST /sweep,
-GET /mechanisms, /healthz, /stats.
+GET /mechanisms, /healthz, /stats. SIGINT/SIGTERM stops accepting,
+drains in-flight requests and prints a final stats summary.
 Exit codes: 0 success, 1 user/runtime error, 2 usage error.
 ";
 
@@ -291,6 +298,7 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let fanout: u32 = opts.parse_num("fanout", 2)?;
     let threads: u32 = opts.parse_num("threads", 0)?;
     let shards: u32 = opts.parse_num("shards", 0)?;
+    let deadline_ms: u64 = opts.parse_num("deadline-ms", 0)?;
     let depth: Option<u32> = match opts.get("depth") {
         None => None,
         Some(s) => Some(s.parse().map_err(|e| usage_err(format!("--depth: {e}")))?),
@@ -321,7 +329,26 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     let params = Params::new(l)
         .with_fanout(fanout)
         .with_threads(threads)
-        .with_shards(shards);
+        .with_shards(shards)
+        .with_deadline(Deadline::resolve_ms(deadline_ms));
+    // The whole run — parse, anonymize, metrics, CSV write — sits inside
+    // one guard so a deadline raised at any checkpoint (or a mechanism
+    // panic) comes back as an `LdivError` and an exit code, never as an
+    // aborting panic.
+    guarded("anonymize", || {
+        cmd_anonymize_run(opts, input, algo, depth, format, &params)
+    })
+}
+
+fn cmd_anonymize_run(
+    opts: &Options,
+    input: &str,
+    algo: &str,
+    depth: Option<u32>,
+    format: Format,
+    params: &Params,
+) -> Result<String, LdivError> {
+    let params = *params;
     let exec = params.executor();
     let table = load_table(input, &exec)?;
 
@@ -447,7 +474,13 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
     table.check_l_feasible(l)?;
 
     let registry = standard_registry();
-    let run = |name: &str| ldiversity::shard::run_sharded(&registry, name, &table, &params);
+    // Guarded per mechanism: one panicking mechanism becomes an error
+    // row (like the server's /sweep), not a dead process.
+    let run = |name: &str| {
+        guarded(&format!("compare:{name}"), || {
+            ldiversity::shard::run_sharded(&registry, name, &table, &params)
+        })
+    };
     if opts.format()? == Format::Json {
         // The same shape as the server's POST /sweep: one summary or
         // error entry per registered mechanism, in registry order.
@@ -541,6 +574,7 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
         cache_capacity: opts.parse_num("cache", defaults.cache_capacity)?,
         threads: opts.parse_num("threads", defaults.threads)?,
         shards: opts.parse_num("shards", defaults.shards)?,
+        deadline_ms: opts.parse_num("deadline-ms", defaults.deadline_ms)?,
         dataset_root: opts.get("dataset-root").map(std::path::PathBuf::from),
     };
     let server = Server::bind(addr, standard_registry(), config)
@@ -565,20 +599,38 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
     Ok((server, banner))
 }
 
-/// `serve`: run the service until the process is killed.
+/// `serve`: run the service until SIGINT/SIGTERM, then drain and stop.
 ///
 /// The banner (with the actual bound port — important under `--addr
 /// 127.0.0.1:0`) is printed and flushed *before* blocking, so callers
-/// scripting the CLI can scrape the port.
+/// scripting the CLI can scrape the port. On the first SIGINT or
+/// SIGTERM the listener stops accepting, the queued connections drain,
+/// the workers join, and a final `/stats`-style summary is returned —
+/// in-flight requests complete instead of being cut mid-response.
 fn cmd_serve(opts: &Options) -> Result<String, LdivError> {
-    let (_server, banner) = start_server(opts)?;
+    let (server, banner) = start_server(opts)?;
     print!("{banner}");
     std::io::stdout()
         .flush()
         .map_err(|e| LdivError::Io(format!("stdout: {e}")))?;
-    loop {
-        std::thread::park();
+    // Clear any stale flag *before* arming the handler so a signal that
+    // lands during installation is never lost.
+    ldiv_guard::signals::reset_shutdown();
+    if !ldiv_guard::signals::install_shutdown_handler() {
+        // No signal support on this platform: serve forever, as before.
+        loop {
+            std::thread::park();
+        }
     }
+    while !ldiv_guard::signals::shutdown_requested() {
+        std::thread::park_timeout(std::time::Duration::from_millis(100));
+    }
+    let state = std::sync::Arc::clone(server.state());
+    server.shutdown(); // stop accepting, drain the queue, join workers
+    Ok(format!(
+        "shutdown: drained in-flight requests and stopped\nfinal stats: {}\n",
+        state.stats_json().render()
+    ))
 }
 
 #[cfg(test)]

@@ -37,7 +37,9 @@ impl<P: ResiduePartitioner + Send + Sync> Mechanism for TpHybridMechanism<P> {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
-        let result = anonymize_with(table, params.l, &self.partitioner, &params.executor())?;
+        let exec = params.executor();
+        ldiv_guard::fault::mechanism_entry(&self.name, &exec);
+        let result = anonymize_with(table, params.l, &self.partitioner, &exec)?;
         let refined = result.partition.group_count() - result.tp.partition.group_count();
         let mut publication = Publication::new(
             self.name.clone(),

@@ -63,6 +63,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on the thread budget; far above any sane `--threads`
 /// value, it only guards against typos like `--threads 100000`.
@@ -70,6 +71,112 @@ pub const MAX_THREADS: usize = 64;
 
 /// The environment variable consulted when the budget is `0` (auto).
 pub const THREADS_ENV: &str = "LDIV_THREADS";
+
+/// The environment variable consulted when a deadline of `0` ms (auto)
+/// is resolved: a positive integer number of milliseconds, applied to
+/// every run that does not carry an explicit deadline.
+pub const DEADLINE_ENV: &str = "LDIV_DEADLINE_MS";
+
+/// The panic payload [`Deadline::check`] unwinds with when the budget
+/// has elapsed.
+///
+/// Cooperative cancellation rides the existing panic plumbing: the
+/// executor's loops call [`Executor::checkpoint`] between chunks, and an
+/// expired deadline unwinds the whole fork tree (scoped threads included,
+/// permits restored by the guards) without threading a `Result` through
+/// every hot loop. A robustness boundary — `ldiv_guard::guarded` —
+/// catches the unwind, downcasts to this type and converts it into the
+/// structured `DeadlineExceeded` error. The unwind is raised with
+/// [`std::panic::resume_unwind`], so it does **not** invoke the panic
+/// hook (no backtrace noise on an ordinary timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+/// An absolute time budget for one anonymization run.
+///
+/// A `Deadline` is anchored to a wall-clock [`Instant`] when created, so
+/// every clone — the `Params` copy handed to each shard, every
+/// `params.executor()` call along the run — expires at the *same*
+/// moment; nothing re-anchors mid-run. The default ([`Deadline::none`])
+/// never expires and checks are a single `Option` test, so runs without
+/// a budget pay nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Deadline {
+    due: Option<Instant>,
+}
+
+impl Deadline {
+    /// The unlimited deadline: never expires.
+    pub const fn none() -> Self {
+        Deadline { due: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline {
+            due: Some(Instant::now() + budget),
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now; `0` means unlimited.
+    pub fn within_ms(ms: u64) -> Self {
+        if ms == 0 {
+            Deadline::none()
+        } else {
+            Deadline::within(Duration::from_millis(ms))
+        }
+    }
+
+    /// Resolves a raw millisecond setting the way the CLI and server
+    /// flags do: a positive value anchors a deadline now; `0` (auto)
+    /// consults [`DEADLINE_ENV`], else stays unlimited.
+    pub fn resolve_ms(raw_ms: u64) -> Self {
+        if raw_ms > 0 {
+            return Deadline::within_ms(raw_ms);
+        }
+        Deadline::within_ms(deadline_ms_from_env().unwrap_or(0))
+    }
+
+    /// The absolute expiry instant, when one is set.
+    pub fn due(&self) -> Option<Instant> {
+        self.due
+    }
+
+    /// Whether a budget is set at all.
+    pub fn is_limited(&self) -> bool {
+        self.due.is_some()
+    }
+
+    /// Whether the budget has elapsed.
+    pub fn expired(&self) -> bool {
+        matches!(self.due, Some(due) if Instant::now() >= due)
+    }
+
+    /// Time left before expiry: `None` when unlimited, zero when
+    /// already expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.due
+            .map(|due| due.saturating_duration_since(Instant::now()))
+    }
+
+    /// Cooperative cancellation point: unwinds with [`DeadlineExceeded`]
+    /// when the budget has elapsed, otherwise returns immediately. The
+    /// unwind bypasses the panic hook (`resume_unwind`), so an ordinary
+    /// timeout prints nothing.
+    pub fn check(&self) {
+        if self.expired() {
+            std::panic::resume_unwind(Box::new(DeadlineExceeded));
+        }
+    }
+}
+
+/// The [`DEADLINE_ENV`] override, when set to a positive integer.
+pub fn deadline_ms_from_env() -> Option<u64> {
+    std::env::var(DEADLINE_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+}
 
 /// A scoped fork-join executor with a fixed thread budget.
 ///
@@ -84,6 +191,8 @@ pub struct Executor {
     /// when the helper finishes, so concurrent forks share the budget
     /// instead of multiplying it.
     permits: Arc<AtomicUsize>,
+    /// The run's time budget; checked between chunks and at every fork.
+    deadline: Deadline,
 }
 
 impl Default for Executor {
@@ -108,7 +217,29 @@ impl Executor {
         Executor {
             threads: resolved,
             permits: Arc::new(AtomicUsize::new(resolved - 1)),
+            deadline: Deadline::none(),
         }
+    }
+
+    /// This executor with a time budget attached. Clones share the
+    /// deadline (it is an absolute instant), so a budget set at the
+    /// request edge governs every nested fork of the run.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The run's time budget (unlimited by default).
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+
+    /// Cooperative cancellation point for code the executor cannot see
+    /// inside — e.g. Mondrian's sequential recursion between forks.
+    /// Unwinds with [`DeadlineExceeded`] when the budget has elapsed;
+    /// free (a single `Option` test) when no deadline is set.
+    pub fn checkpoint(&self) {
+        self.deadline.check();
     }
 
     /// The sequential executor (budget 1): every `join` and `map` runs
@@ -155,6 +286,7 @@ impl Executor {
         RA: Send,
         RB: Send,
     {
+        self.checkpoint();
         if !self.try_acquire() {
             let ra = a();
             let rb = b();
@@ -195,7 +327,13 @@ impl Executor {
         let chunk_size = chunk_size.max(1);
         let n_chunks = items.len().div_ceil(chunk_size);
         if n_chunks <= 1 || !self.is_parallel() {
-            return items.chunks(chunk_size).map(&f).collect();
+            return items
+                .chunks(chunk_size)
+                .map(|c| {
+                    self.checkpoint();
+                    f(c)
+                })
+                .collect();
         }
 
         // Claim helper permits up to (threads - 1), but never more than
@@ -212,7 +350,13 @@ impl Executor {
         }
         let helpers = guard.count;
         if helpers == 0 {
-            return items.chunks(chunk_size).map(&f).collect();
+            return items
+                .chunks(chunk_size)
+                .map(|c| {
+                    self.checkpoint();
+                    f(c)
+                })
+                .collect();
         }
 
         let slots: Vec<Mutex<Option<U>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
@@ -222,6 +366,7 @@ impl Executor {
             let next = &next;
             let f = &f;
             move || loop {
+                self.checkpoint();
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_chunks {
                     break;
@@ -401,6 +546,63 @@ mod tests {
             let got = Executor::new(threads).sum_chunked(&items, 4096, |&x| x.sin());
             assert_eq!(got.to_bits(), reference.to_bits(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn deadline_defaults_to_unlimited_and_checks_are_free() {
+        let d = Deadline::none();
+        assert!(!d.is_limited());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        d.check(); // no-op, must not unwind
+        assert_eq!(Deadline::within_ms(0), Deadline::none());
+        let exec = Executor::new(4);
+        assert!(!exec.deadline().is_limited());
+        exec.checkpoint();
+    }
+
+    #[test]
+    fn expired_deadline_unwinds_with_the_typed_payload() {
+        let d = Deadline::within(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.is_limited() && d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        let caught = std::panic::catch_unwind(|| d.check()).unwrap_err();
+        assert!(caught.downcast_ref::<DeadlineExceeded>().is_some());
+    }
+
+    #[test]
+    fn executor_loops_observe_the_deadline_and_restore_permits() {
+        let items: Vec<u32> = (0..10_000).collect();
+        for threads in [1u32, 4] {
+            let exec = Executor::new(threads).with_deadline(Deadline::within(Duration::ZERO));
+            std::thread::sleep(Duration::from_millis(2));
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                exec.map_chunks(&items, 64, |c| c.len());
+            }))
+            .unwrap_err();
+            assert!(
+                caught.downcast_ref::<DeadlineExceeded>().is_some(),
+                "threads = {threads}"
+            );
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                exec.join(|| (), || ());
+            }))
+            .unwrap_err();
+            assert!(caught.downcast_ref::<DeadlineExceeded>().is_some());
+            // The unwinds returned every claimed permit.
+            assert_eq!(exec.permits.load(Ordering::SeqCst), exec.threads() - 1);
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_disturb_results() {
+        let items: Vec<u32> = (0..5_000).collect();
+        let exec = Executor::new(4).with_deadline(Deadline::within(Duration::from_secs(600)));
+        assert_eq!(
+            exec.map(&items, |&x| x + 1),
+            items.iter().map(|&x| x + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Mechanism for HilbertMechanism {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
-        let (partition, published) = hilbert_publish_with(table, params.l, &params.executor());
+        let exec = params.executor();
+        ldiv_guard::fault::mechanism_entry(self.name(), &exec);
+        let (partition, published) = hilbert_publish_with(table, params.l, &exec);
         Ok(Publication::new(
             "hilbert",
             partition,

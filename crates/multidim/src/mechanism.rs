@@ -30,6 +30,7 @@ impl Mechanism for MondrianMechanism {
         // the recursion and the covering boxes honour the run's thread
         // budget (identical output for every budget).
         let exec = params.executor();
+        ldiv_guard::fault::mechanism_entry(self.name(), &exec);
         let partition = mondrian_partition_with(table, params.l, &exec);
         let boxed = BoxTable::from_partition_with(table, &partition, &exec);
         let splits = partition.group_count().saturating_sub(1);

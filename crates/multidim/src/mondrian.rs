@@ -51,6 +51,11 @@ pub fn mondrian_partition_with(table: &Table, l: u32, exec: &Executor) -> Partit
 /// Splits `rows` recursively, returning the leaf groups of this subtree
 /// in deterministic (low-before-high, depth-first) order.
 fn split_recursive(table: &Table, l: u32, rows: Vec<RowId>, exec: &Executor) -> Vec<Vec<RowId>> {
+    // The sequential recursion between forks bypasses the executor's
+    // loops, so it hosts its own cancellation point: one check per
+    // split keeps a deadline-bounded run from descending a deep tree
+    // long after its budget elapsed.
+    exec.checkpoint();
     let d = table.dimensionality();
 
     // Attributes ordered by normalized span of present values, widest

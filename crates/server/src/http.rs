@@ -308,6 +308,7 @@ impl Response {
             500 => "Internal Server Error",
             501 => "Not Implemented",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }

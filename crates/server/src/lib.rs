@@ -50,6 +50,6 @@ pub mod wire;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
 pub use http::{Request, Response};
-pub use jobs::WorkerPool;
+pub use jobs::{PoolHealth, WorkerPool};
 pub use listener::{handle_request, AppState, Server, ServerConfig};
 pub use wire::Json;

@@ -20,16 +20,16 @@
 
 use crate::cache::{CacheKey, LruCache};
 use crate::http::{parse_head, read_body, HttpError, Request, Response};
-use crate::jobs::WorkerPool;
+use crate::jobs::{PoolHealth, WorkerPool};
 use crate::wire::{self, Json};
-use ldiv_api::{LdivError, MechanismRegistry, Params};
-use ldiv_exec::Executor;
+use ldiv_api::{Deadline, LdivError, MechanismRegistry, Params};
+use ldiv_guard::{classify_panic, guarded};
 use ldiv_metrics::kl_divergence_with;
 use ldiv_microdata::{read_csv_with, Table};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 
 /// Server tuning knobs.
@@ -55,6 +55,14 @@ pub struct ServerConfig {
     /// resolved count participates in `Params::canonical`, so cached
     /// publications never alias across shard configurations.
     pub shards: u32,
+    /// Per-request time budget in milliseconds (`0` = auto: the
+    /// `LDIV_DEADLINE_MS` environment variable, else unlimited). The
+    /// budget is anchored when a request's parameters are parsed and
+    /// covers the CSV parse and the whole run; an expiry surfaces as a
+    /// 504 with kind `deadline_exceeded`. Execution-only, like
+    /// [`threads`](ServerConfig::threads): a deadline never changes a
+    /// published byte, so it stays out of cache keys.
+    pub deadline_ms: u64,
     /// Directory `?dataset=PATH` references resolve under. `None`
     /// (default) disables dataset references entirely: a network-exposed
     /// service must not open arbitrary server-side paths on request.
@@ -76,6 +84,8 @@ impl Default for ServerConfig {
             // Auto (= 1 unless LDIV_SHARDS overrides): sharding changes
             // output, so it stays opt-in.
             shards: 0,
+            // Auto (= unlimited unless LDIV_DEADLINE_MS overrides).
+            deadline_ms: 0,
             dataset_root: None,
         }
     }
@@ -95,6 +105,11 @@ impl ServerConfig {
         // non-zero values) and a mid-flight env change cannot skew
         // cache keys.
         self.shards = self.resolved_shards();
+        // Pin the auto deadline form too, for the same reason: requests
+        // anchor against a fixed millisecond budget, never the live env.
+        if self.deadline_ms == 0 {
+            self.deadline_ms = ldiv_exec::deadline_ms_from_env().unwrap_or(0);
+        }
         self
     }
 
@@ -116,6 +131,8 @@ pub struct AppState {
     requests: AtomicU64,
     anonymize_runs: AtomicU64,
     rejected: AtomicU64,
+    panics_caught: AtomicU64,
+    pool_health: OnceLock<Arc<PoolHealth>>,
 }
 
 impl AppState {
@@ -130,6 +147,8 @@ impl AppState {
             requests: AtomicU64::new(0),
             anonymize_runs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            pool_health: OnceLock::new(),
         }
     }
 
@@ -143,13 +162,52 @@ impl AppState {
         &self.config
     }
 
+    /// The publication cache, with lock poisoning recovered rather than
+    /// propagated: a panic elsewhere while the lock was held must not
+    /// turn every later request into a crash. Safe here because cache
+    /// mutations are single `get`/`insert` calls whose internal state is
+    /// consistent between statements, and a torn entry at worst costs a
+    /// recomputation.
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<Json>> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Cache counters (also on `GET /stats`).
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
-        self.cache.lock().expect("cache poisoned").stats()
+        self.lock_cache().stats()
+    }
+
+    /// Wires the worker pool's health gauge into `/stats` (done once by
+    /// [`Server::bind`]; states without a pool simply omit the field).
+    pub fn attach_pool_health(&self, health: Arc<PoolHealth>) {
+        let _ = self.pool_health.set(health);
+    }
+
+    /// The worker pool's live health, when a pool is attached.
+    pub fn pool_health(&self) -> Option<&Arc<PoolHealth>> {
+        self.pool_health.get()
+    }
+
+    /// The `/stats` document (also what the CLI logs as its final
+    /// drain summary on shutdown).
+    pub fn stats_json(&self) -> Json {
+        stats_json(self)
     }
 
     fn count_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an error that came out of a `guarded` boundary when it was
+    /// a converted panic ([`LdivError::Internal`] is only ever produced
+    /// that way on the request paths). Feeds the top-level
+    /// `panics_caught` gauge on `/stats`.
+    fn count_if_panic(&self, err: &LdivError) {
+        if matches!(err, LdivError::Internal(_)) {
+            self.panics_caught.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -160,6 +218,7 @@ fn status_for(err: &LdivError) -> u16 {
         LdivError::UnknownMechanism { .. } => 404,
         LdivError::Infeasible(_) | LdivError::InvalidL(_) | LdivError::InvalidParams(_) => 422,
         LdivError::Algorithm(_) | LdivError::Internal(_) => 500,
+        LdivError::DeadlineExceeded => 504,
     }
 }
 
@@ -183,11 +242,17 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
         ("GET", "/stats") => Response::json(200, stats_json(state).render()),
         ("POST", "/anonymize") => match anonymize_route(state, req) {
             Ok(json) => Response::json(200, json.render()),
-            Err(e) => error_response(&e),
+            Err(e) => {
+                state.count_if_panic(&e);
+                error_response(&e)
+            }
         },
         ("POST", "/sweep") => match sweep_route(state, req) {
             Ok(json) => Response::json(200, json.render()),
-            Err(e) => error_response(&e),
+            Err(e) => {
+                state.count_if_panic(&e);
+                error_response(&e)
+            }
         },
         ("GET", "/anonymize")
         | ("GET", "/sweep")
@@ -210,26 +275,46 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
 
 fn stats_json(state: &AppState) -> Json {
     let cache = state.cache_stats();
-    Json::obj()
+    let mut json = Json::obj()
         .field("requests", state.requests.load(Ordering::Relaxed) as i64)
         .field(
             "anonymize_runs",
             state.anonymize_runs.load(Ordering::Relaxed) as i64,
         )
         .field("rejected", state.rejected.load(Ordering::Relaxed) as i64)
+        .field(
+            "panics_caught",
+            state.panics_caught.load(Ordering::Relaxed) as i64,
+        )
         .field("workers", state.config.workers)
         .field("queue_depth", state.config.queue_depth)
         .field("run_threads", state.config.threads)
         .field("run_shards", state.config.resolved_shards())
-        .field(
-            "cache",
+        .field("deadline_ms", state.config.deadline_ms as i64);
+    // The pool gauge exists only when a real server attached one; the
+    // pure-routing test states simply omit it.
+    if let Some(health) = state.pool_health() {
+        json = json.field(
+            "pool",
             Json::obj()
-                .field("hits", cache.hits as i64)
-                .field("misses", cache.misses as i64)
-                .field("entries", cache.entries)
-                .field("capacity", cache.capacity)
-                .field("evictions", cache.evictions as i64),
-        )
+                .field("alive", health.alive())
+                .field("target", state.config.workers)
+                // Panics that escaped all the way to the worker loop —
+                // the route-level `guarded` boundaries normally convert
+                // them first (counted in the top-level gauge above).
+                .field("worker_panics", health.panics_caught() as i64)
+                .field("respawned", health.respawned() as i64),
+        );
+    }
+    json.field(
+        "cache",
+        Json::obj()
+            .field("hits", cache.hits as i64)
+            .field("misses", cache.misses as i64)
+            .field("entries", cache.entries)
+            .field("capacity", cache.capacity)
+            .field("evictions", cache.evictions as i64),
+    )
 }
 
 /// Parses the shared `l` / `fanout` query params; the intra-run thread
@@ -243,10 +328,13 @@ fn params_from(state: &AppState, req: &Request) -> Result<Params, LdivError> {
         .parse()
         .map_err(|e| usage(format!("query parameter 'l': {e}")))?;
     // `config.shards` is pinned non-zero by `normalized()`, so the
-    // request params never fall back to the env-reading auto form.
+    // request params never fall back to the env-reading auto form. The
+    // deadline anchors HERE — an absolute instant the parse, the run
+    // and every shard of it share.
     let mut params = Params::new(l)
         .with_threads(state.config.threads)
-        .with_shards(state.config.shards);
+        .with_shards(state.config.shards)
+        .with_deadline(Deadline::within_ms(state.config.deadline_ms));
     if let Some(f) = req.query_param("fanout") {
         params.fanout = f
             .parse()
@@ -259,12 +347,13 @@ fn params_from(state: &AppState, req: &Request) -> Result<Params, LdivError> {
 /// `?dataset=` — which only works when the operator configured a dataset
 /// root, and never resolves outside it (a network client must not be
 /// able to probe or read arbitrary server-side paths).
-fn table_from(state: &AppState, req: &Request) -> Result<Table, LdivError> {
+fn table_from(state: &AppState, req: &Request, params: &Params) -> Result<Table, LdivError> {
     // The parse honours the server's per-run thread budget, like every
     // anonymization it feeds — without this, each concurrent request
     // would fan its CSV parse over the whole machine even under the
-    // deliberate `threads = 1` default.
-    let exec = Executor::new(state.config.threads);
+    // deliberate `threads = 1` default. Taking the executor from the
+    // request's params also puts the parse under the request deadline.
+    let exec = params.executor();
     if !req.body.is_empty() {
         return read_csv_with(&mut &req.body[..], None, &exec)
             .map_err(|e| usage(format!("request body: {e}")));
@@ -317,7 +406,7 @@ fn run_cached(
         mechanism: mechanism.name().to_ascii_lowercase(),
         params: params.canonical(),
     };
-    if let Some(found) = state.cache.lock().expect("cache poisoned").get(&key) {
+    if let Some(found) = state.lock_cache().get(&key) {
         return Ok(found.clone().field("cached", true));
     }
     // The sharding driver honours `params.shards` (a mechanism alone
@@ -326,11 +415,7 @@ fn run_cached(
     state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
     let kl = kl_divergence_with(table, &publication, &params.executor());
     let summary = wire::publication_json(table, &publication, params, kl);
-    state
-        .cache
-        .lock()
-        .expect("cache poisoned")
-        .insert(key, summary.clone());
+    state.lock_cache().insert(key, summary.clone());
     Ok(summary)
 }
 
@@ -339,8 +424,13 @@ fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
         .query_param("algo")
         .ok_or_else(|| usage("missing query parameter 'algo'"))?;
     let params = params_from(state, req)?;
-    let table = table_from(state, req)?;
-    run_cached(state, &table, table.fingerprint(), name, &params)
+    // The isolation boundary around the job: a panicking mechanism (or
+    // an expired deadline unwinding out of the parse or the run) becomes
+    // a structured error — 500 / 504 — never a dead worker.
+    guarded("anonymize", || {
+        let table = table_from(state, req, &params)?;
+        run_cached(state, &table, table.fingerprint(), name, &params)
+    })
 }
 
 /// Fans the dataset across every registered mechanism in parallel (one
@@ -350,7 +440,7 @@ fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
 /// become error entries rather than failing the whole sweep.
 fn sweep_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
     let params = params_from(state, req)?;
-    let table = table_from(state, req)?;
+    let table = guarded("sweep:parse", || table_from(state, req, &params))?;
     let fingerprint = table.fingerprint();
     let names: Vec<String> = state
         .registry
@@ -365,16 +455,31 @@ fn sweep_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
             .iter()
             .map(|name| {
                 let table = &table;
-                scope.spawn(
-                    move || match run_cached(state, table, fingerprint, name, &params) {
+                // Each worker carries its own isolation boundary, so one
+                // panicking mechanism yields one error entry while the
+                // rest of the sweep completes.
+                scope.spawn(move || {
+                    match guarded(&format!("sweep:{name}"), || {
+                        run_cached(state, table, fingerprint, name, &params)
+                    }) {
                         Ok(summary) => summary,
-                        Err(e) => wire::error_json(&e).field("mechanism", name.as_str()),
-                    },
-                )
+                        Err(e) => {
+                            state.count_if_panic(&e);
+                            wire::error_json(&e).field("mechanism", name.as_str())
+                        }
+                    }
+                })
             })
             .collect();
-        for (slot, handle) in results.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("sweep worker panicked"));
+        for ((slot, handle), name) in results.iter_mut().zip(handles).zip(&names) {
+            // Belt over the braces: should a worker die despite its
+            // boundary, degrade that one mechanism to an error entry
+            // instead of killing the connection thread.
+            *slot = Some(handle.join().unwrap_or_else(|payload| {
+                let e = classify_panic(&format!("sweep:{name}"), payload.as_ref());
+                state.count_if_panic(&e);
+                wire::error_json(&e).field("mechanism", name.as_str())
+            }));
         }
     });
 
@@ -410,34 +515,30 @@ impl Server {
         let state = Arc::new(AppState::new(registry, config));
         let stop = Arc::new(AtomicBool::new(false));
 
+        // The pool is built before the accept thread so its health gauge
+        // can be wired into /stats; the pool itself then moves into the
+        // accept thread, whose exit drops it (close queue, drain, join).
+        let pool_state = Arc::clone(&state);
+        let pool = WorkerPool::new(
+            state.config.workers,
+            state.config.queue_depth,
+            move |stream: TcpStream| serve_connection(&pool_state, stream),
+        );
+        state.attach_pool_health(pool.health());
+
         let accept_state = Arc::clone(&state);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name("ldiv-accept".into())
             .spawn(move || {
-                let pool_state = Arc::clone(&accept_state);
-                let pool = WorkerPool::new(
-                    accept_state.config.workers,
-                    accept_state.config.queue_depth,
-                    move |stream: TcpStream| serve_connection(&pool_state, stream),
-                );
                 for stream in listener.incoming() {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
                     if let Err(stream) = pool.submit(stream) {
-                        // Queue full: reject inline without blocking accept.
                         accept_state.count_rejected();
-                        let mut w = BufWriter::new(stream);
-                        let _ = Response::json(
-                            503,
-                            wire::error_json(&LdivError::Algorithm(
-                                "server overloaded: connection queue is full".into(),
-                            ))
-                            .render(),
-                        )
-                        .write_to(&mut w);
+                        reject_overloaded(stream);
                     }
                 }
                 // Pool drops here: queue closes, workers drain and join.
@@ -482,9 +583,48 @@ impl Drop for Server {
     }
 }
 
+/// Answers `503` on a connection the queue had no room for, without
+/// blocking the accept loop on the client's upload.
+///
+/// Order matters: write the response, half-close our side, then drain
+/// (bounded) whatever request bytes the client already sent. Closing
+/// with unread data in the receive buffer makes the kernel send RST,
+/// which destroys the in-flight 503 before the client can read it —
+/// load shedding must reject requests, not reset connections.
+fn reject_overloaded(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(5)));
+    let mut w = BufWriter::new(&stream);
+    let _ = Response::json(
+        503,
+        wire::error_json(&LdivError::Algorithm(
+            "server overloaded: connection queue is full".into(),
+        ))
+        .render(),
+    )
+    .write_to(&mut w);
+    let _ = std::io::Write::flush(&mut w);
+    drop(w);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Discard at most 1 MiB of upload; the timeout bounds a client that
+    // neither finishes nor closes.
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 1 << 20;
+    let mut reader = &stream;
+    while budget > 0 {
+        match std::io::Read::read(&mut reader, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
 /// One connection: parse, route, respond, close.
 fn serve_connection(state: &AppState, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    // Mirror the read timeout on writes: a client that stops draining
+    // its receive window must not pin a worker on the response forever.
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -498,7 +638,16 @@ fn serve_connection(state: &AppState, stream: TcpStream) {
                 let _ = (&stream).write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
             }
             match read_body(&mut reader, &mut request) {
-                Ok(()) => handle_request(state, &request),
+                // The connection-level boundary: whatever unwinds out of
+                // routing still produces a well-formed JSON response on
+                // this socket — no dropped connections under faults.
+                Ok(()) => match guarded("request", || Ok(handle_request(state, &request))) {
+                    Ok(response) => response,
+                    Err(e) => {
+                        state.count_if_panic(&e);
+                        error_response(&e)
+                    }
+                },
                 Err(HttpError { status, message }) => {
                     Response::json(status, wire::error_json(&usage(message)).render())
                 }

@@ -296,6 +296,7 @@ pub fn error_json(err: &LdivError) -> Json {
         LdivError::Io(_) => "io",
         LdivError::Algorithm(_) => "algorithm",
         LdivError::Internal(_) => "internal",
+        LdivError::DeadlineExceeded => "deadline_exceeded",
     };
     Json::obj()
         .field("error", err.to_string())

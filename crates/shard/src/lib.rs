@@ -137,6 +137,7 @@ pub fn anonymize_sharded(
             fanout: params.fanout,
             threads: inner_threads,
             shards: 1,
+            deadline: params.deadline, // absolute: shards share one expiry
         };
         mechanism
             .anonymize(&sub, &sub_params)

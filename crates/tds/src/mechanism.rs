@@ -24,6 +24,7 @@ impl Mechanism for TdsMechanism {
 
     fn anonymize(&self, table: &Table, params: &Params) -> Result<Publication, LdivError> {
         params.validate_for(table)?;
+        ldiv_guard::fault::mechanism_entry(self.name(), &params.executor());
         let out = tds_anonymize(
             table,
             &TdsConfig {

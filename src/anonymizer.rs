@@ -88,6 +88,7 @@ pub struct Anonymizer {
     mechanism: String,
     params: Params,
     preprocess_depth: Option<u32>,
+    deadline_ms: u64,
 }
 
 impl Default for Anonymizer {
@@ -111,6 +112,7 @@ impl Anonymizer {
             mechanism: "tp+".to_string(),
             params: Params::default(),
             preprocess_depth: None,
+            deadline_ms: 0,
         }
     }
 
@@ -157,6 +159,23 @@ impl Anonymizer {
         self
     }
 
+    /// Caps the run's wall-clock budget in milliseconds (`0` = auto via
+    /// `LDIV_DEADLINE_MS`, else unlimited). An elapsed budget makes
+    /// [`run`](Anonymizer::run) return
+    /// [`LdivError::DeadlineExceeded`] — never a partial publication.
+    ///
+    /// Execution-only, like [`threads`](Anonymizer::threads): a run
+    /// either finishes with the same bytes it would have produced
+    /// without a deadline, or errors. The deadline never appears in
+    /// [`Params::canonical`], so cache keys are unaffected.
+    ///
+    /// The budget anchors when [`run`](Anonymizer::run) is called, not
+    /// here, so a builder can be configured ahead of time and reused.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
     /// Selects the mechanism by registry name (`"tp"`, `"tp+"`,
     /// `"anatomy"`, `"mondrian"`, `"hilbert"`, `"tds"`, …).
     pub fn mechanism(mut self, name: impl Into<String>) -> Self {
@@ -184,14 +203,27 @@ impl Anonymizer {
     }
 
     /// Runs the configured mechanism, validating its output.
+    ///
+    /// The whole run sits behind `ldiv-guard`: a mechanism panic comes
+    /// back as [`LdivError::Internal`] and an elapsed
+    /// [`deadline_ms`](Anonymizer::deadline_ms) budget as
+    /// [`LdivError::DeadlineExceeded`] — callers never see an unwinding
+    /// panic. The deadline anchors here, so every internal executor
+    /// (shards, metrics, preprocessing) shares one absolute expiry.
     pub fn run(&self, table: &Table) -> Result<Anonymized, LdivError> {
+        let params = self
+            .params
+            .with_deadline(ldiv_api::Deadline::resolve_ms(self.deadline_ms));
+        ldiv_guard::guarded("anonymizer", || self.run_inner(table, &params))
+    }
+
+    fn run_inner(&self, table: &Table, params: &Params) -> Result<Anonymized, LdivError> {
         match self.preprocess_depth {
             None => {
                 let publication =
-                    ldiv_shard::run_sharded(&self.registry, &self.mechanism, table, &self.params)?;
-                publication.validate(table, self.params.l)?;
-                let kl =
-                    ldiv_metrics::kl_divergence_with(table, &publication, &self.params.executor());
+                    ldiv_shard::run_sharded(&self.registry, &self.mechanism, table, params)?;
+                publication.validate(table, params.l)?;
+                let kl = ldiv_metrics::kl_divergence_with(table, &publication, &params.executor());
                 Ok(Anonymized {
                     publication,
                     recoding: None,
@@ -206,23 +238,20 @@ impl Anonymizer {
                 // before it ever reaches this path). The auto form —
                 // `0`, even when `LDIV_SHARDS` resolves it above 1 — is
                 // the documented "unsharded preprocessing" default.
-                if self.params.shards > 1 {
+                if params.shards > 1 {
                     return Err(LdivError::InvalidParams(format!(
                         "preprocessing (preprocess_depth) runs unsharded; drop the explicit \
                          shards={} or drop the preprocessing depth for a sharded run",
-                        self.params.shards
+                        params.shards
                     )));
                 }
                 let mechanism = self.registry.get_or_unknown(&self.mechanism)?;
                 let recoding =
-                    ldiv_pipeline::uniform_recoding(table.schema(), self.params.fanout, depth);
+                    ldiv_pipeline::uniform_recoding(table.schema(), params.fanout, depth);
                 let run = ldiv_pipeline::anonymize_preprocessed_with(
-                    table,
-                    &recoding,
-                    mechanism,
-                    &self.params,
+                    table, &recoding, mechanism, params,
                 )?;
-                run.publication.validate(&run.coarse_table, self.params.l)?;
+                run.publication.validate(&run.coarse_table, params.l)?;
                 let kl = run.kl.ok_or_else(|| {
                     LdivError::InvalidParams(format!(
                         "preprocessing requires a suppression mechanism, but '{}' \

@@ -109,7 +109,11 @@ pub use ldiv_datagen as datagen;
 /// every mechanism's thread budget.
 pub use ldiv_exec as exec;
 
-pub use ldiv_exec::Executor;
+pub use ldiv_exec::{Deadline, Executor};
+
+/// Robustness layer: panic isolation (`guarded`), fault injection
+/// (`LDIV_FAULT`) and cooperative shutdown signals.
+pub use ldiv_guard as guard;
 
 /// Information-loss metrics (stars, KL-divergence of Eq. 2), uniform
 /// over any mechanism's publication.

@@ -1,0 +1,204 @@
+//! Adversarial-input mini-fuzz: the parsing surfaces that face raw
+//! bytes — the HTTP head parser, `Content-Length` body framing, and the
+//! CSV reader — must uphold "error, never panic" on arbitrary input.
+//!
+//! A seeded LCG drives thousands of byte-level mutations (flips,
+//! truncations, insertions, swaps) of valid seeds plus fully random
+//! documents, each fed through `catch_unwind`. The generator is
+//! deterministic, so a failure reproduces from the printed case index
+//! alone.
+
+use ldiversity::microdata::read_csv_with;
+use ldiversity::server::http::{parse_request, HttpError};
+use ldiversity::Executor;
+use std::io::BufReader;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Knuth's MMIX LCG; the high bits are the usable ones.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() >> 16) % bound.max(1) as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 24) as u8
+    }
+}
+
+/// One mutation round: start from a seed document and apply 1..=8 random
+/// byte edits (replace, insert, delete, truncate, duplicate a span).
+fn mutate(rng: &mut Lcg, seed: &[u8]) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    for _ in 0..1 + rng.below(8) {
+        if bytes.is_empty() {
+            bytes.push(rng.byte());
+            continue;
+        }
+        let at = rng.below(bytes.len());
+        match rng.below(5) {
+            0 => bytes[at] = rng.byte(),
+            1 => bytes.insert(at, rng.byte()),
+            2 => {
+                bytes.remove(at);
+            }
+            3 => bytes.truncate(at),
+            4 => {
+                let end = (at + 1 + rng.below(16)).min(bytes.len());
+                let span: Vec<u8> = bytes[at..end].to_vec();
+                bytes.splice(at..at, span);
+            }
+            _ => unreachable!(),
+        }
+    }
+    bytes
+}
+
+/// A fully random document, newline-seasoned so line-oriented parsers
+/// actually advance.
+fn random_doc(rng: &mut Lcg) -> Vec<u8> {
+    let len = rng.below(512);
+    (0..len)
+        .map(|_| if rng.below(8) == 0 { b'\n' } else { rng.byte() })
+        .collect()
+}
+
+fn assert_no_panic<T>(what: &str, case: usize, input: &[u8], f: impl FnOnce() -> T) {
+    if catch_unwind(AssertUnwindSafe(f)).is_err() {
+        panic!(
+            "{what} panicked on case {case}: {:?}",
+            String::from_utf8_lossy(input)
+        );
+    }
+}
+
+const HTTP_SEED: &[u8] =
+    b"POST /anonymize?algo=tp%2B&l=3 HTTP/1.1\r\nHost: t\r\nContent-Length: 28\r\n\r\nqi0,qi1,sa\n1,2,flu\n3,4,cold\n";
+
+const CSV_SEED: &[u8] = b"qi0,qi1,qi2,sa\n1,2,3,flu\n4,5,6,cold\n7,8,9,flu\n10,11,12,asthma\n";
+
+#[test]
+fn http_parser_errors_but_never_panics_on_mutated_requests() {
+    let mut rng = Lcg(0x1d1f_2010);
+    for case in 0..3000 {
+        let input = if case % 4 == 0 {
+            random_doc(&mut rng)
+        } else {
+            mutate(&mut rng, HTTP_SEED)
+        };
+        assert_no_panic("parse_request", case, &input, || {
+            let _ = parse_request(&mut BufReader::new(&input[..]));
+        });
+    }
+}
+
+/// Targeted `Content-Length` framing adversaries: lies about the body
+/// length, overflowing / non-numeric / negative declarations, header
+/// floods and over-long lines. Each must produce a clean `HttpError`
+/// (the statuses the server maps to 400/413/431/501), never a panic or
+/// an unbounded allocation.
+#[test]
+fn content_length_framing_rejects_lies_cleanly() {
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        // Body shorter than declared → truncated-body 400.
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\nshort".to_vec(),
+            400,
+        ),
+        // Absurd and overflowing declarations → 413 / 400, no allocation.
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 67108865\r\n\r\n".to_vec(),
+            413,
+        ),
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n".to_vec(),
+            400,
+        ),
+        // Chunked framing is declared unsupported, not mis-parsed.
+        (
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+            501,
+        ),
+        // Header flood → bounded rejection.
+        (
+            {
+                let mut doc = b"GET /x HTTP/1.1\r\n".to_vec();
+                for i in 0..200 {
+                    doc.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+                }
+                doc.extend_from_slice(b"\r\n");
+                doc
+            },
+            400,
+        ),
+        // A newline-free 1 MiB request line → 431, not unbounded buffering.
+        (
+            {
+                let mut doc = b"GET /".to_vec();
+                doc.extend(std::iter::repeat_n(b'a', 1 << 20));
+                doc
+            },
+            431,
+        ),
+    ];
+    for (case, (input, expected_status)) in cases.iter().enumerate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parse_request(&mut BufReader::new(&input[..]))
+        }))
+        .unwrap_or_else(|_| panic!("framing case {case} panicked"));
+        match result {
+            Err(HttpError { status, .. }) => assert_eq!(
+                status, *expected_status,
+                "framing case {case}: wrong status"
+            ),
+            Ok(req) => panic!("framing case {case} parsed: {req:?}"),
+        }
+    }
+}
+
+#[test]
+fn csv_reader_errors_but_never_panics_on_mutated_datasets() {
+    let mut rng = Lcg(0xc5_7ab1e);
+    let exec = Executor::sequential();
+    for case in 0..3000 {
+        let input = if case % 4 == 0 {
+            random_doc(&mut rng)
+        } else {
+            mutate(&mut rng, CSV_SEED)
+        };
+        assert_no_panic("read_csv_with", case, &input, || {
+            let _ = read_csv_with(BufReader::new(&input[..]), None, &exec);
+        });
+    }
+}
+
+/// The same CSV fuzz through a parallel executor: the chunked parse path
+/// must contain worker panics exactly like the sequential one.
+#[test]
+fn parallel_csv_parse_is_as_unpanicking_as_sequential() {
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    let exec = Executor::new(2);
+    for case in 0..500 {
+        let input = mutate(&mut rng, CSV_SEED);
+        assert_no_panic("read_csv_with(parallel)", case, &input, || {
+            let _ = read_csv_with(BufReader::new(&input[..]), None, &exec);
+        });
+    }
+}

@@ -1,0 +1,309 @@
+//! Chaos suite: the live service under injected faults (`ldiv-guard`).
+//!
+//! Each test boots a real `Server` on an ephemeral port, arms a fault
+//! plan through `guard::fault::install` (the programmatic form of
+//! `LDIV_FAULT`), and asserts the robustness contract end-to-end over
+//! raw sockets:
+//!
+//! * a panicking mechanism degrades to a well-formed `500` — the
+//!   connection is answered, the worker survives, the pool stays at
+//!   full strength, and the publication cache keeps serving hits
+//!   byte-identical to its pre-fault responses;
+//! * an elapsed per-request deadline surfaces as `504` within twice the
+//!   configured budget, not as a hung or half-written response;
+//! * a stalled queue overflows into immediate `503`s instead of an
+//!   unbounded backlog;
+//! * `/sweep` reports a faulted mechanism as a per-mechanism error
+//!   entry inside a `200`, never by dropping the whole sweep.
+//!
+//! The fault plan is process-global, so every test serializes on one
+//! mutex and disarms before releasing it.
+
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::guard::fault::{install, FaultPlan};
+use ldiversity::server::{handle_request, AppState, Request, Server, ServerConfig};
+use ldiversity::standard_registry;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Serializes the suite: the fault plan is a process-wide singleton.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Arms `plan` for the duration of `body`, disarming afterwards even if
+/// the body panics, all under the suite lock.
+fn with_faults(plan: Option<FaultPlan>, body: impl FnOnce()) {
+    let _guard: MutexGuard<'_, ()> = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    install(plan);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    install(None);
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn plan(spec: &str) -> Option<FaultPlan> {
+    Some(FaultPlan::parse(spec).expect(spec))
+}
+
+fn dataset_csv(rows: usize, seed: u64) -> Vec<u8> {
+    let table = sal(&AcsConfig { rows, seed });
+    let mut csv = Vec::new();
+    ldiversity::microdata::write_table_csv(&mut csv, &table).unwrap();
+    csv
+}
+
+/// One HTTP exchange over a real socket; panics on any transport
+/// failure, so "no dropped connections" is asserted by construction.
+fn http(addr: std::net::SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(body).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Extracts the integer following `"key":` in a rendered JSON document.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {needle} in {body}"))
+        + needle.len();
+    body[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {needle} in {body}"))
+}
+
+/// The headline chaos scenario: a concurrent burst against a server
+/// whose every mechanism panics. Every connection must come back with a
+/// well-formed 200/500/503/504, the cache must keep answering hits
+/// (byte-identical to its pre-fault responses), and `/stats` must show
+/// the worker pool at full strength with the panics accounted.
+#[test]
+fn panicking_mechanisms_degrade_to_500s_and_the_pool_survives() {
+    let csv = dataset_csv(400, 71);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        standard_registry(),
+        ServerConfig {
+            workers: 3,
+            queue_depth: 32,
+            cache_capacity: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Pre-fault baseline: one miss, then a hit whose body we pin.
+    let (status, first) = http(addr, "POST", "/anonymize?algo=tp&l=3", &csv);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"cached\":false"), "{first}");
+    let (status, cached_before) = http(addr, "POST", "/anonymize?algo=tp&l=3", &csv);
+    assert_eq!(status, 200);
+    assert!(cached_before.contains("\"cached\":true"), "{cached_before}");
+
+    with_faults(plan("panic:*"), || {
+        // A concurrent burst: cached (tp) and uncached mechanisms mixed.
+        let targets = [
+            "/anonymize?algo=tp&l=3", // cached → 200 even under faults
+            "/anonymize?algo=mondrian&l=3",
+            "/anonymize?algo=anatomy&l=3",
+            "/anonymize?algo=tds&l=3",
+            "/anonymize?algo=hilbert&l=3",
+            "/anonymize?algo=tp%2B&l=3",
+        ];
+        let results: Vec<(String, u16, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..12)
+                .map(|i| {
+                    let target = targets[i % targets.len()];
+                    let csv = &csv;
+                    scope.spawn(move || {
+                        let (status, body) = http(addr, "POST", target, csv);
+                        (target.to_string(), status, body)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut fault_500s = 0;
+        for (target, status, body) in &results {
+            assert!(
+                matches!(status, 200 | 500 | 503 | 504),
+                "{target}: unexpected status {status}: {body}"
+            );
+            // Well-formed single-document JSON either way.
+            assert!(
+                body.starts_with('{') && body.ends_with('}'),
+                "{target}: malformed body: {body}"
+            );
+            match status {
+                500 => {
+                    assert!(body.contains("\"kind\":\"internal\""), "{target}: {body}");
+                    assert!(body.contains("injected fault"), "{target}: {body}");
+                    fault_500s += 1;
+                }
+                200 => assert!(body.contains("\"cached\":true"), "{target}: {body}"),
+                _ => {}
+            }
+        }
+        // The injected panics actually fired...
+        assert!(fault_500s >= 1, "no injected 500 in {results:?}");
+        // ...and the cache kept serving through them.
+        assert!(
+            results
+                .iter()
+                .any(|(t, s, _)| t.contains("algo=tp&") && *s == 200),
+            "cached mechanism did not answer during the fault window: {results:?}"
+        );
+    });
+
+    // Faults cleared: the very next request is a cache hit byte-identical
+    // to the pre-fault response.
+    let (status, cached_after) = http(addr, "POST", "/anonymize?algo=tp&l=3", &csv);
+    assert_eq!(status, 200);
+    assert_eq!(
+        cached_after, cached_before,
+        "cache content drifted across the fault window"
+    );
+
+    // /stats: the pool is at full strength and the panics were counted.
+    let (status, stats) = http(addr, "GET", "/stats", b"");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&stats, "alive"), 3, "{stats}");
+    assert_eq!(json_u64(&stats, "target"), 3, "{stats}");
+    assert!(json_u64(&stats, "panics_caught") >= 1, "{stats}");
+
+    server.shutdown();
+}
+
+/// A request whose run dawdles past the configured per-request deadline
+/// answers `504 deadline_exceeded` within twice the budget — cancelled
+/// cooperatively, not hung until some outer timeout.
+#[test]
+fn deadline_surfaces_as_504_within_twice_the_budget() {
+    let csv = dataset_csv(300, 72);
+    with_faults(plan("slow:5000"), || {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            standard_registry(),
+            ServerConfig {
+                workers: 2,
+                deadline_ms: 400,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let start = Instant::now();
+        let (status, body) = http(server.addr(), "POST", "/anonymize?algo=tp&l=3", &csv);
+        let elapsed = start.elapsed();
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("\"kind\":\"deadline_exceeded\""), "{body}");
+        assert!(
+            elapsed < Duration::from_millis(800),
+            "504 took {elapsed:?}, over 2x the 400ms budget"
+        );
+        server.shutdown();
+    });
+}
+
+/// With the dequeue stalled and a tiny queue, a burst overflows into
+/// immediate 503s — bounded back-pressure, not a growing backlog — and
+/// the server drains cleanly once the stall is lifted.
+#[test]
+fn a_stalled_queue_sheds_load_with_503s() {
+    let csv = dataset_csv(300, 73);
+    with_faults(plan("queue_stall"), || {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            standard_registry(),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let statuses: Vec<u16> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..10)
+                .map(|_| {
+                    let csv = &csv;
+                    scope.spawn(move || http(addr, "POST", "/anonymize?algo=tp&l=3", csv).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            statuses.iter().all(|s| matches!(s, 200 | 503)),
+            "unexpected statuses: {statuses:?}"
+        );
+        assert!(
+            statuses.contains(&503),
+            "a 10-deep burst against a stalled 1-worker/2-slot queue shed nothing: {statuses:?}"
+        );
+        server.shutdown();
+    });
+}
+
+/// `/sweep` under a targeted fault: the panicking mechanism becomes a
+/// per-mechanism error entry inside a 200; every other mechanism still
+/// reports a full summary.
+#[test]
+fn sweep_reports_a_faulted_mechanism_as_an_error_entry() {
+    let csv = dataset_csv(400, 74);
+    with_faults(plan("panic:mondrian"), || {
+        let state = AppState::new(standard_registry(), ServerConfig::default());
+        let response = handle_request(
+            &state,
+            &Request {
+                method: "POST".into(),
+                path: "/sweep".into(),
+                query: vec![("l".into(), "3".into())],
+                headers: Vec::new(),
+                body: csv.clone(),
+            },
+        );
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert!(
+            response.body.contains("\"kind\":\"internal\""),
+            "{}",
+            response.body
+        );
+        assert!(
+            response.body.contains("\"mechanism\":\"mondrian\""),
+            "{}",
+            response.body
+        );
+        // The fault stayed contained: the other five summaries are real.
+        for name in ["anatomy", "hilbert", "tds", "tp", "tp+"] {
+            let entry = format!("\"mechanism\":\"{name}\",\"params\"");
+            assert!(
+                response.body.contains(&entry),
+                "missing healthy summary for {name}: {}",
+                response.body
+            );
+        }
+    });
+}
