@@ -104,8 +104,11 @@ pub fn repair_eligibility(
 
 /// Per-group tightest covering ranges — the boxes-payload grouping
 /// invariant (each attribute published as the min..max of the group's
-/// values), recomputed over the full table.
-fn tight_boxes(table: &Table, partition: &Partition) -> Vec<Vec<AttrRange>> {
+/// values), recomputed over the full table. Public because the
+/// incremental publisher (`ldiv-store`) rebuilds boxes-kind placeholder
+/// payloads for reloaded shard results before handing them to the
+/// stitch (which rebuilds them again over the full table).
+pub fn tight_boxes(table: &Table, partition: &Partition) -> Vec<Vec<AttrRange>> {
     partition
         .groups()
         .iter()

@@ -1,15 +1,23 @@
 //! Requests/sec through the anonymization service, cached vs uncached.
 //!
 //! Usage: `cargo run --release -p ldiv-bench --bin server_throughput --
-//! [--rows N] [--requests N] [--l L] [--algo MECHANISM]`
+//! [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--json]`
+//!
+//! `--json` swaps the aligned text table for the machine-readable report
+//! (rows/s, p50/p99 latency) that `BENCH_serve.json` pins as a baseline.
 
-use ldiv_bench::service::{measure_service, render_report, ServiceBenchConfig};
+use ldiv_bench::service::{measure_service, render_json_report, render_report, ServiceBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ServiceBenchConfig::default();
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let value = it.next();
         let parsed = match (flag.as_str(), value) {
             ("--rows", Some(v)) => v.parse().map(|n| cfg.rows = n).is_ok(),
@@ -25,11 +33,15 @@ fn main() {
         };
         if !parsed {
             eprintln!(
-                "usage: server_throughput [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--seed S]"
+                "usage: server_throughput [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--seed S] [--json]"
             );
             std::process::exit(2);
         }
     }
     let throughput = measure_service(&cfg);
-    print!("{}", render_report(&cfg, &throughput));
+    if json {
+        println!("{}", render_json_report(&cfg, &throughput).render());
+    } else {
+        print!("{}", render_report(&cfg, &throughput));
+    }
 }

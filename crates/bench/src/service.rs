@@ -11,7 +11,7 @@
 
 use ldiv_datagen::{sal, AcsConfig};
 use ldiv_microdata::write_table_csv;
-use ldiv_server::{Server, ServerConfig};
+use ldiv_server::{wire::Json, Server, ServerConfig};
 use ldiversity::standard_registry;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -26,10 +26,26 @@ pub struct PathThroughput {
     pub seconds: f64,
     /// Requests per second.
     pub rps: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
     /// Cache hits recorded by the server during the timed window.
     pub hits: u64,
     /// Cache misses recorded by the server during the timed window.
     pub misses: u64,
+}
+
+/// The `q`-quantile (0.0 ..= 1.0) of a sample set by the nearest-rank
+/// method. Empty input yields 0.0 so a zero-request run stays renderable.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// The cached-vs-uncached comparison.
@@ -113,9 +129,12 @@ fn cache_counters(addr: SocketAddr) -> (u64, u64) {
 
 fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) -> PathThroughput {
     let (hits0, misses0) = cache_counters(addr);
+    let mut latencies_ms = Vec::with_capacity(requests);
     let start = Instant::now();
     for _ in 0..requests {
+        let sent = Instant::now();
         let response = http_request(addr, "POST", target, body);
+        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
         assert!(
             response.starts_with("HTTP/1.1 200"),
             "bench request failed: {response}"
@@ -127,6 +146,8 @@ fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) 
         requests,
         seconds,
         rps: requests as f64 / seconds.max(f64::EPSILON),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
         hits: hits1 - hits0,
         misses: misses1 - misses0,
     }
@@ -173,17 +194,50 @@ pub fn render_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> String 
         cfg.rows, cfg.mechanism, cfg.l, cfg.requests
     );
     out.push_str(&format!(
-        "{:>10} {:>12} {:>10} {:>8} {:>8}\n",
-        "path", "req/s", "seconds", "hits", "misses"
+        "{:>10} {:>12} {:>10} {:>9} {:>9} {:>8} {:>8}\n",
+        "path", "req/s", "seconds", "p50 ms", "p99 ms", "hits", "misses"
     ));
     for (name, p) in [("uncached", &t.uncached), ("cached", &t.cached)] {
         out.push_str(&format!(
-            "{:>10} {:>12.1} {:>10.3} {:>8} {:>8}\n",
-            name, p.rps, p.seconds, p.hits, p.misses
+            "{:>10} {:>12.1} {:>10.3} {:>9.2} {:>9.2} {:>8} {:>8}\n",
+            name, p.rps, p.seconds, p.p50_ms, p.p99_ms, p.hits, p.misses
         ));
     }
     out.push_str(&format!("\ncache speedup: {:.1}×\n", t.speedup()));
     out
+}
+
+/// Rounds to three decimals so committed baselines stay short and diffs
+/// stay readable; the raw measurements are noisier than that anyway.
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn path_json(cfg: &ServiceBenchConfig, p: &PathThroughput) -> Json {
+    Json::obj()
+        .field("requests", p.requests)
+        .field("seconds", round3(p.seconds))
+        .field("requests_per_sec", round3(p.rps))
+        .field("rows_per_sec", round3(p.rps * cfg.rows as f64))
+        .field("p50_ms", round3(p.p50_ms))
+        .field("p99_ms", round3(p.p99_ms))
+        .field("cache_hits", p.hits as i64)
+        .field("cache_misses", p.misses as i64)
+}
+
+/// The machine-readable report behind `server_throughput --json`: the
+/// committed `BENCH_serve.json` baseline is exactly this object.
+pub fn render_json_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> Json {
+    Json::obj()
+        .field("bench", "server_throughput")
+        .field("schema", 1i64)
+        .field("rows", cfg.rows)
+        .field("mechanism", cfg.mechanism)
+        .field("l", cfg.l)
+        .field("seed", cfg.seed as i64)
+        .field("uncached", path_json(cfg, &t.uncached))
+        .field("cached", path_json(cfg, &t.cached))
+        .field("cache_speedup", round3(t.speedup()))
 }
 
 #[cfg(test)]
@@ -206,7 +260,25 @@ mod tests {
         assert_eq!(t.cached.hits as usize, cfg.requests);
         assert_eq!(t.cached.misses, 0);
         assert!(t.uncached.rps > 0.0 && t.cached.rps > 0.0);
+        assert!(t.uncached.p50_ms > 0.0 && t.uncached.p99_ms >= t.uncached.p50_ms);
         let report = render_report(&cfg, &t);
         assert!(report.contains("cache speedup"), "{report}");
+        let json = render_json_report(&cfg, &t).render();
+        let parsed = Json::parse(&json).expect("bench JSON parses back");
+        assert_eq!(
+            parsed.get("bench"),
+            Some(&Json::Str("server_throughput".into()))
+        );
+        assert!(json.contains("\"p99_ms\":"), "{json}");
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 }

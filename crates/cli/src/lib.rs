@@ -59,10 +59,20 @@ impl Options {
     /// Parses `args` (without the program name).
     pub fn parse(args: &[String]) -> Result<Options, LdivError> {
         let mut it = args.iter();
-        let command = it
+        let mut command = it
             .next()
             .ok_or_else(|| usage_err("missing subcommand"))?
             .clone();
+        // `dataset` is a command family: its action word joins the
+        // command ("dataset register"), keeping the rest of the grammar
+        // strictly `--flag value`.
+        if command == "dataset" {
+            let action = it.next().filter(|a| !a.starts_with("--")).ok_or_else(|| {
+                usage_err("dataset needs an action: register | append | publish | list")
+            })?;
+            command.push(' ');
+            command.push_str(action);
+        }
         let mut flags = HashMap::new();
         while let Some(key) = it.next() {
             let key = key
@@ -139,7 +149,11 @@ USAGE:
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
   ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
-  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--deadline-ms MS] [--dataset-root DIR]
+  ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--deadline-ms MS] [--dataset-root DIR] [--store-root DIR]
+  ldiv dataset register --store DIR --input FILE [--format text|json]
+  ldiv dataset append   --store DIR --dataset FP --input FILE [--format text|json]
+  ldiv dataset publish  --store DIR --dataset FP --algo MECHANISM --l L [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--output FILE] [--format text|json]
+  ldiv dataset list     --store DIR [--format text|json]
 
 MECHANISM is any registered publication method:
   tp | tp+ | hilbert | tds | mondrian | anatomy
@@ -161,8 +175,16 @@ publication. The deadline is execution-only — it does not change the
 output bytes or the cache key.
 `serve` binds 127.0.0.1:7411 by default; `--addr 127.0.0.1:0` picks an
 ephemeral port (printed on stdout). POST /anonymize, POST /sweep,
-GET /mechanisms, /healthz, /stats. SIGINT/SIGTERM stops accepting,
-drains in-flight requests and prints a final stats summary.
+GET /mechanisms, /healthz, /stats, /metrics; with --store-root (or the
+ambient LDIV_STORE_ROOT) also the /datasets routes (register, append,
+publish). SIGINT/SIGTERM stops
+accepting, drains in-flight requests and prints a final stats summary.
+`ldiv dataset ...` works the same persistent store directly (share the
+DIR with `serve --store-root` to mix CLI ingestion with HTTP serving):
+datasets are registered once by content fingerprint, grown by immutable
+append batches, and `publish` re-anonymizes only shards whose rows
+changed, reusing persisted per-shard results for the rest — the output
+is byte-identical to a cold run either way.
 Exit codes: 0 success, 1 user/runtime error, 2 usage error.
 ";
 
@@ -176,6 +198,14 @@ pub fn run(opts: &Options) -> Result<String, LdivError> {
         "compare" => cmd_compare(opts),
         "sweep" => cmd_sweep(opts),
         "serve" => cmd_serve(opts),
+        "dataset register" => cmd_dataset_register(opts),
+        "dataset append" => cmd_dataset_append(opts),
+        "dataset publish" => cmd_dataset_publish(opts),
+        "dataset list" => cmd_dataset_list(opts),
+        cmd if cmd.starts_with("dataset ") => Err(usage_err(format!(
+            "unknown dataset action '{}': expected register | append | publish | list",
+            cmd.strip_prefix("dataset ").unwrap_or("")
+        ))),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
@@ -562,6 +592,198 @@ fn cmd_sweep(opts: &Options) -> Result<String, LdivError> {
     Ok(out)
 }
 
+/// Opens the store named by `--store` (creating the directory tree on
+/// first use).
+fn open_store(opts: &Options) -> Result<ldiv_store::DatasetStore, LdivError> {
+    ldiv_store::DatasetStore::open(opts.require("store")?).map_err(LdivError::from)
+}
+
+/// Reads raw dataset bytes from a path (`-` = stdin). Ingestion keeps
+/// the bytes verbatim — the store persists segments exactly as
+/// uploaded, so what's on disk diffs cleanly against the source file.
+fn load_bytes(path: &str) -> Result<Vec<u8>, LdivError> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
+            .map_err(|e| LdivError::Io(format!("stdin: {e}")))?;
+        return Ok(buf);
+    }
+    std::fs::read(path).map_err(|e| LdivError::Io(format!("{path}: {e}")))
+}
+
+fn require_fingerprint(opts: &Options) -> Result<u64, LdivError> {
+    let text = opts.require("dataset")?;
+    ldiv_store::parse_fingerprint(text).ok_or_else(|| {
+        usage_err(format!(
+            "--dataset '{text}' is not a fingerprint (16 hex digits)"
+        ))
+    })
+}
+
+fn cmd_dataset_register(opts: &Options) -> Result<String, LdivError> {
+    let format = opts.format()?;
+    let store = open_store(opts)?;
+    let csv = load_bytes(opts.require("input")?)?;
+    let outcome = guarded("dataset:register", || {
+        store
+            .register(&csv, &Executor::default())
+            .map_err(LdivError::from)
+    })?;
+    let hex = wire::fingerprint_hex(outcome.fingerprint);
+    if format == Format::Json {
+        return Ok(json_line(
+            Json::obj()
+                .field("dataset", hex)
+                .field("created", outcome.created)
+                .field("rows", outcome.rows),
+        ));
+    }
+    Ok(if outcome.created {
+        format!("registered dataset {hex} ({} rows)\n", outcome.rows)
+    } else {
+        format!(
+            "dataset {hex} already registered ({} rows on disk)\n",
+            outcome.rows
+        )
+    })
+}
+
+fn cmd_dataset_append(opts: &Options) -> Result<String, LdivError> {
+    let format = opts.format()?;
+    let store = open_store(opts)?;
+    let fp = require_fingerprint(opts)?;
+    let csv = load_bytes(opts.require("input")?)?;
+    let outcome = guarded("dataset:append", || {
+        store
+            .append(fp, &csv, &Executor::default())
+            .map_err(LdivError::from)
+    })?;
+    if format == Format::Json {
+        return Ok(json_line(
+            Json::obj()
+                .field("dataset", wire::fingerprint_hex(outcome.dataset))
+                .field("segment", outcome.segment.index)
+                .field("segment_rows", outcome.segment.rows)
+                .field("total_rows", outcome.total_rows),
+        ));
+    }
+    Ok(format!(
+        "appended segment {} ({} rows) to dataset {}: {} rows total\n",
+        outcome.segment.index,
+        outcome.segment.rows,
+        wire::fingerprint_hex(outcome.dataset),
+        outcome.total_rows
+    ))
+}
+
+fn cmd_dataset_publish(opts: &Options) -> Result<String, LdivError> {
+    let format = opts.format()?;
+    let store = open_store(opts)?;
+    let fp = require_fingerprint(opts)?;
+    let algo = opts.require("algo")?;
+    let l = opts.require_l()?;
+    let fanout: u32 = opts.parse_num("fanout", 2)?;
+    let threads: u32 = opts.parse_num("threads", 0)?;
+    let shards: u32 = opts.parse_num("shards", 0)?;
+    let deadline_ms: u64 = opts.parse_num("deadline-ms", 0)?;
+    let params = Params::new(l)
+        .with_fanout(fanout)
+        .with_threads(threads)
+        .with_shards(shards)
+        .with_deadline(Deadline::resolve_ms(deadline_ms));
+    let registry = standard_registry();
+    let mechanism = registry.get_or_unknown(algo)?;
+    let outcome = guarded("dataset:publish", || {
+        store
+            .publish(fp, mechanism, &params)
+            .map_err(LdivError::from)
+    })?;
+    let exec = params.executor();
+    let kl = kl_divergence_with(&outcome.table, &outcome.publication, &exec);
+
+    if let Some(output) = opts.get("output") {
+        let published = suppression_rendering(&outcome.table, &outcome.publication);
+        let mut f = create_file(output)?;
+        write_generalized_csv(&mut f, &outcome.table, &published).map_err(io_err(output))?;
+        f.flush().map_err(io_err(output))?;
+    }
+
+    let stats = outcome.stats;
+    if format == Format::Json {
+        // The server's wire shape plus the reuse accounting (the HTTP
+        // publish keeps its body byte-identical to /anonymize and
+        // reports reuse via /stats; the CLI has no such constraint).
+        return Ok(json_line(
+            wire::publication_json(&outcome.table, &outcome.publication, &params, kl).field(
+                "store",
+                Json::obj()
+                    .field("segments", stats.segments)
+                    .field("shards", stats.shards)
+                    .field("reused", stats.reused)
+                    .field("computed", stats.computed)
+                    .field("lineage", wire::fingerprint_hex(stats.lineage)),
+            ),
+        ));
+    }
+    let mut msg = format!(
+        "published dataset {} with {algo}: {} rows, {} groups, KL {kl:.4}\n\
+         incremental: {} segments, {} shards ({} reused, {} computed)\n",
+        wire::fingerprint_hex(fp),
+        outcome.table.len(),
+        outcome.publication.group_count(),
+        stats.segments,
+        stats.shards,
+        stats.reused,
+        stats.computed,
+    );
+    for note in outcome.publication.notes() {
+        msg.push_str(note);
+        msg.push('\n');
+    }
+    if let Some(output) = opts.get("output") {
+        msg.push_str(&format!("wrote suppression rendering to {output}\n"));
+    }
+    Ok(msg)
+}
+
+fn cmd_dataset_list(opts: &Options) -> Result<String, LdivError> {
+    let format = opts.format()?;
+    let store = open_store(opts)?;
+    let datasets = store.datasets().map_err(LdivError::from)?;
+    if format == Format::Json {
+        return Ok(json_line(
+            Json::obj().field(
+                "datasets",
+                Json::Arr(
+                    datasets
+                        .iter()
+                        .map(|info| {
+                            Json::obj()
+                                .field("dataset", wire::fingerprint_hex(info.fingerprint))
+                                .field("segments", info.segments.len())
+                                .field("rows", info.rows())
+                                .field("lineage", wire::fingerprint_hex(info.lineage()))
+                        })
+                        .collect(),
+                ),
+            ),
+        ));
+    }
+    if datasets.is_empty() {
+        return Ok("no datasets registered\n".to_string());
+    }
+    let mut out = format!("{:>16} {:>9} {:>10}\n", "dataset", "segments", "rows");
+    for info in &datasets {
+        out.push_str(&format!(
+            "{:>16} {:>9} {:>10}\n",
+            wire::fingerprint_hex(info.fingerprint),
+            info.segments.len(),
+            info.rows()
+        ));
+    }
+    Ok(out)
+}
+
 /// Binds the anonymization service per the `serve` flags and returns it
 /// together with the banner line. Split from [`run`] so tests (and
 /// embedders) can start a server on an ephemeral port without blocking.
@@ -576,6 +798,18 @@ pub fn start_server(opts: &Options) -> Result<(Server, String), LdivError> {
         shards: opts.parse_num("shards", defaults.shards)?,
         deadline_ms: opts.parse_num("deadline-ms", defaults.deadline_ms)?,
         dataset_root: opts.get("dataset-root").map(std::path::PathBuf::from),
+        // Like LDIV_THREADS / LDIV_SHARDS, the store root has an ambient
+        // form so a deployment (or a CI leg) can enable the dataset
+        // store for every served instance without threading the flag.
+        store_root: opts
+            .get("store-root")
+            .map(std::path::PathBuf::from)
+            .or_else(|| {
+                std::env::var("LDIV_STORE_ROOT")
+                    .ok()
+                    .filter(|v| !v.trim().is_empty())
+                    .map(std::path::PathBuf::from)
+            }),
     };
     let server = Server::bind(addr, standard_registry(), config)
         .map_err(|e| LdivError::Io(format!("{addr}: {e}")))?;
@@ -1023,6 +1257,125 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("\"status\":\"ok\""), "{response}");
         server.shutdown();
+    }
+
+    #[test]
+    fn dataset_register_append_publish_list_workflow() {
+        let dir = std::env::temp_dir().join(format!("ldiv_cli_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store_dir = dir.join("store").to_string_lossy().into_owned();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Seed dataset + an append batch, generated deterministically.
+        let seed = dir.join("seed.csv").to_string_lossy().into_owned();
+        run(&opts(&[
+            "generate", "--kind", "sal", "--rows", "600", "--seed", "21", "--output", &seed,
+        ]))
+        .unwrap();
+        let batch = dir.join("batch.csv").to_string_lossy().into_owned();
+        // A batch over the same schema: the seed file's header plus a slice
+        // of its own rows, so every label is in the registered domain.
+        let seed_text = std::fs::read_to_string(&seed).unwrap();
+        let batch_text: Vec<&str> = seed_text.lines().take(61).collect();
+        std::fs::write(&batch, format!("{}\n", batch_text.join("\n"))).unwrap();
+
+        let reg = run(&opts(&[
+            "dataset", "register", "--store", &store_dir, "--input", &seed, "--format", "json",
+        ]))
+        .unwrap();
+        assert!(reg.contains("\"created\":true"), "{reg}");
+        let fp = Json::parse(reg.trim())
+            .and_then(|j| match j.get("dataset") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("register emits the fingerprint");
+
+        // Idempotent re-register.
+        let again = run(&opts(&[
+            "dataset", "register", "--store", &store_dir, "--input", &seed,
+        ]))
+        .unwrap();
+        assert!(again.contains("already registered"), "{again}");
+
+        let appended = run(&opts(&[
+            "dataset",
+            "append",
+            "--store",
+            &store_dir,
+            "--dataset",
+            &fp,
+            "--input",
+            &batch,
+        ]))
+        .unwrap();
+        assert!(appended.contains("660 rows total"), "{appended}");
+
+        let listed = run(&opts(&["dataset", "list", "--store", &store_dir])).unwrap();
+        assert!(listed.contains(&fp), "{listed}");
+
+        // Publish twice at 2 shards: the repeat reuses every shard.
+        let publish_args = |out: &str| {
+            opts(&[
+                "dataset",
+                "publish",
+                "--store",
+                &store_dir,
+                "--dataset",
+                &fp,
+                "--algo",
+                "tp+",
+                "--l",
+                "3",
+                "--shards",
+                "2",
+                "--output",
+                out,
+                "--format",
+                "json",
+            ])
+        };
+        let out1 = dir.join("pub1.csv").to_string_lossy().into_owned();
+        let cold = run(&publish_args(&out1)).unwrap();
+        assert!(cold.contains("\"reused\":0"), "{cold}");
+        let out2 = dir.join("pub2.csv").to_string_lossy().into_owned();
+        let warm = run(&publish_args(&out2)).unwrap();
+        assert!(warm.contains("\"computed\":0"), "{warm}");
+        // Reuse is invisible in the output: identical publication JSON
+        // (everything before the trailing "store" accounting object) and
+        // identical CSV bytes.
+        let strip_store = |s: &str| s.split(",\"store\":").next().unwrap().to_string();
+        assert_eq!(strip_store(&cold), strip_store(&warm));
+        assert_eq!(
+            std::fs::read(&out1).unwrap(),
+            std::fs::read(&out2).unwrap(),
+            "warm publish must write byte-identical CSV"
+        );
+
+        // Usage errors: missing action, bad fingerprint, unknown action.
+        assert_eq!(
+            Options::parse(&["dataset".to_string()])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert_eq!(
+            run(&opts(&[
+                "dataset",
+                "append",
+                "--store",
+                &store_dir,
+                "--dataset",
+                "xyz",
+                "--input",
+                &batch,
+            ]))
+            .unwrap_err()
+            .exit_code(),
+            2
+        );
+        assert!(run(&opts(&["dataset", "nope", "--store", &store_dir])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

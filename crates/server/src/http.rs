@@ -295,6 +295,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response in the Prometheus exposition content type
+    /// (`GET /metrics`).
+    pub fn metrics_text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
     /// The standard reason phrase for the status.
     pub fn reason(&self) -> &'static str {
         match self.status {

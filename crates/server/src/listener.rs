@@ -15,8 +15,20 @@
 //! | `GET /healthz` | liveness probe |
 //! | `GET /mechanisms` | registered mechanisms + descriptions |
 //! | `GET /stats` | request and cache hit/miss counters |
+//! | `GET /metrics` | the same counters in Prometheus text exposition format |
 //! | `POST /anonymize?algo=A&l=L[&fanout=F][&dataset=PATH]` | CSV body (or dataset file) → JSON publication summary |
 //! | `POST /sweep?l=L[&fanout=F][&dataset=PATH]` | every registered mechanism in parallel |
+//! | `POST /datasets` | CSV body → register in the persistent store (idempotent by content) |
+//! | `GET /datasets` | registered datasets with segment/row counts |
+//! | `GET /datasets/{fp}` | one dataset's segment history |
+//! | `POST /datasets/{fp}/append` | CSV body → new immutable segment |
+//! | `POST /datasets/{fp}/publish?algo=A&l=L[&fanout=F]` | incremental re-publication (per-shard result reuse) |
+//!
+//! The `/datasets` family requires a store root
+//! (`ldiv serve --store-root DIR`); without one those routes answer 400.
+//! A publish response is byte-identical to `POST /anonymize` over the
+//! same rows — reuse shows up only in `/stats` and `/metrics` counters,
+//! never in the body.
 
 use crate::cache::{CacheKey, LruCache};
 use crate::http::{parse_head, read_body, HttpError, Request, Response};
@@ -26,6 +38,7 @@ use ldiv_api::{Deadline, LdivError, MechanismRegistry, Params};
 use ldiv_guard::{classify_panic, guarded};
 use ldiv_metrics::kl_divergence_with;
 use ldiv_microdata::{read_csv_with, Table};
+use ldiv_store::{DatasetStore, StoreError};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,6 +80,13 @@ pub struct ServerConfig {
     /// (default) disables dataset references entirely: a network-exposed
     /// service must not open arbitrary server-side paths on request.
     pub dataset_root: Option<std::path::PathBuf>,
+    /// Root directory of the persistent dataset store backing the
+    /// `/datasets` routes. `None` (default) disables the store: the
+    /// routes answer 400 and nothing is written to disk. When set, the
+    /// store also persists publication-cache entries for `publish`
+    /// responses, which are reloaded into the cache at startup — the
+    /// cache survives restarts for store-backed requests.
+    pub store_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +107,7 @@ impl Default for ServerConfig {
             // Auto (= unlimited unless LDIV_DEADLINE_MS overrides).
             deadline_ms: 0,
             dataset_root: None,
+            store_root: None,
         }
     }
 }
@@ -128,6 +149,7 @@ pub struct AppState {
     registry: MechanismRegistry,
     cache: Mutex<LruCache<Json>>,
     config: ServerConfig,
+    store: Option<Arc<DatasetStore>>,
     requests: AtomicU64,
     anonymize_runs: AtomicU64,
     rejected: AtomicU64,
@@ -137,13 +159,46 @@ pub struct AppState {
 
 impl AppState {
     /// State over a registry with the given configuration (normalized:
-    /// worker/queue floors applied).
+    /// worker/queue floors applied). When the configuration names a
+    /// store root, the store is opened and any persisted publication
+    /// responses are reloaded into the cache — store-backed cache
+    /// entries survive restarts.
+    ///
+    /// # Panics
+    /// Panics when a configured store root cannot be created or opened —
+    /// an unusable store is a deployment error the server must surface
+    /// at startup, not at first request.
     pub fn new(registry: MechanismRegistry, config: ServerConfig) -> Self {
         let config = config.normalized();
+        let store = config.store_root.as_ref().map(|root| {
+            let store = DatasetStore::open(root)
+                .unwrap_or_else(|e| panic!("store root {}: {e}", root.display()));
+            Arc::new(store)
+        });
+        let mut cache = LruCache::new(config.cache_capacity);
+        if let Some(store) = &store {
+            // Reload persisted publish responses (rendered with
+            // `"cached": false`; `run_cached` flips the flag on hits).
+            // Entries that no longer parse are skipped — a corrupt file
+            // costs a recompute, never a failed startup.
+            for entry in store.load_responses() {
+                if let Some(summary) = Json::parse(&entry.body) {
+                    cache.insert(
+                        CacheKey {
+                            dataset: entry.dataset,
+                            mechanism: entry.mechanism,
+                            params: entry.params,
+                        },
+                        summary,
+                    );
+                }
+            }
+        }
         AppState {
             registry,
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: Mutex::new(cache),
             config,
+            store,
             requests: AtomicU64::new(0),
             anonymize_runs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -160,6 +215,11 @@ impl AppState {
     /// The normalized configuration the service is running with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The persistent dataset store, when a store root is configured.
+    pub fn store(&self) -> Option<&Arc<DatasetStore>> {
+        self.store.as_ref()
     }
 
     /// The publication cache, with lock poisoning recovered rather than
@@ -234,12 +294,16 @@ fn usage(msg: impl Into<String>) -> LdivError {
 /// so every route is directly testable.
 pub fn handle_request(state: &AppState, req: &Request) -> Response {
     state.requests.fetch_add(1, Ordering::Relaxed);
+    if req.path == "/datasets" || req.path.starts_with("/datasets/") {
+        return datasets_route(state, req);
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, Json::obj().field("status", "ok").render()),
         ("GET", "/mechanisms") => {
             Response::json(200, wire::mechanisms_json(&state.registry).render())
         }
         ("GET", "/stats") => Response::json(200, stats_json(state).render()),
+        ("GET", "/metrics") => Response::metrics_text(200, metrics_text(state)),
         ("POST", "/anonymize") => match anonymize_route(state, req) {
             Ok(json) => Response::json(200, json.render()),
             Err(e) => {
@@ -258,7 +322,8 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
         | ("GET", "/sweep")
         | ("POST", "/healthz")
         | ("POST", "/mechanisms")
-        | ("POST", "/stats") => Response::json(
+        | ("POST", "/stats")
+        | ("POST", "/metrics") => Response::json(
             405,
             wire::error_json(&usage(format!(
                 "method {} not allowed on {}",
@@ -271,6 +336,223 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
             wire::error_json(&usage(format!("no route for '{path}'"))).render(),
         ),
     }
+}
+
+/// Routes the `/datasets` family: dispatch on the path tail, then map
+/// store errors onto statuses in one place (`NotFound` → 404, anything
+/// else through the shared domain-error mapping).
+fn datasets_route(state: &AppState, req: &Request) -> Response {
+    let tail = req.path.strip_prefix("/datasets").unwrap_or("");
+    let result = match (req.method.as_str(), tail) {
+        ("POST", "") => register_route(state, req),
+        ("GET", "") => list_datasets_route(state),
+        (method, "") => {
+            return Response::json(
+                405,
+                wire::error_json(&usage(format!("method {method} not allowed on /datasets")))
+                    .render(),
+            )
+        }
+        (method, tail) => {
+            let tail = tail.trim_start_matches('/');
+            let (fp_text, action) = match tail.split_once('/') {
+                Some((fp, action)) => (fp, action),
+                None => (tail, ""),
+            };
+            let Some(fp) = ldiv_store::parse_fingerprint(fp_text) else {
+                return Response::json(
+                    404,
+                    wire::error_json(&usage(format!(
+                        "'{fp_text}' is not a dataset fingerprint (16 hex digits)"
+                    )))
+                    .render(),
+                );
+            };
+            match (method, action) {
+                ("GET", "") => dataset_info_route(state, fp),
+                ("POST", "append") => append_route(state, req, fp),
+                ("POST", "publish") => publish_route(state, req, fp),
+                ("POST", "") | ("GET", "append") | ("GET", "publish") => {
+                    return Response::json(
+                        405,
+                        wire::error_json(&usage(format!(
+                            "method {method} not allowed on {}",
+                            req.path
+                        )))
+                        .render(),
+                    )
+                }
+                _ => {
+                    return Response::json(
+                        404,
+                        wire::error_json(&usage(format!("no route for '{}'", req.path))).render(),
+                    )
+                }
+            }
+        }
+    };
+    match result {
+        Ok(json) => Response::json(200, json.render()),
+        Err(StoreError::NotFound(fp)) => Response::json(
+            404,
+            wire::error_json(&usage(format!(
+                "dataset {} is not registered",
+                wire::fingerprint_hex(fp)
+            )))
+            .render(),
+        ),
+        Err(e) => {
+            let e = LdivError::from(e);
+            state.count_if_panic(&e);
+            error_response(&e)
+        }
+    }
+}
+
+/// The store behind the `/datasets` routes, or the 400 telling the
+/// operator how to enable it.
+fn store_of(state: &AppState) -> Result<&Arc<DatasetStore>, StoreError> {
+    state.store.as_ref().ok_or_else(|| {
+        usage(
+            "dataset store is disabled: start the server with a store root \
+             (`ldiv serve --store-root DIR`)",
+        )
+        .into()
+    })
+}
+
+/// Parameters for ingestion work (register/append): no `l` involved, but
+/// the CSV parse still honours the server's thread budget and request
+/// deadline, exactly like `table_from` does for the one-shot routes.
+fn ingest_exec(state: &AppState) -> ldiv_exec::Executor {
+    Params::new(1)
+        .with_threads(state.config.threads)
+        .with_deadline(Deadline::within_ms(state.config.deadline_ms))
+        .executor()
+}
+
+fn require_body(req: &Request) -> Result<&[u8], StoreError> {
+    if req.body.is_empty() {
+        return Err(usage("no dataset: POST the CSV body").into());
+    }
+    Ok(&req.body)
+}
+
+fn register_route(state: &AppState, req: &Request) -> Result<Json, StoreError> {
+    let store = store_of(state)?;
+    let body = require_body(req)?;
+    // The isolation boundary, like every compute route: a panic (fault
+    // injection included) or deadline expiry inside ingestion becomes a
+    // structured error, and the atomic manifest commit means it leaves
+    // no partial dataset behind.
+    let outcome = guarded("datasets:register", || {
+        store
+            .register(body, &ingest_exec(state))
+            .map_err(LdivError::from)
+    })?;
+    Ok(Json::obj()
+        .field("dataset", wire::fingerprint_hex(outcome.fingerprint))
+        .field("created", outcome.created)
+        .field("rows", outcome.rows))
+}
+
+fn append_route(state: &AppState, req: &Request, fp: u64) -> Result<Json, StoreError> {
+    let store = store_of(state)?;
+    let body = require_body(req)?;
+    store.dataset(fp)?; // surface NotFound as 404 before the boundary
+    let outcome = guarded("datasets:append", || {
+        store
+            .append(fp, body, &ingest_exec(state))
+            .map_err(LdivError::from)
+    })?;
+    Ok(Json::obj()
+        .field("dataset", wire::fingerprint_hex(outcome.dataset))
+        .field(
+            "segment",
+            Json::obj()
+                .field("index", outcome.segment.index)
+                .field(
+                    "fingerprint",
+                    wire::fingerprint_hex(outcome.segment.fingerprint),
+                )
+                .field("rows", outcome.segment.rows),
+        )
+        .field("total_rows", outcome.total_rows))
+}
+
+fn dataset_json(info: &ldiv_store::DatasetInfo) -> Json {
+    Json::obj()
+        .field("dataset", wire::fingerprint_hex(info.fingerprint))
+        .field("segments", info.segments.len())
+        .field("rows", info.rows())
+        .field("lineage", wire::fingerprint_hex(info.lineage()))
+}
+
+fn dataset_info_route(state: &AppState, fp: u64) -> Result<Json, StoreError> {
+    let info = store_of(state)?.dataset(fp)?;
+    Ok(dataset_json(&info).field(
+        "segment_list",
+        Json::Arr(
+            info.segments
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("index", s.index)
+                        .field("fingerprint", wire::fingerprint_hex(s.fingerprint))
+                        .field("rows", s.rows)
+                })
+                .collect(),
+        ),
+    ))
+}
+
+fn list_datasets_route(state: &AppState) -> Result<Json, StoreError> {
+    let datasets = store_of(state)?.datasets()?;
+    Ok(Json::obj().field(
+        "datasets",
+        Json::Arr(datasets.iter().map(dataset_json).collect()),
+    ))
+}
+
+/// Incremental re-publication with the response cache in front. The key's
+/// dataset component is the **lineage** fingerprint (registration plus
+/// every segment), so a publish after an append is a different cache line
+/// from the publish before it. The body is built by the same
+/// `publication_json` as `/anonymize` — byte-identical over the same rows;
+/// reuse accounting goes to the store counters, never the body.
+fn publish_route(state: &AppState, req: &Request, fp: u64) -> Result<Json, StoreError> {
+    let store = store_of(state)?;
+    let name = req
+        .query_param("algo")
+        .ok_or_else(|| StoreError::from(usage("missing query parameter 'algo'")))?;
+    let params = params_from(state, req)?;
+    let mechanism = state.registry.get_or_unknown(name)?;
+    let lineage = store.dataset(fp)?.lineage();
+    let key = CacheKey {
+        dataset: lineage,
+        mechanism: mechanism.name().to_ascii_lowercase(),
+        params: params.canonical(),
+    };
+    if let Some(found) = state.lock_cache().get(&key) {
+        return Ok(found.clone().field("cached", true));
+    }
+    let summary = guarded("datasets:publish", || {
+        let outcome = store
+            .publish(fp, mechanism, &params)
+            .map_err(LdivError::from)?;
+        state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
+        let kl = kl_divergence_with(&outcome.table, &outcome.publication, &params.executor());
+        Ok(wire::publication_json(
+            &outcome.table,
+            &outcome.publication,
+            &params,
+            kl,
+        ))
+    })?;
+    state.lock_cache().insert(key.clone(), summary.clone());
+    // Durable cache line: reloaded into the in-memory cache on restart.
+    store.persist_response(lineage, &key.mechanism, &key.params, &summary.render());
+    Ok(summary)
 }
 
 fn stats_json(state: &AppState) -> Json {
@@ -306,6 +588,24 @@ fn stats_json(state: &AppState) -> Json {
                 .field("respawned", health.respawned() as i64),
         );
     }
+    if let Some(store) = &state.store {
+        let s = store.stats();
+        json = json.field(
+            "store",
+            Json::obj()
+                .field("datasets", s.datasets)
+                .field("segments", s.segments)
+                .field("rows", s.rows)
+                .field("shard_records", s.shard_records)
+                .field("persisted_responses", s.persisted_responses)
+                .field("registers", s.registers as i64)
+                .field("appends", s.appends as i64)
+                .field("appended_rows", s.appended_rows as i64)
+                .field("publishes", s.publishes as i64)
+                .field("shards_computed", s.shards_computed as i64)
+                .field("shards_reused", s.shards_reused as i64),
+        );
+    }
     json.field(
         "cache",
         Json::obj()
@@ -315,6 +615,163 @@ fn stats_json(state: &AppState) -> Json {
             .field("capacity", cache.capacity)
             .field("evictions", cache.evictions as i64),
     )
+}
+
+/// The `GET /metrics` body: the `/stats` counters re-expressed in the
+/// Prometheus text exposition format (one metric family per line group,
+/// `# TYPE` annotations, no labels — the service is a single process).
+fn metrics_text(state: &AppState) -> String {
+    let mut out = String::new();
+    let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        ));
+    };
+    metric(
+        "ldiv_requests_total",
+        "counter",
+        "HTTP requests routed",
+        state.requests.load(Ordering::Relaxed),
+    );
+    metric(
+        "ldiv_anonymize_runs_total",
+        "counter",
+        "Anonymization runs executed (cache misses)",
+        state.anonymize_runs.load(Ordering::Relaxed),
+    );
+    metric(
+        "ldiv_rejected_total",
+        "counter",
+        "Connections shed with 503 under overload",
+        state.rejected.load(Ordering::Relaxed),
+    );
+    metric(
+        "ldiv_panics_caught_total",
+        "counter",
+        "Panics converted to errors at isolation boundaries",
+        state.panics_caught.load(Ordering::Relaxed),
+    );
+    let cache = state.cache_stats();
+    metric(
+        "ldiv_cache_hits_total",
+        "counter",
+        "Publication cache hits",
+        cache.hits,
+    );
+    metric(
+        "ldiv_cache_misses_total",
+        "counter",
+        "Publication cache misses",
+        cache.misses,
+    );
+    metric(
+        "ldiv_cache_evictions_total",
+        "counter",
+        "Publication cache evictions",
+        cache.evictions,
+    );
+    metric(
+        "ldiv_cache_entries",
+        "gauge",
+        "Publication cache entries held",
+        cache.entries as u64,
+    );
+    metric(
+        "ldiv_workers",
+        "gauge",
+        "Configured worker threads",
+        state.config.workers as u64,
+    );
+    if let Some(health) = state.pool_health() {
+        metric(
+            "ldiv_pool_alive",
+            "gauge",
+            "Worker threads currently alive",
+            health.alive() as u64,
+        );
+        metric(
+            "ldiv_pool_worker_panics_total",
+            "counter",
+            "Panics that reached the worker loop",
+            health.panics_caught(),
+        );
+        metric(
+            "ldiv_pool_respawned_total",
+            "counter",
+            "Workers respawned after a panic",
+            health.respawned(),
+        );
+    }
+    if let Some(store) = &state.store {
+        let s = store.stats();
+        metric(
+            "ldiv_store_datasets",
+            "gauge",
+            "Datasets registered in the store",
+            s.datasets as u64,
+        );
+        metric(
+            "ldiv_store_segments",
+            "gauge",
+            "Immutable segments on disk",
+            s.segments as u64,
+        );
+        metric(
+            "ldiv_store_rows",
+            "gauge",
+            "Rows on disk across all datasets",
+            s.rows as u64,
+        );
+        metric(
+            "ldiv_store_shard_records",
+            "gauge",
+            "Persisted per-shard results on disk",
+            s.shard_records as u64,
+        );
+        metric(
+            "ldiv_store_persisted_responses",
+            "gauge",
+            "Persisted publication responses on disk",
+            s.persisted_responses as u64,
+        );
+        metric(
+            "ldiv_store_registers_total",
+            "counter",
+            "Datasets registered by this process",
+            s.registers,
+        );
+        metric(
+            "ldiv_store_appends_total",
+            "counter",
+            "Segments appended by this process",
+            s.appends,
+        );
+        metric(
+            "ldiv_store_appended_rows_total",
+            "counter",
+            "Rows ingested via append by this process",
+            s.appended_rows,
+        );
+        metric(
+            "ldiv_store_publishes_total",
+            "counter",
+            "Incremental publishes by this process",
+            s.publishes,
+        );
+        metric(
+            "ldiv_store_shards_computed_total",
+            "counter",
+            "Shards that ran the mechanism",
+            s.shards_computed,
+        );
+        metric(
+            "ldiv_store_shards_reused_total",
+            "counter",
+            "Shards reloaded from persisted results",
+            s.shards_reused,
+        );
+    }
+    out
 }
 
 /// Parses the shared `l` / `fanout` query params; the intra-run thread
@@ -960,6 +1417,248 @@ mod tests {
             &post("/anonymize", &[("algo", "beta"), ("l", "2")], &csv),
         );
         assert!(one.body.contains("\"cached\":true"), "{}", one.body);
+    }
+
+    fn unique_root(tag: &str) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!("ldiv_server_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    /// Hospital rows `0..3` as a standalone CSV batch (with header).
+    fn batch_csv() -> Vec<u8> {
+        let t = samples::hospital();
+        let mut csv = Vec::new();
+        write_table_csv(&mut csv, &t.select_rows(&[0, 1, 2])).unwrap();
+        csv
+    }
+
+    fn store_state(root: &std::path::Path) -> AppState {
+        AppState::new(
+            MechanismRegistry::new().with(Box::new(Whole("alpha"))),
+            ServerConfig {
+                store_root: Some(root.to_path_buf()),
+                shards: 1,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dataset_routes_register_append_and_list() {
+        let root = unique_root("datasets");
+        let state = store_state(&root);
+
+        let reg = handle_request(&state, &post("/datasets", &[], &hospital_csv()));
+        assert_eq!(reg.status, 200, "{}", reg.body);
+        assert!(reg.body.contains("\"created\":true"), "{}", reg.body);
+        assert!(reg.body.contains("\"rows\":10"), "{}", reg.body);
+        let fp = Json::parse(&reg.body)
+            .and_then(|j| match j.get("dataset") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("register returns the fingerprint");
+
+        // Idempotent by content.
+        let again = handle_request(&state, &post("/datasets", &[], &hospital_csv()));
+        assert!(again.body.contains("\"created\":false"), "{}", again.body);
+
+        let append = handle_request(
+            &state,
+            &post(&format!("/datasets/{fp}/append"), &[], &batch_csv()),
+        );
+        assert_eq!(append.status, 200, "{}", append.body);
+        assert!(append.body.contains("\"total_rows\":13"), "{}", append.body);
+        assert!(append.body.contains("\"index\":1"), "{}", append.body);
+
+        let list = handle_request(&state, &get("/datasets"));
+        assert!(list.body.contains(&fp), "{}", list.body);
+        let info = handle_request(&state, &get(&format!("/datasets/{fp}")));
+        assert!(info.body.contains("\"segments\":2"), "{}", info.body);
+
+        // Unknown dataset → 404; malformed fingerprint → 404; wrong
+        // method → 405; empty body → 400.
+        let missing = handle_request(
+            &state,
+            &post("/datasets/0000000000000000/append", &[], &batch_csv()),
+        );
+        assert_eq!(missing.status, 404, "{}", missing.body);
+        assert_eq!(
+            handle_request(&state, &post("/datasets/nope/append", &[], &batch_csv())).status,
+            404
+        );
+        assert_eq!(
+            handle_request(&state, &get(&format!("/datasets/{fp}/append"))).status,
+            405
+        );
+        assert_eq!(
+            handle_request(&state, &post("/datasets", &[], b"")).status,
+            400
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dataset_routes_answer_400_without_a_store_root() {
+        let state = test_state();
+        for req in [
+            post("/datasets", &[], &hospital_csv()),
+            post("/datasets/0000000000000000/append", &[], &batch_csv()),
+            post(
+                "/datasets/0000000000000000/publish",
+                &[("algo", "alpha"), ("l", "2")],
+                b"",
+            ),
+        ] {
+            let resp = handle_request(&state, &req);
+            assert_eq!(resp.status, 400, "{}", resp.body);
+            assert!(resp.body.contains("store-root"), "{}", resp.body);
+        }
+    }
+
+    #[test]
+    fn publish_matches_anonymize_byte_for_byte_at_one_shard() {
+        // The service-level half of the incremental-equivalence gate: a
+        // publish over a dataset grown by appends produces exactly the
+        // bytes `/anonymize` produces for the concatenated CSV.
+        let root = unique_root("publish_equiv");
+        let state = store_state(&root);
+
+        let reg = handle_request(&state, &post("/datasets", &[], &hospital_csv()));
+        let fp = Json::parse(&reg.body)
+            .and_then(|j| match j.get("dataset") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let append = handle_request(
+            &state,
+            &post(&format!("/datasets/{fp}/append"), &[], &batch_csv()),
+        );
+        assert_eq!(append.status, 200, "{}", append.body);
+
+        let published = handle_request(
+            &state,
+            &post(
+                &format!("/datasets/{fp}/publish"),
+                &[("algo", "alpha"), ("l", "2")],
+                b"",
+            ),
+        );
+        assert_eq!(published.status, 200, "{}", published.body);
+
+        // The equivalent one-shot request: the registration CSV with the
+        // batch rows appended (header stripped).
+        let mut full = hospital_csv();
+        let batch = batch_csv();
+        let batch_rows = batch
+            .splitn(2, |&b| b == b'\n')
+            .nth(1)
+            .expect("batch has rows")
+            .to_vec();
+        full.extend_from_slice(&batch_rows);
+        let oneshot = handle_request(
+            &state,
+            &post("/anonymize", &[("algo", "alpha"), ("l", "2")], &full),
+        );
+        assert_eq!(oneshot.status, 200, "{}", oneshot.body);
+        // The one-shot ran second, so its cache line (keyed by content
+        // fingerprint, not lineage) was a miss — both are cold bodies.
+        assert_eq!(published.body, oneshot.body);
+
+        // Repeat publish: served from cache.
+        let warm = handle_request(
+            &state,
+            &post(
+                &format!("/datasets/{fp}/publish"),
+                &[("algo", "alpha"), ("l", "2")],
+                b"",
+            ),
+        );
+        assert!(warm.body.contains("\"cached\":true"), "{}", warm.body);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn publish_cache_survives_a_restart() {
+        let root = unique_root("restart");
+        let fp;
+        let cold_body;
+        {
+            let state = store_state(&root);
+            let reg = handle_request(&state, &post("/datasets", &[], &hospital_csv()));
+            fp = Json::parse(&reg.body)
+                .and_then(|j| match j.get("dataset") {
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap();
+            let published = handle_request(
+                &state,
+                &post(
+                    &format!("/datasets/{fp}/publish"),
+                    &[("algo", "alpha"), ("l", "2")],
+                    b"",
+                ),
+            );
+            assert_eq!(published.status, 200, "{}", published.body);
+            cold_body = published.body;
+        }
+        // A fresh AppState over the same root: the persisted response
+        // reloads into the cache, so the first publish after "restart"
+        // is already a hit, byte-identical apart from the cached flag.
+        let state = store_state(&root);
+        let warm = handle_request(
+            &state,
+            &post(
+                &format!("/datasets/{fp}/publish"),
+                &[("algo", "alpha"), ("l", "2")],
+                b"",
+            ),
+        );
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        assert!(warm.body.contains("\"cached\":true"), "{}", warm.body);
+        assert_eq!(
+            warm.body,
+            cold_body.replace("\"cached\":false", "\"cached\":true")
+        );
+        assert_eq!(state.cache_stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metrics_renders_prometheus_text() {
+        let root = unique_root("metrics");
+        let state = store_state(&root);
+        handle_request(&state, &get("/healthz"));
+        let metrics = handle_request(&state, &get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        assert_eq!(
+            metrics.content_type,
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        for family in [
+            "# TYPE ldiv_requests_total counter",
+            "# TYPE ldiv_cache_hits_total counter",
+            "# TYPE ldiv_cache_entries gauge",
+            "# TYPE ldiv_store_datasets gauge",
+            "# TYPE ldiv_store_shards_reused_total counter",
+        ] {
+            assert!(metrics.body.contains(family), "{}", metrics.body);
+        }
+        // Counters reflect traffic: the healthz + this request.
+        assert!(
+            metrics.body.contains("ldiv_requests_total 2"),
+            "{}",
+            metrics.body
+        );
+        // POST is not allowed.
+        assert_eq!(
+            handle_request(&state, &post("/metrics", &[], b"")).status,
+            405
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

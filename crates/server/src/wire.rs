@@ -81,6 +81,27 @@ impl Json {
         out
     }
 
+    /// Parses JSON text back into a [`Json`] value — `None` on any
+    /// syntax error or trailing garbage.
+    ///
+    /// This exists for one job: reloading persisted publication-cache
+    /// entries (rendered by [`render`](Json::render)) into the in-memory
+    /// cache at startup. Because rendering is deterministic, a
+    /// parse-then-render round-trip of anything this module rendered
+    /// reproduces the original bytes; numbers without `.`/`e` load as
+    /// [`Json::Int`], everything else numeric as [`Json::Float`], which
+    /// is exactly the split the renderer emits.
+    pub fn parse(text: &str) -> Option<Json> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        (p.at == p.bytes.len()).then_some(value)
+    }
+
     fn render_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -173,6 +194,159 @@ impl From<String> for Json {
 impl<T: Into<Json>> From<Vec<T>> for Json {
     fn from(v: Vec<T>) -> Json {
         Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// A hand-rolled recursive-descent JSON reader for [`Json::parse`]. The
+/// depth limit bounds stack use on adversarial input (a persisted cache
+/// file is operator-owned, but the store directory is still external
+/// state and must not be able to overflow the stack).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+const MAX_JSON_DEPTH: usize = 64;
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        (self.peek() == Some(b)).then(|| self.at += 1)
+    }
+
+    fn eat_word(&mut self, word: &str) -> Option<()> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Option<Json> {
+        if depth > MAX_JSON_DEPTH {
+            return None;
+        }
+        match self.peek()? {
+            b'n' => self.eat_word("null").map(|()| Json::Null),
+            b't' => self.eat_word("true").map(|()| Json::Bool(true)),
+            b'f' => self.eat_word("false").map(|()| Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']').is_some() {
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b',').is_some() {
+                        continue;
+                    }
+                    self.eat(b']')?;
+                    return Some(Json::Arr(items));
+                }
+            }
+            b'{' => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.eat(b'}').is_some() {
+                    return Some(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    fields.push((key, self.value(depth + 1)?));
+                    self.skip_ws();
+                    if self.eat(b',').is_some() {
+                        continue;
+                    }
+                    self.eat(b'}')?;
+                    return Some(Json::Obj(fields));
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.at += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.at + 1..self.at + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            // Surrogates never appear in our own output
+                            // (the renderer only \u-escapes controls);
+                            // degrade them rather than reject.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.at += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.at;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).ok()?;
+        if text.is_empty() {
+            return None;
+        }
+        if text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            text.parse().ok().map(Json::Float)
+        } else {
+            text.parse().ok().map(Json::Int)
+        }
     }
 }
 
@@ -322,6 +496,61 @@ mod tests {
         assert_eq!(
             v.clone().field("a", 2usize).render(),
             v.render().replace("\"a\":1", "\"a\":2")
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_output() {
+        // The property the persisted-cache reload relies on: parse ∘
+        // render is the identity on anything this module renders.
+        let t = samples::hospital();
+        let partition =
+            Partition::new_unchecked(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        let p = Publication::suppressed("tp", &t, partition).with_note("phase \"1\"\nline");
+        let params = Params::new(2).with_shards(1);
+        let kl = ldiv_metrics::kl_divergence(&t, &p);
+        for json in [
+            publication_json(&t, &p, &params, kl),
+            table_stats_json(&t),
+            error_json(&LdivError::DeadlineExceeded),
+            Json::obj()
+                .field("neg", Json::Int(-3))
+                .field("big", Json::Float(1e300))
+                .field("empty_arr", Json::Arr(vec![]))
+                .field("empty_obj", Json::obj())
+                .field("null", Json::Null),
+        ] {
+            let rendered = json.render();
+            let parsed = Json::parse(&rendered).expect("rendered JSON parses");
+            assert_eq!(parsed, json);
+            assert_eq!(parsed.render(), rendered);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "{\"a\":1}extra",
+            "\"unterminated",
+            "\"bad escape \\x\"",
+            "--5",
+        ] {
+            assert!(Json::parse(bad).is_none(), "{bad:?}");
+        }
+        // Depth bomb: refused, not a stack overflow.
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_none());
+        // Whitespace and standard escapes are accepted.
+        assert_eq!(
+            Json::parse(" { \"a\" : [ 1 , \"\\u0041\\/\" ] } "),
+            Some(Json::obj().field("a", Json::Arr(vec![Json::Int(1), "A/".into()])))
         );
     }
 

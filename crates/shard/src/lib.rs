@@ -87,7 +87,11 @@ pub fn stratified_shards(table: &Table, k: u32) -> Vec<Vec<RowId>> {
 /// notes are dropped here: every stitch builds a fresh publication
 /// whose notes describe the stitch itself, not K copies of each
 /// shard's diagnostics.
-fn remap_to_global(publication: Publication, rows: &[RowId]) -> Publication {
+///
+/// Public because the incremental publisher (`ldiv-store`) feeds
+/// per-segment shard results — freshly computed or reloaded from disk —
+/// through the same remap before stitching.
+pub fn remap_to_global(publication: Publication, rows: &[RowId]) -> Publication {
     let (mechanism, partition, payload, _notes) = publication.into_parts();
     let groups = partition
         .groups()
@@ -95,6 +99,25 @@ fn remap_to_global(publication: Publication, rows: &[RowId]) -> Publication {
         .map(|g| g.iter().map(|&local| rows[local as usize]).collect())
         .collect();
     Publication::new(mechanism, Partition::new_unchecked(groups), payload)
+}
+
+/// The parameters an individual shard runs with: the caller's l clamped
+/// to the largest value the shard sub-table can honour (never below 1),
+/// the caller's fanout, the given inner thread budget, a single shard
+/// (the sub-run must not recurse), and the caller's absolute deadline
+/// (all shards share one expiry).
+///
+/// Shared by [`anonymize_sharded`] and the incremental publisher
+/// (`ldiv-store`), which must derive the *same* per-shard l′ for its
+/// persisted results to be interchangeable with fresh ones.
+pub fn shard_params(params: &Params, sub: &Table, inner_threads: u32) -> Params {
+    Params {
+        l: params.l.min(sub.max_feasible_l()).max(1),
+        fanout: params.fanout,
+        threads: inner_threads,
+        shards: 1,
+        deadline: params.deadline,
+    }
 }
 
 /// Anonymizes `table` under `params` with partition-level sharding:
@@ -131,14 +154,8 @@ pub fn anonymize_sharded(
     let mut reduced_l = 0usize;
     let results: Vec<Result<(Publication, u32), LdivError>> = exec.map(&shards, |rows| {
         let sub = table.select_rows(rows);
-        let l = params.l.min(sub.max_feasible_l()).max(1);
-        let sub_params = Params {
-            l,
-            fanout: params.fanout,
-            threads: inner_threads,
-            shards: 1,
-            deadline: params.deadline, // absolute: shards share one expiry
-        };
+        let sub_params = shard_params(params, &sub, inner_threads);
+        let l = sub_params.l;
         mechanism
             .anonymize(&sub, &sub_params)
             .map(|p| (remap_to_global(p, rows), l))

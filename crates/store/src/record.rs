@@ -1,0 +1,308 @@
+//! On-disk codec for persisted per-shard results.
+//!
+//! The stitch ([`Mechanism::repair_merge`]) consumes exactly three
+//! things from a shard publication: its **partition** (in shard-local
+//! row ids here; the publisher remaps), its **payload kind** (the
+//! discriminant check plus each kind's rebuild rule), and — for recoded
+//! payloads — the shard's **recoding** (TDS stitches through the join
+//! of shard recodings). Everything else (stars, boxes content, QIT/ST)
+//! is rebuilt over the full table by the stitch, so a persisted record
+//! stores only those three and reconstructs a *placeholder* payload of
+//! the right kind when reloaded. Per-shard notes are likewise dropped
+//! on remap, so they are not stored.
+//!
+//! The format is a line-oriented text file (the workspace has no JSON
+//! parser and needs none here):
+//!
+//! ```text
+//! ldiv-store shard v1
+//! mechanism tds
+//! kind recoded
+//! group 0 2 5
+//! group 1 3 4
+//! recoding 0 0 1
+//! recoding 0 1
+//! ```
+//!
+//! Parsing is strict but non-fatal: any structural anomaly makes the
+//! record unreadable and the publisher simply recomputes the shard (a
+//! corrupt cache entry must never corrupt a publication).
+//!
+//! [`Mechanism::repair_merge`]: ldiv_api::Mechanism::repair_merge
+
+use ldiv_api::{repair, Payload, Publication, Recoding};
+use ldiv_microdata::{Partition, RowId, Table};
+
+/// The payload kind tag of a persisted shard result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordKind {
+    /// Suppression payload (`tp`, `tp+`, `hilbert`).
+    Suppressed,
+    /// Multi-dimensional boxes (`mondrian`).
+    Boxes,
+    /// Anatomy QIT/ST (`anatomy`).
+    Anatomy,
+    /// Global recoding (`tds`).
+    Recoded,
+}
+
+impl RecordKind {
+    fn tag(self) -> &'static str {
+        match self {
+            RecordKind::Suppressed => "suppressed",
+            RecordKind::Boxes => "boxes",
+            RecordKind::Anatomy => "anatomy",
+            RecordKind::Recoded => "recoded",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<RecordKind> {
+        Some(match tag {
+            "suppressed" => RecordKind::Suppressed,
+            "boxes" => RecordKind::Boxes,
+            "anatomy" => RecordKind::Anatomy,
+            "recoded" => RecordKind::Recoded,
+            _ => return None,
+        })
+    }
+}
+
+const MAGIC: &str = "ldiv-store shard v1";
+
+/// A persisted shard result: what the stitch needs, nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ShardRecord {
+    pub mechanism: String,
+    pub kind: RecordKind,
+    /// Shard-local row-id groups, in published group order.
+    pub groups: Vec<Vec<RowId>>,
+    /// `bucket_of[attr][value]`, present iff `kind` is `Recoded`.
+    pub recoding: Option<Vec<Vec<u32>>>,
+}
+
+impl ShardRecord {
+    /// Captures a freshly computed shard publication (still in
+    /// shard-local row ids) for persistence. `sub` is the shard's
+    /// sub-table, needed to spell out a recoded payload's bucket map.
+    pub fn from_publication(publication: &Publication, sub: &Table) -> ShardRecord {
+        let (kind, recoding) = match publication.payload() {
+            Payload::Suppressed(_) => (RecordKind::Suppressed, None),
+            Payload::Boxes(_) => (RecordKind::Boxes, None),
+            Payload::Anatomy(_) => (RecordKind::Anatomy, None),
+            Payload::Recoded(r) => {
+                let bucket_of = (0..r.dimensionality())
+                    .map(|a| {
+                        let domain = sub.schema().qi_attribute(a).domain_size();
+                        (0..domain).map(|v| r.bucket(a, v as u16)).collect()
+                    })
+                    .collect();
+                (RecordKind::Recoded, Some(bucket_of))
+            }
+        };
+        ShardRecord {
+            mechanism: publication.mechanism().to_string(),
+            kind,
+            groups: publication.partition().groups().to_vec(),
+            recoding,
+        }
+    }
+
+    /// Rebuilds a shard publication (in shard-local row ids) over the
+    /// shard's sub-table. Returns `None` when the record does not fit
+    /// the sub-table (stale or corrupt) — the caller recomputes.
+    pub fn to_publication(&self, sub: &Table) -> Option<Publication> {
+        let n = sub.len() as RowId;
+        if self.groups.is_empty()
+            || self
+                .groups
+                .iter()
+                .any(|g| g.is_empty() || g.iter().any(|&r| r >= n))
+        {
+            return None;
+        }
+        let partition = Partition::new_unchecked(self.groups.clone());
+        let publication = match self.kind {
+            RecordKind::Suppressed => Publication::suppressed(&self.mechanism, sub, partition),
+            RecordKind::Anatomy => Publication::anatomy(&self.mechanism, sub, partition),
+            RecordKind::Boxes => {
+                let boxes = repair::tight_boxes(sub, &partition);
+                Publication::new(&self.mechanism, partition, Payload::Boxes(boxes))
+            }
+            RecordKind::Recoded => {
+                let bucket_of = self.recoding.clone()?;
+                if bucket_of.len() != sub.dimensionality() {
+                    return None;
+                }
+                for (a, assign) in bucket_of.iter().enumerate() {
+                    if assign.len() != sub.schema().qi_attribute(a).domain_size() as usize
+                        || !dense(assign)
+                    {
+                        return None;
+                    }
+                }
+                Publication::new(
+                    &self.mechanism,
+                    partition,
+                    Payload::Recoded(Recoding::new(bucket_of)),
+                )
+            }
+        };
+        Some(publication)
+    }
+
+    /// The line-oriented text form (see the module docs).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("mechanism {}\n", self.mechanism));
+        out.push_str(&format!("kind {}\n", self.kind.tag()));
+        for group in &self.groups {
+            out.push_str("group");
+            for &r in group {
+                out.push_str(&format!(" {r}"));
+            }
+            out.push('\n');
+        }
+        if let Some(recoding) = &self.recoding {
+            for assign in recoding {
+                out.push_str("recoding");
+                for &b in assign {
+                    out.push_str(&format!(" {b}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses the text form; `None` on any structural anomaly.
+    pub fn parse(text: &str) -> Option<ShardRecord> {
+        let mut lines = text.lines();
+        if lines.next()? != MAGIC {
+            return None;
+        }
+        let mechanism = lines.next()?.strip_prefix("mechanism ")?.to_string();
+        let kind = RecordKind::from_tag(lines.next()?.strip_prefix("kind ")?)?;
+        let mut groups: Vec<Vec<RowId>> = Vec::new();
+        let mut recoding: Vec<Vec<u32>> = Vec::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("group") {
+                if !recoding.is_empty() {
+                    return None; // groups must precede recoding lines
+                }
+                groups.push(parse_ids(rest)?);
+            } else if let Some(rest) = line.strip_prefix("recoding") {
+                recoding.push(parse_ids(rest)?);
+            } else if !line.trim().is_empty() {
+                return None;
+            }
+        }
+        if groups.is_empty() || (kind == RecordKind::Recoded) == recoding.is_empty() {
+            return None;
+        }
+        Some(ShardRecord {
+            mechanism,
+            kind,
+            groups,
+            recoding: (kind == RecordKind::Recoded).then_some(recoding),
+        })
+    }
+}
+
+/// Whether a bucket assignment uses dense ids `0..max+1` with no empty
+/// bucket — the precondition `Recoding::new` asserts (a corrupt record
+/// must degrade to a recompute, not a panic).
+fn dense(assign: &[u32]) -> bool {
+    let Some(&max) = assign.iter().max() else {
+        return false;
+    };
+    let mut seen = vec![false; max as usize + 1];
+    for &b in assign {
+        seen[b as usize] = true;
+    }
+    seen.into_iter().all(|s| s)
+}
+
+fn parse_ids(rest: &str) -> Option<Vec<u32>> {
+    let ids: Result<Vec<u32>, _> = rest.split_whitespace().map(str::parse).collect();
+    ids.ok().filter(|v: &Vec<u32>| !v.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldiv_api::{Mechanism, Params};
+    use ldiv_microdata::samples;
+
+    fn round_trip(publication: &Publication, sub: &Table) -> Publication {
+        let record = ShardRecord::from_publication(publication, sub);
+        let parsed = ShardRecord::parse(&record.serialize()).expect("record round-trips");
+        assert_eq!(parsed, record);
+        parsed.to_publication(sub).expect("record fits sub-table")
+    }
+
+    #[test]
+    fn round_trip_preserves_partition_kind_and_recoding() {
+        let t = samples::hospital();
+        let params = Params::new(2).with_shards(1);
+        let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(ldiv_core::TpMechanism),
+            Box::new(ldiv_anatomy::AnatomyMechanism),
+            Box::new(ldiv_multidim::MondrianMechanism),
+            Box::new(ldiv_tds::TdsMechanism),
+        ];
+        for m in mechanisms {
+            let p = m.anonymize(&t, &params).unwrap();
+            let rebuilt = round_trip(&p, &t);
+            assert_eq!(rebuilt.mechanism(), p.mechanism());
+            assert_eq!(rebuilt.partition(), p.partition(), "{}", m.name());
+            assert_eq!(
+                std::mem::discriminant(rebuilt.payload()),
+                std::mem::discriminant(p.payload()),
+                "{}",
+                m.name()
+            );
+            if let (Payload::Recoded(a), Payload::Recoded(b)) = (p.payload(), rebuilt.payload()) {
+                assert_eq!(a, b, "recoding must round-trip exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_records_degrade_to_none() {
+        let t = samples::hospital();
+        let p = ldiv_core::TpMechanism
+            .anonymize(&t, &Params::new(2).with_shards(1))
+            .unwrap();
+        let good = ShardRecord::from_publication(&p, &t).serialize();
+        for bad in [
+            "",
+            "ldiv-store shard v99\nmechanism tp\nkind suppressed\ngroup 0\n",
+            "ldiv-store shard v1\nmechanism tp\nkind nope\ngroup 0\n",
+            "ldiv-store shard v1\nmechanism tp\nkind suppressed\n",
+            "ldiv-store shard v1\nmechanism tp\nkind suppressed\ngroup x y\n",
+            "ldiv-store shard v1\nmechanism tp\nkind recoded\ngroup 0\n",
+            &good.replace("group", "grp"),
+        ] {
+            assert!(ShardRecord::parse(bad).is_none(), "{bad:?}");
+        }
+        // A record whose row ids outgrow the sub-table is stale, not a
+        // publication.
+        let record = ShardRecord {
+            mechanism: "tp".into(),
+            kind: RecordKind::Suppressed,
+            groups: vec![vec![0, 99]],
+            recoding: None,
+        };
+        assert!(record.to_publication(&t).is_none());
+        // A sparse recoding must not reach Recoding::new's assert.
+        let record = ShardRecord {
+            mechanism: "tds".into(),
+            kind: RecordKind::Recoded,
+            groups: vec![(0..10).collect()],
+            recoding: Some(vec![vec![0, 2, 2], vec![0, 0], vec![0, 0, 0]]),
+        };
+        assert!(record.to_publication(&t).is_none());
+    }
+}

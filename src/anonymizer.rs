@@ -152,8 +152,10 @@ impl Anonymizer {
     /// [`preprocess_depth`](Anonymizer::preprocess_depth) with an
     /// explicit shard count > 1 makes [`run`](Anonymizer::run) return
     /// [`LdivError::InvalidParams`] rather than silently dropping the
-    /// request (the auto form — `0`, possibly resolved through
-    /// `LDIV_SHARDS` — stays permitted).
+    /// request. The auto form — `0`, possibly resolved through
+    /// `LDIV_SHARDS` — stays permitted, but when the ambient override
+    /// resolves above 1 the publication carries an explicit note that
+    /// the coarse table ran unsharded.
     pub fn shards(mut self, shards: u32) -> Self {
         self.params.shards = shards;
         self
@@ -192,6 +194,13 @@ impl Anonymizer {
     /// Enables §5.6 preprocessing: cut every attribute's balanced
     /// taxonomy at `depth` (0 = fully generalized) and run the mechanism
     /// on the coarsened table.
+    ///
+    /// The coarse table always runs unsharded. An explicit
+    /// [`shards`](Anonymizer::shards) count > 1 is rejected with
+    /// [`LdivError::InvalidParams`]; when the auto form resolves above 1
+    /// through the ambient `LDIV_SHARDS` override, the publication notes
+    /// `preprocessing: coarse table ran unsharded (…)` so the dropped
+    /// override is visible instead of silent.
     pub fn preprocess_depth(mut self, depth: u32) -> Self {
         self.preprocess_depth = Some(depth);
         self
@@ -252,12 +261,24 @@ impl Anonymizer {
                     table, &recoding, mechanism, params,
                 )?;
                 run.publication.validate(&run.coarse_table, params.l)?;
+                let mut publication = run.publication;
+                // The auto shard form (`0`) may resolve above 1 through
+                // the ambient `LDIV_SHARDS` override; preprocessing still
+                // runs unsharded, and that divergence must be visible in
+                // the publication itself, not silently absorbed.
+                let ambient = params.resolved_shards();
+                if params.shards == 0 && ambient > 1 {
+                    publication.push_note(format!(
+                        "preprocessing: coarse table ran unsharded \
+                         (ambient LDIV_SHARDS={ambient} not applied)"
+                    ));
+                }
                 let kl = run.kl.ok_or_else(|| {
                     LdivError::InvalidParams(format!(
                         "preprocessing requires a suppression mechanism, but '{}' \
                          publishes a {} payload",
                         self.mechanism,
-                        match run.publication.payload() {
+                        match publication.payload() {
                             ldiv_api::Payload::Boxes(_) => "boxes",
                             ldiv_api::Payload::Anatomy(_) => "anatomy",
                             ldiv_api::Payload::Recoded(_) => "recoded",
@@ -266,7 +287,7 @@ impl Anonymizer {
                     ))
                 })?;
                 Ok(Anonymized {
-                    publication: run.publication,
+                    publication,
                     recoding: Some(run.recoding),
                     coarse_table: Some(run.coarse_table),
                     kl,
@@ -349,6 +370,59 @@ mod tests {
             .preprocess_depth(1)
             .run(&t)
             .unwrap();
+    }
+
+    #[test]
+    fn preprocessing_notes_an_ambient_shard_override() {
+        // With `shards = 0` the ambient `LDIV_SHARDS` override may
+        // resolve above 1; preprocessing still runs unsharded and must
+        // say so in the publication. This test is differential on the
+        // environment: the CI leg that runs the suite under
+        // `LDIV_SHARDS=2` exercises the note path, a plain run the
+        // silent path.
+        let t = samples::hospital();
+        let run = Anonymizer::new()
+            .l(2)
+            .shards(0)
+            .preprocess_depth(1)
+            .run(&t)
+            .unwrap();
+        let ambient = Params::new(2).resolved_shards();
+        let noted = run
+            .publication
+            .notes()
+            .iter()
+            .any(|n| n.contains("coarse table ran unsharded"));
+        if ambient > 1 {
+            assert!(noted, "notes: {:?}", run.publication.notes());
+            assert!(
+                run.publication
+                    .notes()
+                    .iter()
+                    .any(|n| n.contains(&format!("LDIV_SHARDS={ambient}"))),
+                "notes: {:?}",
+                run.publication.notes()
+            );
+        } else {
+            assert!(!noted, "notes: {:?}", run.publication.notes());
+        }
+        // An explicit shard request of 1 is genuinely unsharded — never
+        // noted, whatever the environment says.
+        let explicit = Anonymizer::new()
+            .l(2)
+            .shards(1)
+            .preprocess_depth(1)
+            .run(&t)
+            .unwrap();
+        assert!(
+            !explicit
+                .publication
+                .notes()
+                .iter()
+                .any(|n| n.contains("coarse table ran unsharded")),
+            "notes: {:?}",
+            explicit.publication.notes()
+        );
     }
 
     #[test]

@@ -136,3 +136,7 @@ pub use ldiv_shard as shard;
 
 /// Anatomy: l-diverse publication via QI/SA table separation (§2).
 pub use ldiv_anatomy as anatomy;
+
+/// Persistent dataset store: fingerprinted registration, append-only
+/// segments, incremental re-publication over dirty shards.
+pub use ldiv_store as store;

@@ -307,3 +307,121 @@ fn sweep_reports_a_faulted_mechanism_as_an_error_entry() {
         }
     });
 }
+
+/// A `panic:*` burst across the dataset store's append→publish window.
+/// The store must stay consistent: faulted ingestion answers a
+/// well-formed 500 and commits *nothing* (no partial segments, no
+/// stray temp files, manifest unchanged), and once the plan is
+/// disarmed the same append and publish succeed as if the burst never
+/// happened.
+#[test]
+fn store_survives_a_panic_burst_across_the_append_publish_window() {
+    let root = std::env::temp_dir().join(format!("ldiv-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let csv = dataset_csv(400, 75);
+    let batch = {
+        // A batch from the dataset's own rows: header + three lines,
+        // trivially inside the registered domain.
+        let text = String::from_utf8(csv.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().take(4).collect();
+        format!("{}\n", lines.join("\n")).into_bytes()
+    };
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        standard_registry(),
+        ServerConfig {
+            workers: 3,
+            queue_depth: 32,
+            cache_capacity: 16,
+            store_root: Some(root.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Healthy window: register, one append, one publish.
+    let (status, registered) = http(addr, "POST", "/datasets", &csv);
+    assert_eq!(status, 200, "{registered}");
+    let fp = registered
+        .split("\"dataset\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("register returns the fingerprint")
+        .to_string();
+    let (status, appended) = http(addr, "POST", &format!("/datasets/{fp}/append"), &batch);
+    assert_eq!(status, 200, "{appended}");
+    let publish_target = format!("/datasets/{fp}/publish?algo=tp&l=3&shards=2");
+    let (status, published) = http(addr, "POST", &publish_target, b"");
+    assert_eq!(status, 200, "{published}");
+    assert!(published.contains("\"cached\":false"), "{published}");
+
+    let dataset_dir = root.join("datasets").join(&fp);
+    // Recursive listing: manifest.txt plus segments/ plus shards/.
+    fn listing(dir: &std::path::Path) -> Vec<String> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if entry.file_type().unwrap().is_dir() {
+                names.extend(
+                    listing(&entry.path())
+                        .into_iter()
+                        .map(|child| format!("{name}/{child}")),
+                );
+            } else {
+                names.push(name);
+            }
+        }
+        names.sort();
+        names
+    }
+    let files_before = listing(&dataset_dir);
+    let manifest_before = std::fs::read(dataset_dir.join("manifest.txt")).unwrap();
+
+    with_faults(plan("panic:*"), || {
+        // The burst: appends and publishes interleaved, all faulted.
+        for _ in 0..3 {
+            let (status, body) = http(addr, "POST", &format!("/datasets/{fp}/append"), &batch);
+            assert_eq!(status, 500, "faulted append must degrade: {body}");
+            assert!(body.contains("\"kind\":\"internal\""), "{body}");
+            let fresh = format!("/datasets/{fp}/publish?algo=tp%2B&l=3&shards=2");
+            let (status, body) = http(addr, "POST", &fresh, b"");
+            assert_eq!(status, 500, "faulted publish must degrade: {body}");
+            // The pre-fault publication is cached under the *current*
+            // lineage and served without crossing the fault boundary.
+            let (status, body) = http(addr, "POST", &publish_target, b"");
+            assert_eq!(status, 200, "cached publish must survive: {body}");
+            assert!(body.contains("\"cached\":true"), "{body}");
+        }
+
+        // Mid-burst consistency: no partial segments, no temp files,
+        // the manifest byte-identical to the pre-burst commit.
+        let files_during = listing(&dataset_dir);
+        assert_eq!(files_during, files_before, "faulted appends left debris");
+        assert!(
+            !files_during.iter().any(|name| name.contains(".tmp-")),
+            "unrenamed temp file leaked: {files_during:?}"
+        );
+        assert_eq!(
+            std::fs::read(dataset_dir.join("manifest.txt")).unwrap(),
+            manifest_before,
+            "faulted append moved the manifest"
+        );
+    });
+
+    // Disarmed: the same operations succeed, from the same state.
+    let (status, body) = http(addr, "POST", &format!("/datasets/{fp}/append"), &batch);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"index\":2"), "{body}");
+    let (status, body) = http(addr, "POST", &publish_target, b"");
+    assert_eq!(status, 200, "{body}");
+    // The lineage moved with the append, so this is a fresh publication
+    // over the grown table, not a stale cache hit.
+    assert!(body.contains("\"cached\":false"), "{body}");
+    assert!(body.contains("\"rows\":406"), "{body}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
