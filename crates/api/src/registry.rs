@@ -84,7 +84,12 @@ impl MechanismRegistry {
         table: &Table,
         params: &Params,
     ) -> Result<Publication, LdivError> {
-        self.get_or_unknown(name)?.anonymize(table, params)
+        let mechanism = self.get_or_unknown(name)?;
+        // Stage hook: direct (unsharded) dispatch is the one pipeline
+        // entry that doesn't pass through `ldiv-shard`, so it records
+        // its own mechanism-labeled span. Free when tracing is off.
+        let _run = ldiv_obs::span_labeled("mechanism", || mechanism.name().to_string());
+        mechanism.anonymize(table, params)
     }
 }
 

@@ -18,7 +18,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 /// One measured service configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathThroughput {
     /// Timed requests issued.
     pub requests: usize,
@@ -34,22 +34,66 @@ pub struct PathThroughput {
     pub hits: u64,
     /// Cache misses recorded by the server during the timed window.
     pub misses: u64,
+    /// Per-stage time decomposition of the timed window, aggregated from
+    /// the server's request traces and sorted by stage name.
+    pub stages: Vec<StageStat>,
 }
 
-/// The `q`-quantile (0.0 ..= 1.0) of a sample set by the nearest-rank
-/// method. Empty input yields 0.0 so a zero-request run stays renderable.
-pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
+// The one nearest-rank quantile used everywhere (bench rollups and the
+// histogram quantile estimator): re-exported so `service::percentile`
+// callers keep working while the implementation lives in `ldiv-obs`.
+pub use ldiv_obs::hist::percentile;
+
+/// Total time spent in one named pipeline stage across a timed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    /// Stage name (span name: `csv:read`, `shard:anonymize`, `kl`, …).
+    pub stage: String,
+    /// Spans recorded under that name.
+    pub count: u64,
+    /// Total milliseconds across those spans.
+    pub total_ms: f64,
+}
+
+/// Aggregates finished traces into per-stage totals, sorted by stage
+/// name for deterministic output. Shared by the service bench and the
+/// figure harnesses (`fig2 --json`).
+pub fn rollup_stages<'a>(
+    traces: impl IntoIterator<Item = &'a std::sync::Arc<ldiv_obs::FinishedTrace>>,
+) -> Vec<StageStat> {
+    let mut stages: Vec<StageStat> = Vec::new();
+    for trace in traces {
+        for s in trace.stage_totals() {
+            let ms = s.total_ns as f64 / 1e6;
+            match stages.iter_mut().find(|x| x.stage == s.stage) {
+                Some(x) => {
+                    x.count += s.count;
+                    x.total_ms += ms;
+                }
+                None => stages.push(StageStat {
+                    stage: s.stage.to_string(),
+                    count: s.count,
+                    total_ms: ms,
+                }),
+            }
+        }
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+    stages
+}
+
+/// [`rollup_stages`] restricted to anonymize-route request traces (the
+/// bench's own `/stats` probes produce traces too).
+fn stage_rollup(traces: &[std::sync::Arc<ldiv_obs::FinishedTrace>]) -> Vec<StageStat> {
+    rollup_stages(
+        traces
+            .iter()
+            .filter(|t| t.meta_value("route") == Some("/anonymize")),
+    )
 }
 
 /// The cached-vs-uncached comparison.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceThroughput {
     /// Every request recomputes (cache disabled).
     pub uncached: PathThroughput,
@@ -129,6 +173,11 @@ fn cache_counters(addr: SocketAddr) -> (u64, u64) {
 
 fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) -> PathThroughput {
     let (hits0, misses0) = cache_counters(addr);
+    // Open a fresh trace window: the server runs in-process, so its
+    // completed request traces land in the shared ring this drains.
+    // The ring holds the last 64 traces — with more timed requests than
+    // that the stage totals cover only the tail of the window.
+    let _ = ldiv_obs::take_traces();
     let mut latencies_ms = Vec::with_capacity(requests);
     let start = Instant::now();
     for _ in 0..requests {
@@ -141,6 +190,7 @@ fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) 
         );
     }
     let seconds = start.elapsed().as_secs_f64();
+    let stages = stage_rollup(&ldiv_obs::take_traces());
     let (hits1, misses1) = cache_counters(addr);
     PathThroughput {
         requests,
@@ -150,12 +200,15 @@ fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) 
         p99_ms: percentile(&latencies_ms, 0.99),
         hits: hits1 - hits0,
         misses: misses1 - misses0,
+        stages,
     }
 }
 
 /// Measures requests/sec through `POST /anonymize` for the cached and the
-/// uncached path.
+/// uncached path. Tracing is armed for the duration so each path's
+/// throughput comes with its per-stage time decomposition.
 pub fn measure_service(cfg: &ServiceBenchConfig) -> ServiceThroughput {
+    ldiv_obs::set_armed(true);
     let table = sal(&AcsConfig {
         rows: cfg.rows,
         seed: cfg.seed,
@@ -204,6 +257,21 @@ pub fn render_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> String 
         ));
     }
     out.push_str(&format!("\ncache speedup: {:.1}×\n", t.speedup()));
+    for (name, p) in [("uncached", &t.uncached), ("cached", &t.cached)] {
+        if p.stages.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "\n{name} stages:\n{:>18} {:>7} {:>12}\n",
+            "stage", "count", "total ms"
+        ));
+        for s in &p.stages {
+            out.push_str(&format!(
+                "{:>18} {:>7} {:>12.3}\n",
+                s.stage, s.count, s.total_ms
+            ));
+        }
+    }
     out
 }
 
@@ -211,6 +279,22 @@ pub fn render_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> String 
 /// stay readable; the raw measurements are noisier than that anyway.
 fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
+}
+
+/// The JSON form of a stage rollup, shared by the serve and fig2 bench
+/// reports.
+pub fn stages_json(stages: &[StageStat]) -> Json {
+    Json::Arr(
+        stages
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("stage", s.stage.as_str())
+                    .field("count", s.count as i64)
+                    .field("total_ms", round3(s.total_ms))
+            })
+            .collect(),
+    )
 }
 
 fn path_json(cfg: &ServiceBenchConfig, p: &PathThroughput) -> Json {
@@ -223,14 +307,16 @@ fn path_json(cfg: &ServiceBenchConfig, p: &PathThroughput) -> Json {
         .field("p99_ms", round3(p.p99_ms))
         .field("cache_hits", p.hits as i64)
         .field("cache_misses", p.misses as i64)
+        .field("stages", stages_json(&p.stages))
 }
 
 /// The machine-readable report behind `server_throughput --json`: the
 /// committed `BENCH_serve.json` baseline is exactly this object.
+/// Schema 2 added the per-stage decomposition (`stages`) to each path.
 pub fn render_json_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> Json {
     Json::obj()
         .field("bench", "server_throughput")
-        .field("schema", 1i64)
+        .field("schema", 2i64)
         .field("rows", cfg.rows)
         .field("mechanism", cfg.mechanism)
         .field("l", cfg.l)
@@ -270,6 +356,18 @@ mod tests {
             Some(&Json::Str("server_throughput".into()))
         );
         assert!(json.contains("\"p99_ms\":"), "{json}");
+        // Tracing was armed for the window: the uncached path must show
+        // the compute stages (each request ran the mechanism and the KL
+        // accounting), while the cached path only probes the cache.
+        let stage_names: Vec<&str> = t.uncached.stages.iter().map(|s| s.stage.as_str()).collect();
+        for expected in ["cache:lookup", "csv:read", "kl", "shard:anonymize"] {
+            assert!(
+                stage_names.contains(&expected),
+                "missing stage {expected}: {stage_names:?}"
+            );
+        }
+        assert!(json.contains("\"stages\":["), "{json}");
+        assert!(report.contains("uncached stages:"), "{report}");
     }
 
     #[test]

@@ -42,6 +42,9 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 
+/// Flags that take no value — their presence means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["trace"];
+
 /// A parsed option bag: `--key value` pairs plus the subcommand.
 #[derive(Debug, Clone, Default)]
 pub struct Options {
@@ -78,6 +81,11 @@ impl Options {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| usage_err(format!("expected --flag, found '{key}'")))?;
+            // Boolean flags: presence is the value, nothing is consumed.
+            if BOOLEAN_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| usage_err(format!("--{key} needs a value")))?;
@@ -131,6 +139,60 @@ enum Format {
     Json,
 }
 
+/// Runs `job` under a request-scoped trace when `--trace` was given:
+/// arms the tracer, collects the per-stage spans the pipeline records
+/// (csv read, shard split, per-shard anonymize, repair/merge, KL) and
+/// prints the breakdown table to **stderr** — stdout stays byte-for-byte
+/// what the untraced command prints, so piped consumers are unaffected.
+fn with_cli_trace<T>(
+    enabled: bool,
+    name: &'static str,
+    job: impl FnOnce() -> Result<T, LdivError>,
+) -> Result<T, LdivError> {
+    if !enabled {
+        return job();
+    }
+    ldiv_obs::set_armed(true);
+    let Some(trace) = ldiv_obs::begin(name) else {
+        return job(); // an outer trace is already active; don't nest
+    };
+    let result = job();
+    let finished = trace.finish();
+    eprint!("{}", stage_breakdown(&finished));
+    result
+}
+
+/// The `--trace` breakdown: wall time, then one row per stage with its
+/// span count, total time and share of the wall clock. Stages appear in
+/// first-execution order; shares can exceed 100% in sum when stages ran
+/// concurrently (per-shard spans overlap under `--threads`).
+fn stage_breakdown(trace: &ldiv_obs::FinishedTrace) -> String {
+    let wall_ms = trace.wall_ns as f64 / 1e6;
+    let mut out = format!(
+        "trace {} ({}): wall {wall_ms:.3} ms, {} spans\n",
+        trace.id_hex(),
+        trace.name,
+        trace.spans.len()
+    );
+    out.push_str(&format!(
+        "{:>18} {:>7} {:>12} {:>7}\n",
+        "stage", "count", "total ms", "share"
+    ));
+    for stage in trace.stage_totals() {
+        let ms = stage.total_ns as f64 / 1e6;
+        let share = if trace.wall_ns > 0 {
+            100.0 * stage.total_ns as f64 / trace.wall_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:>18} {:>7} {ms:>12.3} {share:>6.1}%\n",
+            stage.stage, stage.count
+        ));
+    }
+    out
+}
+
 /// Renders a wire object as the command's output (one line of JSON).
 fn json_line(value: Json) -> String {
     let mut out = value.render();
@@ -145,9 +207,9 @@ ldiv — l-diverse anonymization toolkit
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
   ldiv stats     --input FILE [--l L] [--format text|json]
-  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--format text|json]
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--format text|json] [--trace]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
-  ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json]
+  ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json] [--trace]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
   ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--deadline-ms MS] [--dataset-root DIR] [--store-root DIR]
   ldiv dataset register --store DIR --input FILE [--format text|json]
@@ -168,6 +230,9 @@ LDIV_SHARDS, else 1). Unlike --threads this CHANGES the published
 table — the stitched output trades a little utility for shard-level
 scaling. `anonymize --depth` (preprocessing) always runs unsharded;
 combining it with an explicit --shards is a usage error.
+`--trace` prints a per-stage timing breakdown (csv read, shard split,
+per-shard anonymize, repair/merge, KL) to stderr after the run; stdout
+stays byte-identical to the untraced invocation.
 `--deadline-ms MS` caps a run's wall-clock budget (0 = auto via
 LDIV_DEADLINE_MS, else unlimited); an elapsed budget is a clean
 'deadline exceeded' error (HTTP 504 under serve), never a partial
@@ -175,7 +240,8 @@ publication. The deadline is execution-only — it does not change the
 output bytes or the cache key.
 `serve` binds 127.0.0.1:7411 by default; `--addr 127.0.0.1:0` picks an
 ephemeral port (printed on stdout). POST /anonymize, POST /sweep,
-GET /mechanisms, /healthz, /stats, /metrics; with --store-root (or the
+GET /mechanisms, /healthz, /stats, /metrics, /trace (recent request
+span trees when LDIV_TRACE=1 is set); with --store-root (or the
 ambient LDIV_STORE_ROOT) also the /datasets routes (register, append,
 publish). SIGINT/SIGTERM stops
 accepting, drains in-flight requests and prints a final stats summary.
@@ -215,6 +281,7 @@ pub fn run(opts: &Options) -> Result<String, LdivError> {
 /// executor drives the chunked CSV parse (`--threads` where the command
 /// has it, the auto budget elsewhere).
 fn load_table(path: &str, exec: &Executor) -> Result<Table, LdivError> {
+    let _parse = ldiv_obs::span("csv:read");
     if path == "-" {
         let stdin = std::io::stdin();
         return read_table_from(stdin.lock(), "stdin", exec);
@@ -365,8 +432,10 @@ fn cmd_anonymize(opts: &Options) -> Result<String, LdivError> {
     // one guard so a deadline raised at any checkpoint (or a mechanism
     // panic) comes back as an `LdivError` and an exit code, never as an
     // aborting panic.
-    guarded("anonymize", || {
-        cmd_anonymize_run(opts, input, algo, depth, format, &params)
+    with_cli_trace(opts.get("trace").is_some(), "cli:anonymize", || {
+        guarded("anonymize", || {
+            cmd_anonymize_run(opts, input, algo, depth, format, &params)
+        })
     })
 }
 
@@ -499,6 +568,18 @@ fn cmd_compare(opts: &Options) -> Result<String, LdivError> {
     let threads: u32 = opts.parse_num("threads", 0)?;
     let shards: u32 = opts.parse_num("shards", 0)?;
     let params = Params::new(l).with_threads(threads).with_shards(shards);
+    with_cli_trace(opts.get("trace").is_some(), "cli:compare", || {
+        cmd_compare_run(opts, &params, input, l)
+    })
+}
+
+fn cmd_compare_run(
+    opts: &Options,
+    params: &Params,
+    input: &str,
+    l: u32,
+) -> Result<String, LdivError> {
+    let params = *params;
     let exec = params.executor();
     let table = load_table(input, &exec)?;
     table.check_l_feasible(l)?;

@@ -296,8 +296,12 @@ impl Executor {
             exec: self,
             count: 1,
         };
+        // Carry the caller's trace position onto the helper thread so
+        // spans recorded inside `b` parent correctly (one relaxed load
+        // when tracing is disarmed).
+        let trace_ctx = ldiv_obs::context();
         let out = std::thread::scope(|scope| {
-            let hb = scope.spawn(b);
+            let hb = scope.spawn(move || ldiv_obs::with_context(&trace_ctx, b));
             let ra = a();
             let rb = match hb.join() {
                 Ok(rb) => rb,
@@ -377,8 +381,13 @@ impl Executor {
                 *slots[i].lock().expect("chunk slot poisoned") = Some(value);
             }
         };
+        // Helper threads adopt the caller's trace position; the calling
+        // thread already holds it.
+        let trace_ctx = ldiv_obs::context();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..helpers).map(|_| scope.spawn(worker)).collect();
+            let handles: Vec<_> = (0..helpers)
+                .map(|_| scope.spawn(|| ldiv_obs::with_context(&trace_ctx, worker)))
+                .collect();
             worker();
             for h in handles {
                 if let Err(panic) = h.join() {

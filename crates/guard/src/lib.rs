@@ -49,7 +49,19 @@ pub mod signals;
 pub fn guarded<T>(label: &str, job: impl FnOnce() -> Result<T, LdivError>) -> Result<T, LdivError> {
     match catch_unwind(AssertUnwindSafe(job)) {
         Ok(result) => result,
-        Err(payload) => Err(classify_panic(label, payload.as_ref())),
+        Err(payload) => {
+            let err = classify_panic(label, payload.as_ref());
+            // Surface the failure on the active trace (if any) so a
+            // `/trace` reader sees *why* a request's span tree stops.
+            match &err {
+                LdivError::DeadlineExceeded => {
+                    ldiv_obs::annotate("deadline", label.to_string());
+                }
+                LdivError::Internal(msg) => ldiv_obs::annotate("panic", msg.clone()),
+                _ => {}
+            }
+            Err(err)
+        }
     }
 }
 

@@ -33,6 +33,7 @@ pub fn kl_divergence(table: &Table, publication: &Publication) -> f64 {
 /// wire response computed at `--threads 8` is byte-equal to a sequential
 /// recomputation.
 pub fn kl_divergence_with(table: &Table, publication: &Publication, exec: &Executor) -> f64 {
+    let _kl = ldiv_obs::span("kl");
     match publication.payload() {
         Payload::Suppressed(s) => kl_divergence_suppressed_with(table, s, exec),
         Payload::Recoded(r) => kl_divergence_recoded_with(table, r, exec),

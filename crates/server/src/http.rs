@@ -281,6 +281,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written after the standard
+    /// ones. Used for `X-Ldiv-Trace-Id`.
+    pub headers: Vec<(&'static str, String)>,
     /// The body text.
     pub body: String,
 }
@@ -291,6 +294,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -301,8 +305,16 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Builder-style extra header. The value must be a valid header
+    /// value (no CR/LF); callers only pass generated tokens.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 
     /// The standard reason phrase for the status.
@@ -327,12 +339,16 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }

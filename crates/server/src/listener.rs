@@ -38,12 +38,15 @@ use ldiv_api::{Deadline, LdivError, MechanismRegistry, Params};
 use ldiv_guard::{classify_panic, guarded};
 use ldiv_metrics::kl_divergence_with;
 use ldiv_microdata::{read_csv_with, Table};
+use ldiv_obs::registry::write_metric;
+use ldiv_obs::{Counter, HistogramFamily, Registry as MetricsRegistry};
 use ldiv_store::{DatasetStore, StoreError};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,10 +153,16 @@ pub struct AppState {
     cache: Mutex<LruCache<Json>>,
     config: ServerConfig,
     store: Option<Arc<DatasetStore>>,
-    requests: AtomicU64,
-    anonymize_runs: AtomicU64,
-    rejected: AtomicU64,
-    panics_caught: AtomicU64,
+    /// The one registry both `/stats` and `/metrics` enumerate — the
+    /// counter list exists exactly once, so the two surfaces can't
+    /// drift. Histogram families live here too.
+    metrics: MetricsRegistry,
+    requests: Counter,
+    anonymize_runs: Counter,
+    rejected: Counter,
+    panics_caught: Counter,
+    request_hist: Arc<HistogramFamily>,
+    run_hist: Arc<HistogramFamily>,
     pool_health: OnceLock<Arc<PoolHealth>>,
 }
 
@@ -194,15 +203,47 @@ impl AppState {
                 }
             }
         }
+        let metrics = MetricsRegistry::new();
+        // Registration order IS the `/stats` field order and the
+        // `/metrics` render order; keep it stable.
+        let requests = metrics.counter("requests", "ldiv_requests_total", "HTTP requests routed");
+        let anonymize_runs = metrics.counter(
+            "anonymize_runs",
+            "ldiv_anonymize_runs_total",
+            "Anonymization runs executed (cache misses)",
+        );
+        let rejected = metrics.counter(
+            "rejected",
+            "ldiv_rejected_total",
+            "Connections shed with 503 under overload",
+        );
+        let panics_caught = metrics.counter(
+            "panics_caught",
+            "ldiv_panics_caught_total",
+            "Panics converted to errors at isolation boundaries",
+        );
+        let request_hist = metrics.histogram(
+            "ldiv_request_duration_seconds",
+            "Request latency by route (log2 buckets).",
+            "route",
+        );
+        let run_hist = metrics.histogram(
+            "ldiv_run_duration_seconds",
+            "Anonymization run latency by mechanism (log2 buckets).",
+            "mechanism",
+        );
         AppState {
             registry,
             cache: Mutex::new(cache),
             config,
             store,
-            requests: AtomicU64::new(0),
-            anonymize_runs: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            panics_caught: AtomicU64::new(0),
+            metrics,
+            requests,
+            anonymize_runs,
+            rejected,
+            panics_caught,
+            request_hist,
+            run_hist,
             pool_health: OnceLock::new(),
         }
     }
@@ -257,7 +298,7 @@ impl AppState {
     }
 
     fn count_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Counts an error that came out of a `guarded` boundary when it was
@@ -266,7 +307,7 @@ impl AppState {
     /// `panics_caught` gauge on `/stats`.
     fn count_if_panic(&self, err: &LdivError) {
         if matches!(err, LdivError::Internal(_)) {
-            self.panics_caught.fetch_add(1, Ordering::Relaxed);
+            self.panics_caught.inc();
         }
     }
 }
@@ -290,10 +331,71 @@ fn usage(msg: impl Into<String>) -> LdivError {
     LdivError::Usage(msg.into())
 }
 
+/// The bounded-cardinality route class a request falls in — the label
+/// on `ldiv_request_duration_seconds` (raw paths would let a client mint
+/// unbounded label values).
+fn route_label(req: &Request) -> &'static str {
+    if req.path == "/datasets" {
+        return "/datasets";
+    }
+    if let Some(tail) = req.path.strip_prefix("/datasets/") {
+        return match tail.split_once('/').map(|(_, action)| action) {
+            Some("append") => "/datasets/{fp}/append",
+            Some("publish") => "/datasets/{fp}/publish",
+            Some(_) => "other",
+            None => "/datasets/{fp}",
+        };
+    }
+    match req.path.as_str() {
+        "/healthz" => "/healthz",
+        "/mechanisms" => "/mechanisms",
+        "/stats" => "/stats",
+        "/metrics" => "/metrics",
+        "/trace" => "/trace",
+        "/anonymize" => "/anonymize",
+        "/sweep" => "/sweep",
+        _ => "other",
+    }
+}
+
+/// Records the request's latency into the route histogram on drop — an
+/// unwind (a panic that escapes every inner boundary) still counts.
+struct RouteTimer<'a> {
+    family: &'a HistogramFamily,
+    route: &'static str,
+    start: Instant,
+}
+
+impl Drop for RouteTimer<'_> {
+    fn drop(&mut self) {
+        self.family.observe(self.route, self.start.elapsed());
+    }
+}
+
 /// Routes one parsed request. Pure over `state` — no sockets involved —
 /// so every route is directly testable.
 pub fn handle_request(state: &AppState, req: &Request) -> Response {
-    state.requests.fetch_add(1, Ordering::Relaxed);
+    // Fallback trace for direct callers (tests, the CLI's in-process
+    // dispatch): on the socket path `serve_connection` began the trace
+    // before parsing, this returns None, and the outer trace wins.
+    let _trace = ldiv_obs::begin("request");
+    let route = route_label(req);
+    ldiv_obs::annotate("route", route.to_string());
+    let _timer = RouteTimer {
+        family: &state.request_hist,
+        route,
+        start: Instant::now(),
+    };
+    state.requests.inc();
+    let response = route_request(state, req);
+    ldiv_obs::annotate("status", response.status.to_string());
+    match ldiv_obs::current_trace_id_hex() {
+        Some(id) => response.with_header("X-Ldiv-Trace-Id", id),
+        None => response,
+    }
+}
+
+fn route_request(state: &AppState, req: &Request) -> Response {
     if req.path == "/datasets" || req.path.starts_with("/datasets/") {
         return datasets_route(state, req);
     }
@@ -304,15 +406,16 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
         }
         ("GET", "/stats") => Response::json(200, stats_json(state).render()),
         ("GET", "/metrics") => Response::metrics_text(200, metrics_text(state)),
+        ("GET", "/trace") => Response::json(200, trace_json(req).render()),
         ("POST", "/anonymize") => match anonymize_route(state, req) {
-            Ok(json) => Response::json(200, json.render()),
+            Ok(json) => Response::json(200, render_summary(json)),
             Err(e) => {
                 state.count_if_panic(&e);
                 error_response(&e)
             }
         },
         ("POST", "/sweep") => match sweep_route(state, req) {
-            Ok(json) => Response::json(200, json.render()),
+            Ok(json) => Response::json(200, render_summary(json)),
             Err(e) => {
                 state.count_if_panic(&e);
                 error_response(&e)
@@ -323,7 +426,8 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
         | ("POST", "/healthz")
         | ("POST", "/mechanisms")
         | ("POST", "/stats")
-        | ("POST", "/metrics") => Response::json(
+        | ("POST", "/metrics")
+        | ("POST", "/trace") => Response::json(
             405,
             wire::error_json(&usage(format!(
                 "method {} not allowed on {}",
@@ -336,6 +440,65 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
             wire::error_json(&usage(format!("no route for '{path}'"))).render(),
         ),
     }
+}
+
+/// Renders a publication summary under a `wire:render` span (the last
+/// pipeline stage a trace sees before `http:write`).
+fn render_summary(json: Json) -> String {
+    let _render = ldiv_obs::span("wire:render");
+    json.render()
+}
+
+/// The `GET /trace` document: the last `n` completed traces (default 16,
+/// capped by the ring size), oldest first, each as a span tree. Rendering
+/// is deterministic — spans are keyed by creation order, durations are
+/// integer nanoseconds, and metadata keeps insertion order.
+fn trace_json(req: &Request) -> Json {
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16)
+        .clamp(1, ldiv_obs::TRACE_RING_CAP);
+    let traces = ldiv_obs::recent_traces(n);
+    Json::obj().field("armed", ldiv_obs::armed()).field(
+        "traces",
+        Json::Arr(traces.iter().map(|t| finished_trace_json(t)).collect()),
+    )
+}
+
+fn finished_trace_json(trace: &ldiv_obs::FinishedTrace) -> Json {
+    let mut meta = Json::obj();
+    let mut seen: Vec<&str> = Vec::new();
+    for (key, value) in &trace.meta {
+        if seen.contains(key) {
+            continue; // first annotation wins; keys stay unique
+        }
+        seen.push(key);
+        meta = meta.field(key, value.as_str());
+    }
+    Json::obj()
+        .field("id", trace.id_hex())
+        .field("name", trace.name)
+        .field("wall_ns", trace.wall_ns as i64)
+        .field("leaf_ns", trace.leaf_total_ns() as i64)
+        .field("meta", meta)
+        .field("spans", Json::Arr(span_tree(trace, 0)))
+}
+
+fn span_tree(trace: &ldiv_obs::FinishedTrace, parent: u32) -> Vec<Json> {
+    trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == parent)
+        .map(|s| {
+            Json::obj()
+                .field("name", s.name)
+                .field("label", s.label.as_str())
+                .field("start_ns", s.start_ns as i64)
+                .field("dur_ns", s.dur_ns as i64)
+                .field("children", Json::Arr(span_tree(trace, s.id)))
+        })
+        .collect()
 }
 
 /// Routes the `/datasets` family: dispatch on the path tail, then map
@@ -533,14 +696,18 @@ fn publish_route(state: &AppState, req: &Request, fp: u64) -> Result<Json, Store
         mechanism: mechanism.name().to_ascii_lowercase(),
         params: params.canonical(),
     };
-    if let Some(found) = state.lock_cache().get(&key) {
-        return Ok(found.clone().field("cached", true));
+    if let Some(found) = lookup_cached(state, &key) {
+        return Ok(found);
     }
     let summary = guarded("datasets:publish", || {
+        let started = Instant::now();
         let outcome = store
             .publish(fp, mechanism, &params)
             .map_err(LdivError::from)?;
-        state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
+        // Success-only observation: failed runs have no meaningful
+        // mechanism latency (they may have died at parse or at t=0).
+        state.run_hist.observe(&key.mechanism, started.elapsed());
+        state.anonymize_runs.inc();
         let kl = kl_divergence_with(&outcome.table, &outcome.publication, &params.executor());
         Ok(wire::publication_json(
             &outcome.table,
@@ -557,17 +724,14 @@ fn publish_route(state: &AppState, req: &Request, fp: u64) -> Result<Json, Store
 
 fn stats_json(state: &AppState) -> Json {
     let cache = state.cache_stats();
-    let mut json = Json::obj()
-        .field("requests", state.requests.load(Ordering::Relaxed) as i64)
-        .field(
-            "anonymize_runs",
-            state.anonymize_runs.load(Ordering::Relaxed) as i64,
-        )
-        .field("rejected", state.rejected.load(Ordering::Relaxed) as i64)
-        .field(
-            "panics_caught",
-            state.panics_caught.load(Ordering::Relaxed) as i64,
-        )
+    let mut json = Json::obj();
+    // The counter block comes straight off the shared registry, in
+    // registration order — the same enumeration `/metrics` renders, so
+    // the two surfaces cannot disagree on what exists or what it's worth.
+    for c in state.metrics.counter_snapshots() {
+        json = json.field(c.key, c.value as i64);
+    }
+    json = json
         .field("workers", state.config.workers)
         .field("queue_depth", state.config.queue_depth)
         .field("run_threads", state.config.threads)
@@ -617,40 +781,16 @@ fn stats_json(state: &AppState) -> Json {
     )
 }
 
-/// The `GET /metrics` body: the `/stats` counters re-expressed in the
-/// Prometheus text exposition format (one metric family per line group,
-/// `# TYPE` annotations, no labels — the service is a single process).
+/// The `GET /metrics` body: the registry's counters and latency
+/// histograms, followed by the live-sampled gauges (cache, pool, store)
+/// that have authoritative owners elsewhere and are read at scrape time
+/// rather than double-booked into the registry.
 fn metrics_text(state: &AppState) -> String {
     let mut out = String::new();
+    state.metrics.render_prometheus_into(&mut out);
     let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
-        out.push_str(&format!(
-            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
-        ));
+        write_metric(&mut out, name, kind, help, value);
     };
-    metric(
-        "ldiv_requests_total",
-        "counter",
-        "HTTP requests routed",
-        state.requests.load(Ordering::Relaxed),
-    );
-    metric(
-        "ldiv_anonymize_runs_total",
-        "counter",
-        "Anonymization runs executed (cache misses)",
-        state.anonymize_runs.load(Ordering::Relaxed),
-    );
-    metric(
-        "ldiv_rejected_total",
-        "counter",
-        "Connections shed with 503 under overload",
-        state.rejected.load(Ordering::Relaxed),
-    );
-    metric(
-        "ldiv_panics_caught_total",
-        "counter",
-        "Panics converted to errors at isolation boundaries",
-        state.panics_caught.load(Ordering::Relaxed),
-    );
     let cache = state.cache_stats();
     metric(
         "ldiv_cache_hits_total",
@@ -811,6 +951,7 @@ fn table_from(state: &AppState, req: &Request, params: &Params) -> Result<Table,
     // deliberate `threads = 1` default. Taking the executor from the
     // request's params also puts the parse under the request deadline.
     let exec = params.executor();
+    let _parse = ldiv_obs::span("csv:read");
     if !req.body.is_empty() {
         return read_csv_with(&mut &req.body[..], None, &exec)
             .map_err(|e| usage(format!("request body: {e}")));
@@ -863,17 +1004,30 @@ fn run_cached(
         mechanism: mechanism.name().to_ascii_lowercase(),
         params: params.canonical(),
     };
-    if let Some(found) = state.lock_cache().get(&key) {
-        return Ok(found.clone().field("cached", true));
+    if let Some(found) = lookup_cached(state, &key) {
+        return Ok(found);
     }
     // The sharding driver honours `params.shards` (a mechanism alone
     // would not); with a resolved count of 1 this is `anonymize` itself.
+    let started = Instant::now();
     let publication = ldiv_shard::anonymize_sharded(mechanism, table, params)?;
-    state.anonymize_runs.fetch_add(1, Ordering::Relaxed);
+    // Success-only observation, keyed by resolved mechanism name.
+    state.run_hist.observe(&key.mechanism, started.elapsed());
+    state.anonymize_runs.inc();
     let kl = kl_divergence_with(table, &publication, &params.executor());
     let summary = wire::publication_json(table, &publication, params, kl);
     state.lock_cache().insert(key, summary.clone());
     Ok(summary)
+}
+
+/// A cache probe under its own `cache:lookup` span — hits short-circuit
+/// the whole run, so the probe is a stage of its own in a trace.
+fn lookup_cached(state: &AppState, key: &CacheKey) -> Option<Json> {
+    let _probe = ldiv_obs::span("cache:lookup");
+    state
+        .lock_cache()
+        .get(key)
+        .map(|found| found.clone().field("cached", true))
 }
 
 fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
@@ -907,24 +1061,30 @@ fn sweep_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
         .collect();
 
     let mut results: Vec<Option<Json>> = vec![None; names.len()];
+    let trace_ctx = ldiv_obs::context();
     std::thread::scope(|scope| {
         let handles: Vec<_> = names
             .iter()
             .map(|name| {
                 let table = &table;
+                let trace_ctx = &trace_ctx;
                 // Each worker carries its own isolation boundary, so one
                 // panicking mechanism yields one error entry while the
-                // rest of the sweep completes.
+                // rest of the sweep completes. The trace context rides
+                // along so per-mechanism spans land in this request's
+                // trace rather than vanishing with the worker thread.
                 scope.spawn(move || {
-                    match guarded(&format!("sweep:{name}"), || {
-                        run_cached(state, table, fingerprint, name, &params)
-                    }) {
-                        Ok(summary) => summary,
-                        Err(e) => {
-                            state.count_if_panic(&e);
-                            wire::error_json(&e).field("mechanism", name.as_str())
+                    ldiv_obs::with_context(trace_ctx, || {
+                        match guarded(&format!("sweep:{name}"), || {
+                            run_cached(state, table, fingerprint, name, &params)
+                        }) {
+                            Ok(summary) => summary,
+                            Err(e) => {
+                                state.count_if_panic(&e);
+                                wire::error_json(&e).field("mechanism", name.as_str())
+                            }
                         }
-                    }
+                    })
                 })
             })
             .collect();
@@ -1086,7 +1246,16 @@ fn serve_connection(state: &AppState, stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     });
-    let response = match parse_head(&mut reader) {
+    // The socket path's trace covers the whole connection — parse, body
+    // read, routing and the response write. `handle_request`'s own
+    // `begin` then sees an active trace and becomes a no-op, so each
+    // request has exactly one trace whichever door it came in by.
+    let _trace = ldiv_obs::begin("request");
+    let parsed = {
+        let _parse = ldiv_obs::span("http:parse");
+        parse_head(&mut reader)
+    };
+    let response = match parsed {
         Ok(mut request) => {
             // curl sends `Expect: 100-continue` for bodies over 1 KiB and
             // stalls ~1 s unless the interim comes back before the body.
@@ -1094,7 +1263,11 @@ fn serve_connection(state: &AppState, stream: TcpStream) {
                 use std::io::Write as _;
                 let _ = (&stream).write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
             }
-            match read_body(&mut reader, &mut request) {
+            let body_read = {
+                let _read = ldiv_obs::span("http:read");
+                read_body(&mut reader, &mut request)
+            };
+            match body_read {
                 // The connection-level boundary: whatever unwinds out of
                 // routing still produces a well-formed JSON response on
                 // this socket — no dropped connections under faults.
@@ -1115,6 +1288,7 @@ fn serve_connection(state: &AppState, stream: TcpStream) {
         }
     };
     let mut writer = BufWriter::new(stream);
+    let _write = ldiv_obs::span("http:write");
     let _ = response.write_to(&mut writer);
 }
 

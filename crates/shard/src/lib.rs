@@ -138,13 +138,17 @@ pub fn anonymize_sharded(
 ) -> Result<Publication, LdivError> {
     let k = params.resolved_shards();
     if k <= 1 || table.len() <= 1 {
+        let _run = ldiv_obs::span_labeled("shard:anonymize", || format!("{}#0", mechanism.name()));
         return mechanism.anonymize(table, params);
     }
     // Whole-table feasibility at the caller's l gates the run: it is
     // what guarantees the eligibility-repair pass terminates.
     params.validate_for(table)?;
 
-    let shards = stratified_shards(table, k);
+    let shards = {
+        let _split = ldiv_obs::span("shard:split");
+        stratified_shards(table, k)
+    };
     let k = shards.len();
     let exec = params.executor();
     // Share the budget instead of multiplying it: shard fan-out takes
@@ -152,7 +156,10 @@ pub fn anonymize_sharded(
     // any inner budget publishes the same bytes.
     let inner_threads = (exec.threads() / k).max(1) as u32;
     let mut reduced_l = 0usize;
-    let results: Vec<Result<(Publication, u32), LdivError>> = exec.map(&shards, |rows| {
+    let indexed: Vec<(usize, &Vec<RowId>)> = shards.iter().enumerate().collect();
+    let results: Vec<Result<(Publication, u32), LdivError>> = exec.map(&indexed, |&(i, rows)| {
+        let _run =
+            ldiv_obs::span_labeled("shard:anonymize", || format!("{}#{i}", mechanism.name()));
         let sub = table.select_rows(rows);
         let sub_params = shard_params(params, &sub, inner_threads);
         let l = sub_params.l;
@@ -169,6 +176,7 @@ pub fn anonymize_sharded(
         publications.push(publication);
     }
 
+    let _stitch = ldiv_obs::span("shard:repair_merge");
     let mut stitched = mechanism.repair_merge(table, params, publications)?;
     stitched.push_note(format!(
         "sharded: {k} shards, {reduced_l} ran below l={}",

@@ -49,7 +49,7 @@ pub use plan::stable_shard_plan;
 
 use ldiv_api::{LdivError, Mechanism, Params, Publication};
 use ldiv_exec::Executor;
-use ldiv_microdata::{read_csv_with, Fnv1a, Schema, Table, TableBuilder};
+use ldiv_microdata::{read_csv_with, Fnv1a, RowId, Schema, Table, TableBuilder};
 use record::ShardRecord;
 use std::fmt;
 use std::fs;
@@ -450,6 +450,8 @@ impl DatasetStore {
         exec: &Executor,
     ) -> Result<(Table, DatasetInfo), StoreError> {
         let info = self.read_manifest(fingerprint)?;
+        let _load =
+            ldiv_obs::span_labeled("store:load", || format!("{} segments", info.segments.len()));
         let mut segments = Vec::with_capacity(info.segments.len());
         let mut schema: Option<Schema> = None;
         for seg in &info.segments {
@@ -514,17 +516,20 @@ impl DatasetStore {
         let inner_threads = (exec.threads() / plan.len()).max(1) as u32;
         let name = mechanism.name();
         type ShardRun = Result<(Publication, u32, bool), LdivError>;
-        let results: Vec<ShardRun> = exec.map(&plan, |rows| {
+        let indexed: Vec<(usize, &Vec<RowId>)> = plan.iter().enumerate().collect();
+        let results: Vec<ShardRun> = exec.map(&indexed, |&(i, rows)| {
             let sub = table.select_rows(rows);
             let sub_params = ldiv_shard::shard_params(params, &sub, inner_threads);
             let path = self.record_path(fingerprint, name, &sub, &sub_params);
             if let Some(publication) = self.load_record(&path, name, &sub) {
+                let _reuse = ldiv_obs::span_labeled("store:shard", || format!("{name}#{i} reuse"));
                 return Ok((
                     ldiv_shard::remap_to_global(publication, rows),
                     sub_params.l,
                     true,
                 ));
             }
+            let _compute = ldiv_obs::span_labeled("store:shard", || format!("{name}#{i} compute"));
             let publication = mechanism.anonymize(&sub, &sub_params)?;
             self.save_record(&path, &publication, &sub);
             Ok((
@@ -581,6 +586,7 @@ impl DatasetStore {
     /// swallowed (the entry just will not survive), never surfaced into
     /// the request path.
     pub fn persist_response(&self, dataset: u64, mechanism: &str, params: &str, body: &str) {
+        let _persist = ldiv_obs::span("store:persist");
         let mut h = Fnv1a::new();
         h.write_bytes(&dataset.to_le_bytes());
         h.write_str(mechanism);

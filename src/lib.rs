@@ -119,6 +119,10 @@ pub use ldiv_guard as guard;
 /// over any mechanism's publication.
 pub use ldiv_metrics as metrics;
 
+/// Observability: request-scoped tracing, stage timing, log2 latency
+/// histograms and the `/stats`+`/metrics` registry.
+pub use ldiv_obs as obs;
+
 /// §5.6 workflows: preprocessing before any mechanism and the utility
 /// sweep.
 pub use ldiv_pipeline as pipeline;

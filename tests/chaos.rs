@@ -21,6 +21,7 @@
 
 use ldiversity::datagen::{sal, AcsConfig};
 use ldiversity::guard::fault::{install, FaultPlan};
+use ldiversity::obs::registry::validate_prometheus;
 use ldiversity::server::{handle_request, AppState, Request, Server, ServerConfig};
 use ldiversity::standard_registry;
 use std::io::{Read as _, Write as _};
@@ -224,6 +225,18 @@ fn deadline_surfaces_as_504_within_twice_the_budget() {
             elapsed < Duration::from_millis(800),
             "504 took {elapsed:?}, over 2x the 400ms budget"
         );
+        // The timed-out request still lands in the anonymize route's
+        // latency histogram (observation happens on request completion,
+        // whatever the status) and the scrape stays grammatical.
+        let (status, scrape) = http(server.addr(), "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        if let Err((line, reason)) = validate_prometheus(&scrape) {
+            panic!("scrape violates the line grammar at line {line}: {reason}");
+        }
+        assert!(
+            scrape.contains("ldiv_request_duration_seconds_count{route=\"/anonymize\"} 1"),
+            "504 missing from the route histogram: {scrape}"
+        );
         server.shutdown();
     });
 }
@@ -265,6 +278,81 @@ fn a_stalled_queue_sheds_load_with_503s() {
         );
         server.shutdown();
     });
+}
+
+/// `/metrics` under fire: scrapes interleaved with a `panic:*` burst
+/// are always well-formed under the strict Prometheus line grammar, the
+/// panics land in `ldiv_panics_caught_total`, and every faulted request
+/// still counts into the anonymize route's latency histogram.
+#[test]
+fn metrics_scrapes_stay_well_formed_during_a_panic_burst() {
+    let csv = dataset_csv(300, 76);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        standard_registry(),
+        ServerConfig {
+            workers: 3,
+            queue_depth: 32,
+            cache_capacity: 0, // no cache: every burst request really runs
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    with_faults(plan("panic:*"), || {
+        // Faulted anonymize requests racing scrapes on sibling threads.
+        let scrapes: Vec<String> = std::thread::scope(|scope| {
+            let faulted: Vec<_> = (0..6)
+                .map(|_| {
+                    let csv = &csv;
+                    scope.spawn(move || http(addr, "POST", "/anonymize?algo=tp&l=3", csv))
+                })
+                .collect();
+            let scrapers: Vec<_> = (0..4)
+                .map(|_| scope.spawn(move || http(addr, "GET", "/metrics", b"")))
+                .collect();
+            for handle in faulted {
+                let (status, body) = handle.join().unwrap();
+                assert_eq!(status, 500, "faulted run must degrade to 500: {body}");
+            }
+            scrapers
+                .into_iter()
+                .map(|h| {
+                    let (status, body) = h.join().unwrap();
+                    assert_eq!(status, 200);
+                    body
+                })
+                .collect()
+        });
+        for scrape in &scrapes {
+            if let Err((line, reason)) = validate_prometheus(scrape) {
+                panic!("mid-burst scrape violates the grammar at line {line}: {reason}");
+            }
+        }
+    });
+
+    // Post-burst accounting: all six panics caught, all six requests in
+    // the anonymize histogram bucket tail (+inf counts everything).
+    let (status, scrape) = http(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    if let Err((line, reason)) = validate_prometheus(&scrape) {
+        panic!("post-burst scrape violates the grammar at line {line}: {reason}");
+    }
+    assert!(
+        scrape.contains("ldiv_panics_caught_total 6"),
+        "panic count missing: {scrape}"
+    );
+    assert!(
+        scrape.contains("ldiv_request_duration_seconds_count{route=\"/anonymize\"} 6"),
+        "faulted requests missing from the route histogram: {scrape}"
+    );
+    assert!(
+        scrape.contains("ldiv_request_duration_seconds_bucket{route=\"/anonymize\",le=\"+Inf\"} 6"),
+        "+Inf bucket disagrees with the count: {scrape}"
+    );
+
+    server.shutdown();
 }
 
 /// `/sweep` under a targeted fault: the panicking mechanism becomes a

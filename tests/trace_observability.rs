@@ -1,0 +1,198 @@
+//! Integration tests for `ldiv-trace`: the request-scoped tracing and
+//! latency-histogram surface across the serve/shard/store pipeline.
+//!
+//! * `GET /trace` returns a span tree for a completed `/anonymize`
+//!   whose leaf durations account for the trace's wall time (within the
+//!   documented tolerance: leaves cover at least a quarter of the wall
+//!   on a single-threaded, single-shard run, and never exceed it);
+//! * armed tracing adds the `X-Ldiv-Trace-Id` response header but never
+//!   changes a response body — byte-identity armed vs disarmed;
+//! * the `/metrics` scrape obeys the strict Prometheus line grammar and
+//!   carries the per-route / per-mechanism latency histograms.
+//!
+//! The armed flag is process-global, so every test that touches it
+//! serializes on one mutex and restores the disarmed default.
+
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::obs;
+use ldiversity::obs::registry::validate_prometheus;
+use ldiversity::server::{handle_request, AppState, Request, ServerConfig};
+use ldiversity::standard_registry;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the suite: `obs::set_armed` toggles a process-wide flag.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn dataset_csv(rows: usize, seed: u64) -> Vec<u8> {
+    let table = sal(&AcsConfig { rows, seed });
+    let mut csv = Vec::new();
+    ldiversity::microdata::write_table_csv(&mut csv, &table).unwrap();
+    csv
+}
+
+fn request(method: &str, path: &str, query: &[(&str, &str)], body: &[u8]) -> Request {
+    Request {
+        method: method.into(),
+        path: path.into(),
+        query: query
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        headers: Vec::new(),
+        body: body.to_vec(),
+    }
+}
+
+/// Extracts the integer following `"key":` in a rendered JSON document.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {needle} in {body}"))
+        + needle.len();
+    body[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {needle} in {body}"))
+}
+
+fn header<'a>(response: &'a ldiversity::server::Response, name: &str) -> Option<&'a str> {
+    response
+        .headers
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// The acceptance scenario: a traced `/anonymize` on a pinned
+/// single-thread, single-shard configuration produces a `/trace` span
+/// tree whose leaf spans account for the wall time.
+#[test]
+fn trace_reports_a_span_tree_accounting_for_wall_time() {
+    let _guard = serial();
+    obs::set_armed(true);
+    let csv = dataset_csv(500, 41);
+    // One thread, one shard: the pipeline stages run sequentially on the
+    // handler thread, so leaf durations are disjoint sub-intervals of
+    // the wall and their sum is directly comparable to it.
+    let state = AppState::new(
+        standard_registry(),
+        ServerConfig {
+            threads: 1,
+            shards: 1,
+            ..ServerConfig::default()
+        },
+    );
+
+    let response = handle_request(
+        &state,
+        &request("POST", "/anonymize", &[("algo", "tp"), ("l", "3")], &csv),
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    let trace_id = header(&response, "X-Ldiv-Trace-Id")
+        .expect("armed tracing sets the trace-id header")
+        .to_string();
+
+    let trace = handle_request(&state, &request("GET", "/trace", &[], b""));
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    assert!(trace.body.contains("\"armed\":true"), "{}", trace.body);
+    assert!(
+        trace.body.contains(&format!("\"id\":\"{trace_id}\"")),
+        "trace {trace_id} missing from ring: {}",
+        trace.body
+    );
+    // The span tree covers the pipeline stages end to end.
+    for stage in ["csv:read", "cache:lookup", "shard:anonymize", "kl"] {
+        assert!(
+            trace.body.contains(&format!("\"name\":\"{stage}\"")),
+            "no {stage} span: {}",
+            trace.body
+        );
+    }
+    // Leaf spans account for the wall time: they never exceed it, and on
+    // this pinned configuration they cover at least a quarter of it (the
+    // remainder is routing, header assembly, and cache bookkeeping).
+    let wall_ns = json_u64(&trace.body, "wall_ns");
+    let leaf_ns = json_u64(&trace.body, "leaf_ns");
+    assert!(wall_ns > 0);
+    assert!(
+        leaf_ns <= wall_ns,
+        "leaf sum {leaf_ns} exceeds wall {wall_ns}"
+    );
+    assert!(
+        leaf_ns * 4 >= wall_ns,
+        "leaf spans cover {leaf_ns} of {wall_ns} ns — less than 25% accounted"
+    );
+
+    obs::set_armed(false);
+}
+
+/// Tracing is execution-only: arming it changes no response body, on
+/// the anonymize path or the sweep path. Disarmed responses carry no
+/// trace-id header; armed ones do.
+#[test]
+fn responses_are_byte_identical_armed_and_disarmed() {
+    let _guard = serial();
+    let csv = dataset_csv(400, 42);
+    let run = |armed: bool| {
+        obs::set_armed(armed);
+        // A fresh state per run: identical cache history on both sides.
+        let state = AppState::new(standard_registry(), ServerConfig::default());
+        let anonymize = handle_request(
+            &state,
+            &request("POST", "/anonymize", &[("algo", "tp"), ("l", "3")], &csv),
+        );
+        let sweep = handle_request(&state, &request("POST", "/sweep", &[("l", "3")], &csv));
+        (anonymize, sweep)
+    };
+
+    let (anon_off, sweep_off) = run(false);
+    let (anon_on, sweep_on) = run(true);
+    obs::set_armed(false);
+
+    assert_eq!(anon_off.status, 200, "{}", anon_off.body);
+    assert_eq!(anon_off.body, anon_on.body, "anonymize body drifted");
+    assert_eq!(sweep_off.body, sweep_on.body, "sweep body drifted");
+    assert!(header(&anon_off, "X-Ldiv-Trace-Id").is_none());
+    assert!(header(&anon_on, "X-Ldiv-Trace-Id").is_some());
+}
+
+/// The `/metrics` scrape passes the strict Prometheus line-grammar
+/// validator and carries the counter registry plus both latency
+/// histogram families.
+#[test]
+fn metrics_scrape_obeys_the_prometheus_line_grammar() {
+    let _guard = serial();
+    let csv = dataset_csv(300, 43);
+    let state = AppState::new(standard_registry(), ServerConfig::default());
+    // Touch several routes so every family has samples.
+    let ok = handle_request(
+        &state,
+        &request("POST", "/anonymize", &[("algo", "tp"), ("l", "3")], &csv),
+    );
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    handle_request(&state, &request("GET", "/stats", &[], b""));
+    handle_request(&state, &request("GET", "/nope", &[], b""));
+
+    let scrape = handle_request(&state, &request("GET", "/metrics", &[], b""));
+    assert_eq!(scrape.status, 200);
+    if let Err((line, reason)) = validate_prometheus(&scrape.body) {
+        panic!("scrape violates the line grammar at line {line}: {reason}");
+    }
+    for series in [
+        "ldiv_requests_total 4",
+        "ldiv_anonymize_runs_total 1",
+        "ldiv_request_duration_seconds_bucket{route=\"/anonymize\",le=",
+        "ldiv_request_duration_seconds_count{route=\"/anonymize\"} 1",
+        "ldiv_request_duration_seconds_count{route=\"other\"} 1",
+        "ldiv_run_duration_seconds_count{mechanism=\"tp\"} 1",
+    ] {
+        assert!(scrape.body.contains(series), "no `{series}` in scrape");
+    }
+}
