@@ -92,6 +92,24 @@ fn stage_rollup(traces: &[std::sync::Arc<ldiv_obs::FinishedTrace>]) -> Vec<Stage
     )
 }
 
+/// Payload-size comparison between the two wire faces of one cached
+/// response: the default JSON body vs. the same value negotiated as an
+/// LDVW binary block (`?format=bin`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireComparison {
+    /// Body bytes of the JSON response.
+    pub json_bytes: usize,
+    /// Body bytes of the binary response, same cache line.
+    pub bin_bytes: usize,
+}
+
+impl WireComparison {
+    /// Binary size as a fraction of the JSON size.
+    pub fn ratio(&self) -> f64 {
+        self.bin_bytes as f64 / (self.json_bytes as f64).max(f64::EPSILON)
+    }
+}
+
 /// The cached-vs-uncached comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceThroughput {
@@ -99,6 +117,12 @@ pub struct ServiceThroughput {
     pub uncached: PathThroughput,
     /// Every request is a cache hit (cache enabled, pre-warmed).
     pub cached: PathThroughput,
+    /// Cache hits again, but negotiated as binary (`?format=bin`) — the
+    /// same cache line as `cached` (format is not a key component), with
+    /// the body re-encoded as one LDVW block after the hit.
+    pub cached_bin: PathThroughput,
+    /// Body bytes for the two faces of the cached response.
+    pub wire: WireComparison,
 }
 
 impl ServiceThroughput {
@@ -137,8 +161,9 @@ impl Default for ServiceBenchConfig {
 }
 
 /// One blocking HTTP request against the server; returns the raw response
-/// text (status line + headers + body).
-pub fn http_request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> String {
+/// bytes (status line + headers + body). The byte form is what binary
+/// (`?format=bin`) responses require — their bodies are not UTF-8.
+pub fn http_request_raw(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> Vec<u8> {
     let mut stream = TcpStream::connect(addr).expect("connect to bench server");
     write!(
         stream,
@@ -147,9 +172,23 @@ pub fn http_request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -
     )
     .expect("write request");
     stream.write_all(body).expect("write body");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
     response
+}
+
+/// [`http_request_raw`] as text, for the JSON/metrics routes.
+pub fn http_request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> String {
+    String::from_utf8_lossy(&http_request_raw(addr, method, target, body)).into_owned()
+}
+
+/// The body of a raw HTTP response (everything after the first blank
+/// line).
+fn response_body(raw: &[u8]) -> &[u8] {
+    raw.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|at| &raw[at + 4..])
+        .unwrap_or(&[])
 }
 
 fn cache_counters(addr: SocketAddr) -> (u64, u64) {
@@ -182,11 +221,12 @@ fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) 
     let start = Instant::now();
     for _ in 0..requests {
         let sent = Instant::now();
-        let response = http_request(addr, "POST", target, body);
+        let response = http_request_raw(addr, "POST", target, body);
         latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
         assert!(
-            response.starts_with("HTTP/1.1 200"),
-            "bench request failed: {response}"
+            response.starts_with(b"HTTP/1.1 200"),
+            "bench request failed: {}",
+            String::from_utf8_lossy(&response)
         );
     }
     let seconds = start.elapsed().as_secs_f64();
@@ -235,9 +275,27 @@ pub fn measure_service(cfg: &ServiceBenchConfig) -> ServiceThroughput {
     let warm = http_request(cached_server.addr(), "POST", &target, &csv);
     assert!(warm.starts_with("HTTP/1.1 200"), "warm-up failed: {warm}");
     let cached = timed_requests(cached_server.addr(), &target, &csv, cfg.requests);
+
+    // The binary face of the same cache line: `format` is not a cache-key
+    // component, so the JSON warm-up above already warmed this path too —
+    // every timed binary request is a hit, with the body re-encoded as an
+    // LDVW block after the lookup.
+    let bin_target = format!("{target}&format=bin");
+    let cached_bin = timed_requests(cached_server.addr(), &bin_target, &csv, cfg.requests);
+    let json_response = http_request_raw(cached_server.addr(), "POST", &target, &csv);
+    let bin_response = http_request_raw(cached_server.addr(), "POST", &bin_target, &csv);
+    let wire = WireComparison {
+        json_bytes: response_body(&json_response).len(),
+        bin_bytes: response_body(&bin_response).len(),
+    };
     cached_server.shutdown();
 
-    ServiceThroughput { uncached, cached }
+    ServiceThroughput {
+        uncached,
+        cached,
+        cached_bin,
+        wire,
+    }
 }
 
 /// The aligned text report the `server_throughput` binary prints.
@@ -250,13 +308,23 @@ pub fn render_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> String 
         "{:>10} {:>12} {:>10} {:>9} {:>9} {:>8} {:>8}\n",
         "path", "req/s", "seconds", "p50 ms", "p99 ms", "hits", "misses"
     ));
-    for (name, p) in [("uncached", &t.uncached), ("cached", &t.cached)] {
+    for (name, p) in [
+        ("uncached", &t.uncached),
+        ("cached", &t.cached),
+        ("cached-bin", &t.cached_bin),
+    ] {
         out.push_str(&format!(
             "{:>10} {:>12.1} {:>10.3} {:>9.2} {:>9.2} {:>8} {:>8}\n",
             name, p.rps, p.seconds, p.p50_ms, p.p99_ms, p.hits, p.misses
         ));
     }
     out.push_str(&format!("\ncache speedup: {:.1}×\n", t.speedup()));
+    out.push_str(&format!(
+        "wire payload: json {} bytes, bin {} bytes ({:.2}× of json)\n",
+        t.wire.json_bytes,
+        t.wire.bin_bytes,
+        t.wire.ratio()
+    ));
     for (name, p) in [("uncached", &t.uncached), ("cached", &t.cached)] {
         if p.stages.is_empty() {
             continue;
@@ -312,17 +380,27 @@ fn path_json(cfg: &ServiceBenchConfig, p: &PathThroughput) -> Json {
 
 /// The machine-readable report behind `server_throughput --json`: the
 /// committed `BENCH_serve.json` baseline is exactly this object.
-/// Schema 2 added the per-stage decomposition (`stages`) to each path.
+/// Schema 2 added the per-stage decomposition (`stages`) to each path;
+/// schema 3 added the binary-negotiated cached path (`cached_bin`) and
+/// the `wire` payload-size comparison.
 pub fn render_json_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> Json {
     Json::obj()
         .field("bench", "server_throughput")
-        .field("schema", 2i64)
+        .field("schema", 3i64)
         .field("rows", cfg.rows)
         .field("mechanism", cfg.mechanism)
         .field("l", cfg.l)
         .field("seed", cfg.seed as i64)
         .field("uncached", path_json(cfg, &t.uncached))
         .field("cached", path_json(cfg, &t.cached))
+        .field("cached_bin", path_json(cfg, &t.cached_bin))
+        .field(
+            "wire",
+            Json::obj()
+                .field("json_bytes", t.wire.json_bytes)
+                .field("bin_bytes", t.wire.bin_bytes)
+                .field("ratio", round3(t.wire.ratio())),
+        )
         .field("cache_speedup", round3(t.speedup()))
 }
 
@@ -345,7 +423,21 @@ mod tests {
         // Cached server was warmed: every timed request hits.
         assert_eq!(t.cached.hits as usize, cfg.requests);
         assert_eq!(t.cached.misses, 0);
-        assert!(t.uncached.rps > 0.0 && t.cached.rps > 0.0);
+        // The binary path hits the very same cache line: the JSON warm-up
+        // warmed it (format is not a cache-key component), so every
+        // binary request is a hit too.
+        assert_eq!(t.cached_bin.hits as usize, cfg.requests);
+        assert_eq!(t.cached_bin.misses, 0);
+        // Both faces carried a real payload and the block framing plus
+        // varint/float packing undercuts JSON text for this shape.
+        assert!(t.wire.json_bytes > 0 && t.wire.bin_bytes > 0);
+        assert!(
+            t.wire.bin_bytes < t.wire.json_bytes,
+            "bin {} !< json {}",
+            t.wire.bin_bytes,
+            t.wire.json_bytes
+        );
+        assert!(t.uncached.rps > 0.0 && t.cached.rps > 0.0 && t.cached_bin.rps > 0.0);
         assert!(t.uncached.p50_ms > 0.0 && t.uncached.p99_ms >= t.uncached.p50_ms);
         let report = render_report(&cfg, &t);
         assert!(report.contains("cache speedup"), "{report}");
@@ -355,7 +447,12 @@ mod tests {
             parsed.get("bench"),
             Some(&Json::Str("server_throughput".into()))
         );
+        assert_eq!(parsed.get("schema"), Some(&Json::Int(3)));
         assert!(json.contains("\"p99_ms\":"), "{json}");
+        assert!(json.contains("\"cached_bin\":{"), "{json}");
+        assert!(json.contains("\"wire\":{\"json_bytes\":"), "{json}");
+        assert!(report.contains("cached-bin"), "{report}");
+        assert!(report.contains("wire payload: json"), "{report}");
         // Tracing was armed for the window: the uncached path must show
         // the compute stages (each request ran the mechanism and the KL
         // accounting), while the cached path only probes the cache.

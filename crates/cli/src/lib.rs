@@ -12,12 +12,15 @@
 //! * `compare` — run every registered mechanism on one dataset;
 //! * `sweep` — the §5.6 preprocessing trade-off table;
 //! * `serve` — the `ldiv-server` anonymization service over the standard
-//!   registry (worker pool, publication cache, JSON wire format).
+//!   registry (worker pool, publication cache, JSON wire format);
+//! * `wire` — the LDVW binary block toolbox: `encode`, `decode`,
+//!   `inspect`, `validate`, `stats`.
 //!
 //! `stats`, `anonymize` and `compare` accept `--format json`, emitting
 //! the same wire shapes (`ldiv_server::wire`) the server responds with,
 //! so scripted consumers can switch between the CLI and the service
-//! without reparsing.
+//! without reparsing — and `--format bin`, the same value as one LDVW
+//! binary block (decode it back with `ldiv wire decode`).
 //!
 //! Contract: `--input -` reads the dataset from stdin; success exits 0,
 //! user/runtime errors exit 1, usage mistakes exit 2 (see
@@ -66,12 +69,19 @@ impl Options {
             .next()
             .ok_or_else(|| usage_err("missing subcommand"))?
             .clone();
-        // `dataset` is a command family: its action word joins the
-        // command ("dataset register"), keeping the rest of the grammar
-        // strictly `--flag value`.
+        // `dataset` and `wire` are command families: their action word
+        // joins the command ("dataset register", "wire inspect"),
+        // keeping the rest of the grammar strictly `--flag value`.
         if command == "dataset" {
             let action = it.next().filter(|a| !a.starts_with("--")).ok_or_else(|| {
                 usage_err("dataset needs an action: register | append | publish | list")
+            })?;
+            command.push(' ');
+            command.push_str(action);
+        }
+        if command == "wire" {
+            let action = it.next().filter(|a| !a.starts_with("--")).ok_or_else(|| {
+                usage_err("wire needs an action: inspect | validate | encode | decode | stats")
             })?;
             command.push(' ');
             command.push_str(action);
@@ -119,14 +129,16 @@ impl Options {
             .map_err(|e| usage_err(format!("--l: {e}")))
     }
 
-    /// The `--format` flag: `text` (default) or `json`.
+    /// The `--format` flag: `text` (default) or `json`. The `bin` form
+    /// never reaches here — [`run_bytes`] intercepts it and re-enters
+    /// with `json`, encoding the resulting line as one LDVW block.
     fn format(&self) -> Result<Format, LdivError> {
         match self.get("format") {
             None => Ok(Format::Text),
             Some("text") => Ok(Format::Text),
             Some("json") => Ok(Format::Json),
             Some(other) => Err(usage_err(format!(
-                "--format must be text or json, got '{other}'"
+                "--format must be text, json or bin, got '{other}'"
             ))),
         }
     }
@@ -194,7 +206,24 @@ fn stage_breakdown(trace: &ldiv_obs::FinishedTrace) -> String {
 }
 
 /// Renders a wire object as the command's output (one line of JSON).
+///
+/// Under the ambient `LDIV_WIRE=bin` differential drive the value takes
+/// a detour through the binary codec first — `decode(encode(x))` is the
+/// identity, so the printed bytes are unchanged, but every JSON line the
+/// CLI emits has then exercised both wire faces. A disagreement is a
+/// codec bug and panics loudly rather than printing either side.
 fn json_line(value: Json) -> String {
+    let value = if ldiv_wire::env_wire_bin() {
+        let round = ldiv_wire::decode(&ldiv_wire::encode(&value))
+            .expect("LDIV_WIRE=bin: encoded output must decode");
+        assert_eq!(
+            round, value,
+            "LDIV_WIRE=bin: decode(encode(x)) must be the identity"
+        );
+        round
+    } else {
+        value
+    };
     let mut out = value.render();
     out.push('\n');
     out
@@ -206,22 +235,32 @@ ldiv — l-diverse anonymization toolkit
 
 USAGE:
   ldiv generate  --kind sal|occ --output FILE [--rows N] [--seed S]
-  ldiv stats     --input FILE [--l L] [--format text|json]
-  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--format text|json] [--trace]
+  ldiv stats     --input FILE [--l L] [--format text|json|bin]
+  ldiv anonymize --input FILE --l L --algo MECHANISM (--output FILE | --depth D) [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--format text|json|bin] [--trace]
   ldiv anatomize --input FILE --l L --qit FILE --st FILE
-  ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json] [--trace]
+  ldiv compare   --input FILE --l L [--threads T] [--shards K] [--format text|json|bin] [--trace]
   ldiv sweep     --input FILE --l L [--fanout F] [--depth D]
   ldiv serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--threads T] [--shards K] [--deadline-ms MS] [--dataset-root DIR] [--store-root DIR]
   ldiv dataset register --store DIR --input FILE [--format text|json]
   ldiv dataset append   --store DIR --dataset FP --input FILE [--format text|json]
   ldiv dataset publish  --store DIR --dataset FP --algo MECHANISM --l L [--fanout F] [--threads T] [--shards K] [--deadline-ms MS] [--output FILE] [--format text|json]
   ldiv dataset list     --store DIR [--format text|json]
+  ldiv wire encode   --input FILE [--output FILE]
+  ldiv wire decode   --input FILE
+  ldiv wire inspect  --input FILE
+  ldiv wire validate --input FILE
+  ldiv wire stats    --input FILE
 
 MECHANISM is any registered publication method:
   tp | tp+ | hilbert | tds | mondrian | anatomy
 
 `--input -` reads the dataset CSV from standard input. `--format json`
-emits the server wire format (see `ldiv_server::wire`).
+emits the server wire format (see `ldiv_server::wire`); `--format bin`
+emits the same value as one LDVW binary block (`ldiv_wire`), the shape
+the server serves under `Accept: application/x-ldiv-bin`.
+`ldiv wire ...` works on LDVW blocks directly (`--input -` reads the
+block or JSON from stdin): encode JSON → block, decode block → JSON,
+inspect/validate/stats for debugging and gating.
 `--threads T` caps intra-run parallelism (0 = auto via LDIV_THREADS or
 the machine, 1 = sequential); output is byte-identical for every T.
 `--shards K` splits the table K ways, anonymizes the shards
@@ -272,9 +311,112 @@ pub fn run(opts: &Options) -> Result<String, LdivError> {
             "unknown dataset action '{}': expected register | append | publish | list",
             cmd.strip_prefix("dataset ").unwrap_or("")
         ))),
+        "wire inspect" => cmd_wire_inspect(opts),
+        "wire validate" => cmd_wire_validate(opts),
+        "wire decode" => cmd_wire_decode(opts),
+        "wire stats" => cmd_wire_stats(opts),
+        // With --output the block goes to a file and the result is a
+        // text confirmation; without it the block itself is the output,
+        // which only the byte-returning entry point can carry.
+        "wire encode" if opts.get("output").is_some() => cmd_wire_encode(opts)
+            .map(|bytes| String::from_utf8(bytes).expect("confirmation message is text")),
+        "wire encode" => Err(usage_err(
+            "wire encode emits a raw binary block on stdout; pass --output FILE \
+             to write it to a file instead",
+        )),
+        cmd if cmd.starts_with("wire ") => Err(usage_err(format!(
+            "unknown wire action '{}': expected inspect | validate | encode | decode | stats",
+            cmd.strip_prefix("wire ").unwrap_or("")
+        ))),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(usage_err(format!("unknown subcommand '{other}'\n{USAGE}"))),
     }
+}
+
+/// Runs a parsed command, returning the bytes to write to stdout — the
+/// binary-capable superset of [`run`].
+///
+/// Two commands produce non-text output and exist only here:
+/// `wire encode` (without `--output`) emits a raw LDVW block, and
+/// `--format bin` on any JSON-capable subcommand re-runs it with
+/// `--format json` and encodes the resulting line as one block — so the
+/// binary face is the same value the JSON face would have printed, by
+/// construction.
+pub fn run_bytes(opts: &Options) -> Result<Vec<u8>, LdivError> {
+    if opts.command == "wire encode" {
+        return cmd_wire_encode(opts);
+    }
+    if opts.get("format") == Some("bin") {
+        let mut json_opts = opts.clone();
+        json_opts.flags.insert("format".into(), "json".into());
+        let text = run(&json_opts)?;
+        let value = Json::parse(text.trim_end()).ok_or_else(|| {
+            usage_err(format!(
+                "--format bin is not supported by '{}' (no JSON output to encode)",
+                opts.command
+            ))
+        })?;
+        return Ok(ldiv_wire::encode(&value));
+    }
+    run(opts).map(String::into_bytes)
+}
+
+/// Maps a decoder error onto the CLI error surface (exit code 1, the
+/// typed wire text preserved verbatim).
+fn wire_err(err: ldiv_wire::WireError) -> LdivError {
+    LdivError::Io(err.to_string())
+}
+
+/// `wire encode`: JSON text in (file or stdin), one LDVW block out
+/// (stdout, or `--output FILE` plus a text confirmation).
+fn cmd_wire_encode(opts: &Options) -> Result<Vec<u8>, LdivError> {
+    let input = opts.require("input")?;
+    let raw = load_bytes(input)?;
+    let text = String::from_utf8(raw).map_err(|_| LdivError::Io(format!("{input}: not UTF-8")))?;
+    let value = Json::parse(text.trim())
+        .ok_or_else(|| LdivError::Io(format!("{input}: not valid JSON")))?;
+    let block = ldiv_wire::encode(&value);
+    if let Some(output) = opts.get("output") {
+        std::fs::write(output, &block).map_err(io_err(output))?;
+        return Ok(format!(
+            "wrote {} bytes (payload {}) to {output}\n",
+            block.len(),
+            block.len() - ldiv_wire::HEADER_LEN
+        )
+        .into_bytes());
+    }
+    Ok(block)
+}
+
+/// `wire decode`: one LDVW block in, its canonical JSON line out.
+fn cmd_wire_decode(opts: &Options) -> Result<String, LdivError> {
+    let block = load_bytes(opts.require("input")?)?;
+    let value = ldiv_wire::decode(&block).map_err(wire_err)?;
+    Ok(json_line(value))
+}
+
+/// `wire validate`: decode fully, report ok or the typed error.
+fn cmd_wire_validate(opts: &Options) -> Result<String, LdivError> {
+    let input = opts.require("input")?;
+    let block = load_bytes(input)?;
+    ldiv_wire::validate(&block).map_err(wire_err)?;
+    Ok(format!(
+        "ok: {input} is a valid LDVW block ({} bytes)\n",
+        block.len()
+    ))
+}
+
+/// `wire inspect`: header fields, shape tallies and a value outline.
+fn cmd_wire_inspect(opts: &Options) -> Result<String, LdivError> {
+    let block = load_bytes(opts.require("input")?)?;
+    ldiv_wire::inspect(&block).map_err(wire_err)
+}
+
+/// `wire stats`: the shape tallies as one JSON line.
+fn cmd_wire_stats(opts: &Options) -> Result<String, LdivError> {
+    let block = load_bytes(opts.require("input")?)?;
+    let stats = ldiv_wire::stats(&block).map_err(wire_err)?;
+    Ok(json_line(stats.to_json()))
 }
 
 /// Loads a table from a path, with `-` as the stdin sentinel. The
@@ -1464,5 +1606,146 @@ mod tests {
         let err = run(&opts(&["stats", "--input", "/nonexistent/x.csv"])).unwrap_err();
         assert!(err.to_string().contains("x.csv"));
         assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn wire_family_encodes_decodes_and_inspects() {
+        let json_path = tmp("wire_doc.json");
+        std::fs::write(
+            &json_path,
+            "{\"mechanism\":\"tp+\",\"rows\":10,\"kl_divergence\":0.5,\"notes\":[]}\n",
+        )
+        .unwrap();
+        let block_path = tmp("wire_doc.bin");
+
+        // encode --output: file written, text confirmation returned.
+        let confirmation = run_bytes(&opts(&[
+            "wire",
+            "encode",
+            "--input",
+            &json_path,
+            "--output",
+            &block_path,
+        ]))
+        .unwrap();
+        let confirmation = String::from_utf8(confirmation).unwrap();
+        assert!(confirmation.contains("wrote"), "{confirmation}");
+        let block = std::fs::read(&block_path).unwrap();
+        assert_eq!(&block[..4], b"LDVW");
+
+        // encode without --output: the raw block is the output, and the
+        // text entry point refuses (it cannot carry binary).
+        let raw = run_bytes(&opts(&["wire", "encode", "--input", &json_path])).unwrap();
+        assert_eq!(raw, block);
+        assert_eq!(
+            run(&opts(&["wire", "encode", "--input", &json_path]))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+
+        // decode reproduces the canonical JSON line.
+        let decoded = run(&opts(&["wire", "decode", "--input", &block_path])).unwrap();
+        assert_eq!(
+            decoded,
+            "{\"mechanism\":\"tp+\",\"rows\":10,\"kl_divergence\":0.5,\"notes\":[]}\n"
+        );
+
+        // validate, inspect, stats.
+        let ok = run(&opts(&["wire", "validate", "--input", &block_path])).unwrap();
+        assert!(ok.starts_with("ok:"), "{ok}");
+        let inspected = run(&opts(&["wire", "inspect", "--input", &block_path])).unwrap();
+        assert!(inspected.contains("ldvw block: version 1"), "{inspected}");
+        assert!(inspected.contains("object (4 fields)"), "{inspected}");
+        let stats = run(&opts(&["wire", "stats", "--input", &block_path])).unwrap();
+        assert!(stats.contains("\"objects\":1"), "{stats}");
+
+        // A corrupt block comes back as the typed wire error, exit 1.
+        let bad_path = tmp("wire_doc_bad.bin");
+        let mut bad = block.clone();
+        bad[4] = 9; // version mutation
+        std::fs::write(&bad_path, &bad).unwrap();
+        let err = run(&opts(&["wire", "validate", "--input", &bad_path])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("unsupported version 9"), "{err}");
+
+        // Family-level usage errors.
+        assert_eq!(
+            Options::parse(&["wire".to_string()])
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert_eq!(
+            run(&opts(&["wire", "nope", "--input", &block_path]))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+    }
+
+    #[test]
+    fn format_bin_is_the_encoded_json_line() {
+        let data = tmp("bin_fmt.csv");
+        run(&opts(&[
+            "generate", "--kind", "sal", "--rows", "500", "--seed", "11", "--output", &data,
+        ]))
+        .unwrap();
+
+        // stats: the binary output decodes to exactly the JSON line.
+        let json = run(&opts(&["stats", "--input", &data, "--format", "json"])).unwrap();
+        let bin = run_bytes(&opts(&["stats", "--input", &data, "--format", "bin"])).unwrap();
+        let decoded = ldiv_wire::decode(&bin).unwrap();
+        assert_eq!(decoded.render(), json.trim_end());
+
+        // anonymize and compare go through the same wrapper.
+        let outfile = tmp("bin_fmt_anon.csv");
+        let bin = run_bytes(&opts(&[
+            "anonymize",
+            "--input",
+            &data,
+            "--l",
+            "3",
+            "--algo",
+            "tp",
+            "--output",
+            &outfile,
+            "--format",
+            "bin",
+        ]))
+        .unwrap();
+        let decoded = ldiv_wire::decode(&bin).unwrap();
+        assert_eq!(decoded.get("mechanism"), Some(&Json::Str("tp".into())));
+        let bin = run_bytes(&opts(&[
+            "compare", "--input", &data, "--l", "2", "--format", "bin",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            ldiv_wire::decode(&bin).unwrap().get("results"),
+            Some(Json::Arr(_))
+        ));
+
+        // A text-only command has no JSON line to encode.
+        let err = run_bytes(&opts(&[
+            "generate",
+            "--kind",
+            "sal",
+            "--rows",
+            "10",
+            "--output",
+            &tmp("bin_fmt2.csv"),
+            "--format",
+            "bin",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("not supported"), "{err}");
+
+        // run_bytes on a plain text command is just the text bytes.
+        let text = run_bytes(&opts(&["stats", "--input", &data])).unwrap();
+        assert_eq!(
+            String::from_utf8(text).unwrap(),
+            run(&opts(&["stats", "--input", &data])).unwrap()
+        );
     }
 }

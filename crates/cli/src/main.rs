@@ -1,7 +1,11 @@
-//! The `ldiv` binary: a thin shell over `ldiv_cli::run`.
+//! The `ldiv` binary: a thin shell over `ldiv_cli::run_bytes`.
 //!
 //! Exit-code contract: 0 on success, 1 on user/runtime errors, 2 on
-//! usage mistakes (`LdivError::exit_code`).
+//! usage mistakes (`LdivError::exit_code`). Output goes to stdout as
+//! raw bytes — text commands print text, `--format bin` and
+//! `wire encode` emit LDVW binary blocks.
+
+use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,8 +16,17 @@ fn main() {
             std::process::exit(e.exit_code());
         }
     };
-    match ldiv_cli::run(&opts) {
-        Ok(out) => print!("{out}"),
+    match ldiv_cli::run_bytes(&opts) {
+        Ok(out) => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout
+                .write_all(&out)
+                .and_then(|()| stdout.flush())
+                .is_err()
+            {
+                std::process::exit(1); // broken pipe: die quietly
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(e.exit_code());

@@ -286,6 +286,11 @@ pub struct Response {
     pub headers: Vec<(&'static str, String)>,
     /// The body text.
     pub body: String,
+    /// A binary body, when one replaces `body` (negotiated
+    /// `application/x-ldiv-bin` responses). `None` for every text
+    /// response; when `Some`, `body` is empty and these bytes are what
+    /// gets framed and written.
+    pub bytes: Option<Vec<u8>>,
 }
 
 impl Response {
@@ -296,6 +301,7 @@ impl Response {
             content_type: "application/json",
             headers: Vec::new(),
             body: body.into(),
+            bytes: None,
         }
     }
 
@@ -307,7 +313,17 @@ impl Response {
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             headers: Vec::new(),
             body: body.into(),
+            bytes: None,
         }
+    }
+
+    /// Converts this response into a binary-bodied one
+    /// (`application/x-ldiv-bin`), keeping status and extra headers.
+    pub fn into_binary(mut self, bytes: Vec<u8>) -> Self {
+        self.content_type = "application/x-ldiv-bin";
+        self.body = String::new();
+        self.bytes = Some(bytes);
+        self
     }
 
     /// Builder-style extra header. The value must be a valid header
@@ -337,19 +353,20 @@ impl Response {
 
     /// Serializes the response (always `Connection: close`).
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let payload = self.bytes.as_deref().unwrap_or(self.body.as_bytes());
         write!(
             w,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
+            payload.len()
         )?;
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
         w.write_all(b"\r\n")?;
-        w.write_all(self.body.as_bytes())?;
+        w.write_all(payload)?;
         w.flush()
     }
 }
@@ -455,5 +472,25 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn binary_responses_frame_the_byte_payload() {
+        let response = Response::json(200, "{}")
+            .with_header("X-Ldiv-Trace-Id", "abc".into())
+            .into_binary(vec![0x4c, 0x44, 0x56, 0x57, 0x00]);
+        assert_eq!(response.content_type, "application/x-ldiv-bin");
+        assert!(response.body.is_empty());
+        let mut out = Vec::new();
+        response.write_to(&mut out).unwrap();
+        let head_end = out.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let head = std::str::from_utf8(&out[..head_end]).unwrap();
+        assert!(
+            head.contains("Content-Type: application/x-ldiv-bin\r\n"),
+            "{head}"
+        );
+        assert!(head.contains("Content-Length: 5\r\n"), "{head}");
+        assert!(head.contains("X-Ldiv-Trace-Id: abc\r\n"), "{head}");
+        assert_eq!(&out[head_end..], b"LDVW\x00");
     }
 }

@@ -387,12 +387,77 @@ pub fn handle_request(state: &AppState, req: &Request) -> Response {
         start: Instant::now(),
     };
     state.requests.inc();
-    let response = route_request(state, req);
+    let response = finalize_wire(req, route_request(state, req));
     ldiv_obs::annotate("status", response.status.to_string());
     match ldiv_obs::current_trace_id_hex() {
         Some(id) => response.with_header("X-Ldiv-Trace-Id", id),
         None => response,
     }
+}
+
+/// Applies wire-format negotiation to a routed response.
+///
+/// Strictly a post-render transform: routing, the publication cache and
+/// canonical params have already run on the JSON face, so negotiation
+/// can never perturb a cache key or a default body. Two triggers:
+///
+/// * The client asked for binary (`?format=bin` or
+///   `Accept: application/x-ldiv-bin`) and the response is a JSON 2xx —
+///   the body is re-encoded as one LDVW block. Error bodies stay JSON
+///   so a failing client always gets readable text.
+/// * The ambient `LDIV_WIRE=bin` differential drive is on — every JSON
+///   body (success *and* error) is pushed through `decode(encode(x))`
+///   and re-rendered. The bytes are identical by the round-trip
+///   identity; any disagreement is answered as a loud 500 instead of
+///   silently serving either face.
+fn finalize_wire(req: &Request, response: Response) -> Response {
+    if response.content_type != "application/json" {
+        return response;
+    }
+    let bin_requested = response.status < 400 && wants_binary(req);
+    if !bin_requested && !ldiv_wire::env_wire_bin() {
+        return response;
+    }
+    let Some(value) = Json::parse(&response.body) else {
+        return response;
+    };
+    if bin_requested {
+        let _render = ldiv_obs::span_labeled("wire:render", || "bin".to_string());
+        return response.into_binary(ldiv_wire::encode(&value));
+    }
+    match ldiv_wire::decode(&ldiv_wire::encode(&value)) {
+        Ok(round) if round == value => {
+            let mut driven = response;
+            driven.body = round.render();
+            driven
+        }
+        _ => Response::json(
+            500,
+            wire::error_json(&LdivError::Internal(
+                "wire equivalence violation: decode(encode(body)) != body".into(),
+            ))
+            .render(),
+        ),
+    }
+}
+
+/// Whether the request negotiated the binary wire format. The explicit
+/// `?format=` query wins over the `Accept` header in both directions.
+fn wants_binary(req: &Request) -> bool {
+    match req.query_param("format") {
+        Some("bin") => return true,
+        Some(_) => return false,
+        None => {}
+    }
+    req.header("accept").is_some_and(|accept| {
+        accept.split(',').any(|part| {
+            part.split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .eq_ignore_ascii_case("application/x-ldiv-bin")
+        })
+    })
 }
 
 fn route_request(state: &AppState, req: &Request) -> Response {
@@ -443,9 +508,11 @@ fn route_request(state: &AppState, req: &Request) -> Response {
 }
 
 /// Renders a publication summary under a `wire:render` span (the last
-/// pipeline stage a trace sees before `http:write`).
+/// pipeline stage a trace sees before `http:write`). The span's `fmt`
+/// label says which face was rendered; binary negotiation adds a second
+/// `wire:render` span labeled `bin` in [`finalize_wire`].
 fn render_summary(json: Json) -> String {
-    let _render = ldiv_obs::span("wire:render");
+    let _render = ldiv_obs::span_labeled("wire:render", || "json".to_string());
     json.render()
 }
 

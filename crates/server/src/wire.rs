@@ -1,371 +1,27 @@
-//! The JSON wire format shared by the server and the CLI's
+//! The JSON wire shapes shared by the server and the CLI's
 //! `--format json` outputs.
 //!
-//! The vendored `serde` is an offline marker stub (no serialization
-//! code), so this module carries a small self-contained JSON value type
-//! ([`Json`]) plus the canonical renderings of the workspace's response
-//! shapes: publication summaries, dataset statistics, mechanism listings
-//! and errors. Keeping them here — rather than ad-hoc `format!` strings
-//! in each caller — is what makes `ldiv anonymize --format json` and
-//! `POST /anonymize` byte-identical for the same run.
+//! The value type itself ([`Json`]) lives in `ldiv-wire` (re-exported
+//! here so existing `ldiv_server::wire::Json` callers keep working);
+//! this module carries the canonical renderings of the workspace's
+//! response shapes: publication summaries, dataset statistics, mechanism
+//! listings and errors. Keeping them here — rather than ad-hoc
+//! `format!` strings in each caller — is what makes
+//! `ldiv anonymize --format json` and `POST /anonymize` byte-identical
+//! for the same run.
 //!
 //! Rendering is deterministic: object fields keep insertion order, floats
 //! use Rust's shortest round-trip form, and non-finite floats (which JSON
-//! cannot represent) become `null`.
+//! cannot represent) become `null`. The same values also have a compact
+//! binary face (`ldiv_wire::encode`/`decode`), negotiated per request by
+//! the listener; the JSON face here stays the default and the cache-key
+//! surface.
 
 use ldiv_api::{LdivError, MechanismRegistry, Params, Publication};
 use ldiv_metrics::PublicationSummary;
 use ldiv_microdata::Table;
-use std::fmt;
 
-/// A JSON value with deterministic, insertion-ordered rendering.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (kept exact; JSON numbers are decimal anyway).
-    Int(i64),
-    /// A float; NaN/∞ render as `null`.
-    Float(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object. Fields render in insertion order, making output stable
-    /// for tests, caches and diffs.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object.
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Adds (or replaces) a field on an object, builder-style.
-    ///
-    /// # Panics
-    /// Panics when `self` is not an object — wire shapes are built
-    /// statically, so a mis-typed receiver is a programming error.
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        self.set(key, value);
-        self
-    }
-
-    /// Adds (or replaces) a field on an object in place.
-    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
-        let Json::Obj(fields) = self else {
-            panic!("Json::set on a non-object");
-        };
-        let value = value.into();
-        match fields.iter_mut().find(|(k, _)| k == key) {
-            Some(slot) => slot.1 = value,
-            None => fields.push((key.to_string(), value)),
-        }
-    }
-
-    /// Looks a field up on an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The rendered JSON text.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
-    }
-
-    /// Parses JSON text back into a [`Json`] value — `None` on any
-    /// syntax error or trailing garbage.
-    ///
-    /// This exists for one job: reloading persisted publication-cache
-    /// entries (rendered by [`render`](Json::render)) into the in-memory
-    /// cache at startup. Because rendering is deterministic, a
-    /// parse-then-render round-trip of anything this module rendered
-    /// reproduces the original bytes; numbers without `.`/`e` load as
-    /// [`Json::Int`], everything else numeric as [`Json::Float`], which
-    /// is exactly the split the renderer emits.
-    pub fn parse(text: &str) -> Option<Json> {
-        let mut p = JsonParser {
-            bytes: text.as_bytes(),
-            at: 0,
-        };
-        p.skip_ws();
-        let value = p.value(0)?;
-        p.skip_ws();
-        (p.at == p.bytes.len()).then_some(value)
-    }
-
-    fn render_into(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::Float(v) => {
-                if v.is_finite() {
-                    // `{:?}` is the shortest representation that parses
-                    // back to the same f64 ("0.1", "1.0", "1e300").
-                    out.push_str(&format!("{v:?}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => escape_into(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.render_into(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    escape_into(k, out);
-                    out.push(':');
-                    v.render_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
-    }
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::Int(v)
-    }
-}
-
-impl From<u32> for Json {
-    fn from(v: u32) -> Json {
-        Json::Int(i64::from(v))
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::Int(v as i64)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Float(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(v: Vec<T>) -> Json {
-        Json::Arr(v.into_iter().map(Into::into).collect())
-    }
-}
-
-/// A hand-rolled recursive-descent JSON reader for [`Json::parse`]. The
-/// depth limit bounds stack use on adversarial input (a persisted cache
-/// file is operator-owned, but the store directory is still external
-/// state and must not be able to overflow the stack).
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-const MAX_JSON_DEPTH: usize = 64;
-
-impl JsonParser<'_> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.at).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.at += 1;
-        }
-    }
-
-    fn eat(&mut self, b: u8) -> Option<()> {
-        (self.peek() == Some(b)).then(|| self.at += 1)
-    }
-
-    fn eat_word(&mut self, word: &str) -> Option<()> {
-        if self.bytes[self.at..].starts_with(word.as_bytes()) {
-            self.at += word.len();
-            Some(())
-        } else {
-            None
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Option<Json> {
-        if depth > MAX_JSON_DEPTH {
-            return None;
-        }
-        match self.peek()? {
-            b'n' => self.eat_word("null").map(|()| Json::Null),
-            b't' => self.eat_word("true").map(|()| Json::Bool(true)),
-            b'f' => self.eat_word("false").map(|()| Json::Bool(false)),
-            b'"' => self.string().map(Json::Str),
-            b'[' => {
-                self.at += 1;
-                let mut items = Vec::new();
-                self.skip_ws();
-                if self.eat(b']').is_some() {
-                    return Some(Json::Arr(items));
-                }
-                loop {
-                    self.skip_ws();
-                    items.push(self.value(depth + 1)?);
-                    self.skip_ws();
-                    if self.eat(b',').is_some() {
-                        continue;
-                    }
-                    self.eat(b']')?;
-                    return Some(Json::Arr(items));
-                }
-            }
-            b'{' => {
-                self.at += 1;
-                let mut fields = Vec::new();
-                self.skip_ws();
-                if self.eat(b'}').is_some() {
-                    return Some(Json::Obj(fields));
-                }
-                loop {
-                    self.skip_ws();
-                    let key = self.string()?;
-                    self.skip_ws();
-                    self.eat(b':')?;
-                    self.skip_ws();
-                    fields.push((key, self.value(depth + 1)?));
-                    self.skip_ws();
-                    if self.eat(b',').is_some() {
-                        continue;
-                    }
-                    self.eat(b'}')?;
-                    return Some(Json::Obj(fields));
-                }
-            }
-            _ => self.number(),
-        }
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek()? {
-                b'"' => {
-                    self.at += 1;
-                    return Some(out);
-                }
-                b'\\' => {
-                    self.at += 1;
-                    match self.peek()? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self.bytes.get(self.at + 1..self.at + 5)?;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            // Surrogates never appear in our own output
-                            // (the renderer only \u-escapes controls);
-                            // degrade them rather than reject.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.at += 4;
-                        }
-                        _ => return None,
-                    }
-                    self.at += 1;
-                }
-                _ => {
-                    // Consume one UTF-8 scalar, not one byte.
-                    let rest = std::str::from_utf8(&self.bytes[self.at..]).ok()?;
-                    let c = rest.chars().next()?;
-                    out.push(c);
-                    self.at += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Option<Json> {
-        let start = self.at;
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.at += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.at]).ok()?;
-        if text.is_empty() {
-            return None;
-        }
-        if text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
-            text.parse().ok().map(Json::Float)
-        } else {
-            text.parse().ok().map(Json::Int)
-        }
-    }
-}
-
-/// Writes `s` as a quoted, escaped JSON string.
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use ldiv_wire::Json;
 
 /// The hex form used for dataset fingerprints on the wire
 /// (`"a1b2c3d4e5f60718"`). A string, because JSON numbers cannot carry a
@@ -483,23 +139,6 @@ mod tests {
     use ldiv_microdata::{samples, Partition};
 
     #[test]
-    fn rendering_is_deterministic_and_escaped() {
-        let v = Json::obj()
-            .field("a", 1usize)
-            .field("b", Json::Arr(vec![Json::Null, true.into(), 0.5.into()]))
-            .field("tricky", "a\"b\\c\nd\u{1}");
-        assert_eq!(
-            v.render(),
-            r#"{"a":1,"b":[null,true,0.5],"tricky":"a\"b\\c\nd\u0001"}"#
-        );
-        // Replacement keeps position.
-        assert_eq!(
-            v.clone().field("a", 2usize).render(),
-            v.render().replace("\"a\":1", "\"a\":2")
-        );
-    }
-
-    #[test]
     fn parse_round_trips_rendered_output() {
         // The property the persisted-cache reload relies on: parse ∘
         // render is the identity on anything this module renders.
@@ -524,41 +163,12 @@ mod tests {
             let parsed = Json::parse(&rendered).expect("rendered JSON parses");
             assert_eq!(parsed, json);
             assert_eq!(parsed.render(), rendered);
+            // The binary face agrees too — same value, same canonical
+            // text, regardless of which encoding carried it.
+            let decoded = ldiv_wire::decode(&ldiv_wire::encode(&json)).expect("block decodes");
+            assert_eq!(decoded, json);
+            assert_eq!(decoded.render(), rendered);
         }
-    }
-
-    #[test]
-    fn parse_rejects_malformed_text() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\":}",
-            "{\"a\" 1}",
-            "nul",
-            "1 2",
-            "{\"a\":1}extra",
-            "\"unterminated",
-            "\"bad escape \\x\"",
-            "--5",
-        ] {
-            assert!(Json::parse(bad).is_none(), "{bad:?}");
-        }
-        // Depth bomb: refused, not a stack overflow.
-        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
-        assert!(Json::parse(&deep).is_none());
-        // Whitespace and standard escapes are accepted.
-        assert_eq!(
-            Json::parse(" { \"a\" : [ 1 , \"\\u0041\\/\" ] } "),
-            Some(Json::obj().field("a", Json::Arr(vec![Json::Int(1), "A/".into()])))
-        );
-    }
-
-    #[test]
-    fn non_finite_floats_render_null() {
-        assert_eq!(Json::Float(f64::NAN).render(), "null");
-        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
-        assert_eq!(Json::Float(1.0).render(), "1.0");
     }
 
     #[test]

@@ -1,0 +1,746 @@
+//! The LDVW compact binary block codec.
+//!
+//! A block is a 9-byte header (`b"LDVW"` magic, one version byte, a
+//! little-endian `u32` payload length) followed by exactly one tagged
+//! value. The encoder is infallible for every value the workspace
+//! produces; the decoder is one-pass, bounds-checked and total — any
+//! input, however hostile, yields either the value or a typed
+//! [`WireError`] with stable text. In particular the decoder never
+//! allocates from a declared length or count before verifying that many
+//! bytes actually remain, so a length lie costs an error, not memory.
+
+use crate::json::Json;
+use std::fmt;
+
+/// The four magic bytes every block starts with.
+pub const MAGIC: [u8; 4] = *b"LDVW";
+/// The current (and only) format version.
+pub const VERSION: u8 = 1;
+/// Header size: magic (4) + version (1) + payload length (4).
+pub const HEADER_LEN: usize = 9;
+/// Maximum container nesting the decoder accepts; mirrors the JSON
+/// parser's depth bound so neither face can build a value the other
+/// refuses.
+pub const MAX_WIRE_DEPTH: usize = 64;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_FLOAT: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+const TAG_ARR: u8 = 0x06;
+const TAG_OBJ: u8 = 0x07;
+
+/// A typed decode failure. Every variant carries enough position
+/// information to point at the offending byte, and `Display` text is
+/// stable — the fuzz harness asserts the same input always produces the
+/// same error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input does not start with the `b"LDVW"` magic.
+    BadMagic,
+    /// The version byte is not one this decoder understands.
+    UnsupportedVersion(
+        /// The version byte found in the header.
+        u8,
+    ),
+    /// The input ended before the value did.
+    Truncated {
+        /// Absolute byte offset at which input ran out.
+        at: usize,
+    },
+    /// The header-declared payload length disagrees with the bytes the
+    /// value actually occupies.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// Bytes the decoded value actually consumed.
+        actual: usize,
+    },
+    /// Bytes follow the declared payload.
+    TrailingBytes {
+        /// Absolute byte offset where the surplus begins.
+        at: usize,
+    },
+    /// An unknown value tag.
+    BadTag {
+        /// The tag byte found.
+        tag: u8,
+        /// Absolute byte offset of the tag.
+        at: usize,
+    },
+    /// A varint ran past 64 bits (more than 10 bytes, or excess high
+    /// bits in the tenth).
+    VarintOverflow {
+        /// Absolute byte offset where the varint starts.
+        at: usize,
+    },
+    /// A string's bytes are not valid UTF-8.
+    BadUtf8 {
+        /// Absolute byte offset where the string's bytes start.
+        at: usize,
+    },
+    /// An object declares the same key twice.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+        /// Absolute byte offset where the repeated key's field starts
+        /// (its length varint).
+        at: usize,
+    },
+    /// Container nesting exceeds [`MAX_WIRE_DEPTH`].
+    TooDeep {
+        /// The depth limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "wire: bad magic (expected \"LDVW\")"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "wire: unsupported version {v} (expected {VERSION})")
+            }
+            WireError::Truncated { at } => write!(f, "wire: truncated input at byte {at}"),
+            WireError::LengthMismatch { declared, actual } => write!(
+                f,
+                "wire: declared payload length {declared} but value occupies {actual} bytes"
+            ),
+            WireError::TrailingBytes { at } => {
+                write!(f, "wire: trailing bytes after payload at byte {at}")
+            }
+            WireError::BadTag { tag, at } => {
+                write!(f, "wire: unknown tag 0x{tag:02x} at byte {at}")
+            }
+            WireError::VarintOverflow { at } => write!(f, "wire: varint overflow at byte {at}"),
+            WireError::BadUtf8 { at } => write!(f, "wire: invalid utf-8 in string at byte {at}"),
+            WireError::DuplicateKey { key, at } => {
+                write!(f, "wire: duplicate object key {key:?} at byte {at}")
+            }
+            WireError::TooDeep { limit } => {
+                write!(f, "wire: nesting exceeds depth limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a value as one LDVW block.
+///
+/// Non-finite floats encode as the `null` tag, mirroring the JSON
+/// renderer, so `decode(encode(x))` always equals the value the JSON
+/// face would have produced for the same input.
+pub fn encode(value: &Json) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_value(value, &mut payload);
+    let len = u32::try_from(payload.len()).expect("wire: payload exceeds u32 framing limit");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one LDVW block back into a value.
+///
+/// One pass, fully bounds-checked: never panics, and never allocates
+/// capacity from a declared length or count it has not verified against
+/// the remaining input.
+pub fn decode(bytes: &[u8]) -> Result<Json, WireError> {
+    if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated { at: bytes.len() });
+    }
+    if bytes[4] != VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[4]));
+    }
+    let declared = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
+    let available = bytes.len() - HEADER_LEN;
+    if available < declared {
+        return Err(WireError::Truncated { at: bytes.len() });
+    }
+    if available > declared {
+        return Err(WireError::TrailingBytes {
+            at: HEADER_LEN + declared,
+        });
+    }
+    let mut r = Reader {
+        window: &bytes[HEADER_LEN..],
+        at: 0,
+    };
+    let value = r.value(1)?;
+    if r.at != declared {
+        return Err(WireError::LengthMismatch {
+            declared,
+            actual: r.at,
+        });
+    }
+    Ok(value)
+}
+
+/// Checks a block without keeping the value.
+pub fn validate(bytes: &[u8]) -> Result<(), WireError> {
+    decode(bytes).map(|_| ())
+}
+
+/// Shape statistics for a decoded block, as reported by [`stats`] and
+/// `ldiv wire stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockStats {
+    /// The header version byte.
+    pub version: u8,
+    /// Declared (and verified) payload size in bytes.
+    pub payload_len: usize,
+    /// Total block size including the 9-byte header.
+    pub total_len: usize,
+    /// Total number of values (every node counts).
+    pub values: usize,
+    /// Deepest nesting level (the root value is depth 1).
+    pub max_depth: usize,
+    /// `null` count.
+    pub nulls: usize,
+    /// Boolean count.
+    pub bools: usize,
+    /// Integer count.
+    pub ints: usize,
+    /// Float count.
+    pub floats: usize,
+    /// String count.
+    pub strings: usize,
+    /// Array count.
+    pub arrays: usize,
+    /// Object count.
+    pub objects: usize,
+}
+
+impl BlockStats {
+    /// The stats as a JSON object (the `ldiv wire stats` output shape).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("version", i64::from(self.version))
+            .field("payload_len", self.payload_len)
+            .field("total_len", self.total_len)
+            .field("values", self.values)
+            .field("max_depth", self.max_depth)
+            .field("nulls", self.nulls)
+            .field("bools", self.bools)
+            .field("ints", self.ints)
+            .field("floats", self.floats)
+            .field("strings", self.strings)
+            .field("arrays", self.arrays)
+            .field("objects", self.objects)
+    }
+}
+
+/// Decodes a block and tallies its shape.
+pub fn stats(bytes: &[u8]) -> Result<BlockStats, WireError> {
+    let value = decode(bytes)?;
+    let mut s = BlockStats {
+        version: bytes[4],
+        payload_len: bytes.len() - HEADER_LEN,
+        total_len: bytes.len(),
+        ..BlockStats::default()
+    };
+    tally(&value, 1, &mut s);
+    Ok(s)
+}
+
+/// A human-readable description of a block: header fields, shape
+/// tallies, and a two-level outline of the value.
+pub fn inspect(bytes: &[u8]) -> Result<String, WireError> {
+    let value = decode(bytes)?;
+    let mut s = BlockStats {
+        version: bytes[4],
+        payload_len: bytes.len() - HEADER_LEN,
+        total_len: bytes.len(),
+        ..BlockStats::default()
+    };
+    tally(&value, 1, &mut s);
+    let mut out = format!(
+        "ldvw block: version {}, payload {} bytes, total {} bytes\n\
+         values: {} (max depth {}): {} objects, {} arrays, {} strings, \
+         {} ints, {} floats, {} bools, {} nulls\n",
+        s.version,
+        s.payload_len,
+        s.total_len,
+        s.values,
+        s.max_depth,
+        s.objects,
+        s.arrays,
+        s.strings,
+        s.ints,
+        s.floats,
+        s.bools,
+        s.nulls,
+    );
+    outline(&value, 0, None, &mut out);
+    Ok(out)
+}
+
+fn encode_value(value: &Json, out: &mut Vec<u8>) {
+    match value {
+        Json::Null => out.push(TAG_NULL),
+        Json::Bool(false) => out.push(TAG_FALSE),
+        Json::Bool(true) => out.push(TAG_TRUE),
+        Json::Int(i) => {
+            out.push(TAG_INT);
+            push_varint(zigzag(*i), out);
+        }
+        Json::Float(v) if !v.is_finite() => out.push(TAG_NULL),
+        Json::Float(v) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(TAG_STR);
+            push_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            out.push(TAG_ARR);
+            push_varint(items.len() as u64, out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Json::Obj(fields) => {
+            out.push(TAG_OBJ);
+            push_varint(fields.len() as u64, out);
+            for (key, field) in fields {
+                push_varint(key.len() as u64, out);
+                out.extend_from_slice(key.as_bytes());
+                encode_value(field, out);
+            }
+        }
+    }
+}
+
+fn push_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Cursor over the payload window. All offsets in errors are absolute
+/// (header included), so they point into the original input.
+struct Reader<'a> {
+    window: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn abs(&self) -> usize {
+        HEADER_LEN + self.at
+    }
+
+    fn end_abs(&self) -> usize {
+        HEADER_LEN + self.window.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.window.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated { at: self.end_abs() });
+        }
+        let slice = &self.window[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let start = self.abs();
+        let mut value = 0u64;
+        for i in 0..10 {
+            let byte = self.byte()?;
+            // The tenth byte may only contribute the final bit.
+            if i == 9 && byte > 0x01 {
+                return Err(WireError::VarintOverflow { at: start });
+            }
+            value |= u64::from(byte & 0x7f) << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(WireError::VarintOverflow { at: start })
+    }
+
+    /// Reads a length/count varint, failing fast (and allocation-free)
+    /// when it exceeds the bytes that remain — `floor` is the minimum
+    /// encoded size per unit (1 for string bytes, 1 per array element,
+    /// 2 per object field).
+    fn bounded_count(&mut self, floor: usize) -> Result<usize, WireError> {
+        let raw = self.varint()?;
+        if raw > (self.remaining() / floor.max(1)) as u64 {
+            return Err(WireError::Truncated { at: self.end_abs() });
+        }
+        Ok(raw as usize)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, WireError> {
+        if depth > MAX_WIRE_DEPTH {
+            return Err(WireError::TooDeep {
+                limit: MAX_WIRE_DEPTH,
+            });
+        }
+        let tag_at = self.abs();
+        match self.byte()? {
+            TAG_NULL => Ok(Json::Null),
+            TAG_FALSE => Ok(Json::Bool(false)),
+            TAG_TRUE => Ok(Json::Bool(true)),
+            TAG_INT => Ok(Json::Int(unzigzag(self.varint()?))),
+            TAG_FLOAT => {
+                let raw = self.take(8)?;
+                let bits = u64::from_le_bytes([
+                    raw[0], raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7],
+                ]);
+                Ok(Json::Float(f64::from_bits(bits)))
+            }
+            TAG_STR => Ok(Json::Str(self.string()?)),
+            TAG_ARR => {
+                let count = self.bounded_count(1)?;
+                let mut items = Vec::new();
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Json::Arr(items))
+            }
+            TAG_OBJ => {
+                let count = self.bounded_count(2)?;
+                let mut fields: Vec<(String, Json)> = Vec::new();
+                for _ in 0..count {
+                    let key_at = self.abs();
+                    let key = self.string()?;
+                    if fields.iter().any(|(k, _)| *k == key) {
+                        return Err(WireError::DuplicateKey { key, at: key_at });
+                    }
+                    let field = self.value(depth + 1)?;
+                    fields.push((key, field));
+                }
+                Ok(Json::Obj(fields))
+            }
+            tag => Err(WireError::BadTag { tag, at: tag_at }),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.bounded_count(1)?;
+        let at = self.abs();
+        let raw = self.take(len)?;
+        match std::str::from_utf8(raw) {
+            Ok(text) => Ok(text.to_string()),
+            Err(_) => Err(WireError::BadUtf8 { at }),
+        }
+    }
+}
+
+fn tally(value: &Json, depth: usize, s: &mut BlockStats) {
+    s.values += 1;
+    s.max_depth = s.max_depth.max(depth);
+    match value {
+        Json::Null => s.nulls += 1,
+        Json::Bool(_) => s.bools += 1,
+        Json::Int(_) => s.ints += 1,
+        Json::Float(_) => s.floats += 1,
+        Json::Str(_) => s.strings += 1,
+        Json::Arr(items) => {
+            s.arrays += 1;
+            for item in items {
+                tally(item, depth + 1, s);
+            }
+        }
+        Json::Obj(fields) => {
+            s.objects += 1;
+            for (_, field) in fields {
+                tally(field, depth + 1, s);
+            }
+        }
+    }
+}
+
+fn outline(value: &Json, indent: usize, label: Option<&str>, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let head = match label {
+        Some(key) => format!("{pad}{key}: "),
+        None => pad.clone(),
+    };
+    match value {
+        Json::Obj(fields) => {
+            out.push_str(&format!("{head}object ({} fields)\n", fields.len()));
+            if indent < 2 {
+                for (key, field) in fields {
+                    outline(field, indent + 1, Some(key), out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            out.push_str(&format!("{head}array ({} items)\n", items.len()));
+            if indent < 2 {
+                if let Some(first) = items.first() {
+                    outline(first, indent + 1, Some("[0]"), out);
+                }
+                if items.len() > 1 {
+                    out.push_str(&format!("{pad}  … {} more items\n", items.len() - 1));
+                }
+            }
+        }
+        scalar => {
+            let shown = match scalar {
+                Json::Str(s) if s.chars().count() > 40 => {
+                    let cut: String = s.chars().take(40).collect();
+                    format!("string {cut:?}…")
+                }
+                Json::Str(s) => format!("string {s:?}"),
+                Json::Int(i) => format!("int {i}"),
+                Json::Float(v) => format!("float {v:?}"),
+                Json::Bool(b) => format!("bool {b}"),
+                _ => "null".to_string(),
+            };
+            out.push_str(&format!("{head}{shown}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Json {
+        Json::obj()
+            .field("mechanism", "tp+")
+            .field("l", 3usize)
+            .field("ratio", 0.125)
+            .field("negative", Json::Int(-42))
+            .field(
+                "extremes",
+                Json::Arr(vec![Json::Int(i64::MIN), Json::Int(i64::MAX), Json::Int(0)]),
+            )
+            .field(
+                "flags",
+                Json::Arr(vec![Json::Bool(true), Json::Bool(false), Json::Null]),
+            )
+            .field("nested", Json::obj().field("text", "héllo \"wörld\"\n"))
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_canonical_text() {
+        let v = doc();
+        let bytes = encode(&v);
+        assert_eq!(&bytes[..4], b"LDVW");
+        assert_eq!(bytes[4], VERSION);
+        let declared = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
+        assert_eq!(declared, bytes.len() - HEADER_LEN);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.render(), v.render());
+        validate(&bytes).unwrap();
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let bytes = encode(&Json::Float(bad));
+            assert_eq!(decode(&bytes).unwrap(), Json::Null);
+        }
+        // Finite edge values survive exactly, including negative zero.
+        for v in [0.0, -0.0, f64::MIN, f64::MAX, f64::EPSILON, 5e-324] {
+            let back = decode(&encode(&Json::Float(v))).unwrap();
+            assert_eq!(back, Json::Float(v));
+            assert_eq!(back.render(), Json::Float(v).render());
+        }
+    }
+
+    #[test]
+    fn every_error_variant_is_reachable_with_stable_text() {
+        // Bad magic.
+        let err = decode(b"NOPE\x01\x00\x00\x00\x00").unwrap_err();
+        assert_eq!(err, WireError::BadMagic);
+        assert_eq!(err.to_string(), "wire: bad magic (expected \"LDVW\")");
+
+        // Unsupported version.
+        let err = decode(b"LDVW\x07\x01\x00\x00\x00\x00").unwrap_err();
+        assert_eq!(err, WireError::UnsupportedVersion(7));
+        assert_eq!(err.to_string(), "wire: unsupported version 7 (expected 1)");
+
+        // Truncated: header cut short, then a payload shorter than declared.
+        assert_eq!(
+            decode(b"LDVW\x01").unwrap_err(),
+            WireError::Truncated { at: 5 }
+        );
+        let mut bytes = encode(&Json::Str("hello".into()));
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            WireError::Truncated { at: bytes.len() }
+        );
+
+        // Length lie larger than the input: truncated, and instantly —
+        // no allocation proportional to the lie.
+        let mut lie = encode(&Json::Str("hi".into()));
+        lie[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&lie).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+
+        // Length lie smaller than the value: the window ends mid-value.
+        let mut short = encode(&Json::Str("hello".into()));
+        let declared = (short.len() - HEADER_LEN - 2) as u32;
+        short[5..9].copy_from_slice(&declared.to_le_bytes());
+        assert_eq!(
+            decode(&short).unwrap_err(),
+            WireError::TrailingBytes {
+                at: HEADER_LEN + declared as usize
+            }
+        );
+
+        // Declared length covering a whole extra value: trailing bytes.
+        let mut doubled = encode(&Json::Null);
+        doubled.push(TAG_NULL);
+        assert_eq!(
+            decode(&doubled).unwrap_err(),
+            WireError::TrailingBytes { at: 10 }
+        );
+
+        // Inner under-consumption: declare 2 bytes but the value uses 1.
+        let tricky = b"LDVW\x01\x02\x00\x00\x00\x00\x00";
+        assert_eq!(
+            decode(tricky).unwrap_err(),
+            WireError::LengthMismatch {
+                declared: 2,
+                actual: 1
+            }
+        );
+
+        // Bad tag.
+        let err = decode(b"LDVW\x01\x01\x00\x00\x00\xee").unwrap_err();
+        assert_eq!(err, WireError::BadTag { tag: 0xee, at: 9 });
+        assert_eq!(err.to_string(), "wire: unknown tag 0xee at byte 9");
+
+        // Varint overflow: eleven continuation bytes.
+        let mut overflow = b"LDVW\x01\x0c\x00\x00\x00\x03".to_vec();
+        overflow.extend_from_slice(&[0xff; 10]);
+        overflow.push(0x01);
+        assert_eq!(
+            decode(&overflow).unwrap_err(),
+            WireError::VarintOverflow { at: 10 }
+        );
+
+        // Bad UTF-8 inside a string.
+        let bad_utf8 = b"LDVW\x01\x04\x00\x00\x00\x05\x02\xff\xfe";
+        assert_eq!(decode(bad_utf8).unwrap_err(), WireError::BadUtf8 { at: 11 });
+
+        // Duplicate object key.
+        let dup = Json::Obj(vec![
+            ("k".to_string(), Json::Int(1)),
+            ("k".to_string(), Json::Int(2)),
+        ]);
+        // Reported at the *repeated* key's field: header (9) + obj tag,
+        // count (2) + first "k" field (4 bytes) = offset 15.
+        let err = decode(&encode(&dup)).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::DuplicateKey {
+                key: "k".to_string(),
+                at: 15
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "wire: duplicate object key \"k\" at byte 15"
+        );
+
+        // Depth bomb: nested single-element arrays, hand-framed.
+        let mut payload = vec![];
+        for _ in 0..(MAX_WIRE_DEPTH + 2) {
+            payload.push(TAG_ARR);
+            payload.push(0x01);
+        }
+        payload.push(TAG_NULL);
+        let mut deep = b"LDVW\x01".to_vec();
+        deep.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        deep.extend_from_slice(&payload);
+        assert_eq!(
+            decode(&deep).unwrap_err(),
+            WireError::TooDeep {
+                limit: MAX_WIRE_DEPTH
+            }
+        );
+    }
+
+    #[test]
+    fn zigzag_varints_cover_the_integer_range() {
+        for n in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            64,
+            i64::MIN,
+            i64::MAX,
+            1 << 40,
+            -(1 << 40),
+        ] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+            assert_eq!(decode(&encode(&Json::Int(n))).unwrap(), Json::Int(n));
+        }
+        // Small magnitudes stay small on the wire.
+        assert_eq!(encode(&Json::Int(0)).len(), HEADER_LEN + 2);
+        assert_eq!(encode(&Json::Int(-1)).len(), HEADER_LEN + 2);
+    }
+
+    #[test]
+    fn stats_and_inspect_summarize_the_block() {
+        let bytes = encode(&doc());
+        let s = stats(&bytes).unwrap();
+        assert_eq!(s.version, VERSION);
+        assert_eq!(s.total_len, bytes.len());
+        assert_eq!(s.payload_len, bytes.len() - HEADER_LEN);
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.arrays, 2);
+        assert_eq!(s.ints, 5);
+        assert_eq!(s.floats, 1);
+        assert_eq!(s.strings, 2);
+        assert_eq!(s.bools, 2);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(
+            s.values,
+            s.nulls + s.bools + s.ints + s.floats + s.strings + s.arrays + s.objects
+        );
+        assert_eq!(s.to_json().get("values"), Some(&Json::Int(s.values as i64)));
+
+        let text = inspect(&bytes).unwrap();
+        assert!(text.starts_with("ldvw block: version 1"));
+        assert!(text.contains("object (7 fields)"));
+        assert!(text.contains("mechanism: string \"tp+\""));
+        assert!(text.contains("… 2 more items"));
+    }
+}

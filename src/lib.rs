@@ -141,6 +141,10 @@ pub use ldiv_shard as shard;
 /// Anatomy: l-diverse publication via QI/SA table separation (§2).
 pub use ldiv_anatomy as anatomy;
 
+/// Wire formats: the deterministic JSON value type and the LDVW compact
+/// binary block codec, with differential equivalence between the two.
+pub use ldiv_wire as wire;
+
 /// Persistent dataset store: fingerprinted registration, append-only
 /// segments, incremental re-publication over dirty shards.
 pub use ldiv_store as store;

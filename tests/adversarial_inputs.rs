@@ -7,9 +7,16 @@
 //! documents, each fed through `catch_unwind`. The generator is
 //! deterministic, so a failure reproduces from the printed case index
 //! alone.
+//!
+//! The LDVW binary decoder (`ldiv-wire`) gets the same treatment plus
+//! structure-aware adversaries: header length-field lies, version and
+//! tag mutations at known offsets, duplicated payload sections — every
+//! failure must be a typed `WireError` with stable text, never a panic
+//! and never an allocation sized from a declared length.
 
 use ldiversity::microdata::read_csv_with;
 use ldiversity::server::http::{parse_request, HttpError};
+use ldiversity::wire::{decode, encode, Json, WireError, HEADER_LEN, MAGIC, VERSION};
 use ldiversity::Executor;
 use std::io::BufReader;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -186,6 +193,152 @@ fn csv_reader_errors_but_never_panics_on_mutated_datasets() {
         assert_no_panic("read_csv_with", case, &input, || {
             let _ = read_csv_with(BufReader::new(&input[..]), None, &exec);
         });
+    }
+}
+
+/// Valid LDVW blocks covering every tag, nesting, negative/huge ints,
+/// floats, unicode strings and empty containers — the seeds the decoder
+/// fuzz mutates.
+fn wire_seeds() -> Vec<Vec<u8>> {
+    let publication_like = Json::obj()
+        .field("mechanism", "tp+")
+        .field(
+            "params",
+            Json::obj()
+                .field("l", 3u32)
+                .field("fanout", 2u32)
+                .field("canonical", "l=3;fanout=2;shards=1"),
+        )
+        .field("dataset_fingerprint", "a1b2c3d4e5f60718")
+        .field("rows", 600u32)
+        .field("star_ratio", 0.0375)
+        .field("kl_divergence", 0.014285714285714285)
+        .field("notes", Json::Arr(vec!["stitch: 2 shards".into()]))
+        .field("cached", false);
+    let adversarial_values = Json::Arr(vec![
+        Json::Null,
+        Json::Bool(true),
+        Json::Int(i64::MIN),
+        Json::Int(i64::MAX),
+        Json::Int(-1),
+        Json::Float(5e-324),
+        Json::Float(-0.0),
+        Json::Str("κλ-div \"quoted\" \u{1F512}\n\t".into()),
+        Json::Arr(vec![]),
+        Json::obj(),
+        Json::Arr(vec![Json::Arr(vec![Json::Arr(vec![Json::Int(7)])])]),
+    ]);
+    vec![
+        encode(&publication_like),
+        encode(&adversarial_values),
+        encode(&Json::obj().field("error", "boom").field("kind", "internal")),
+        encode(&Json::Null),
+    ]
+}
+
+/// ≥5000 structure-aware decoder adversaries: generic byte mutations,
+/// truncations at every depth, header length-field lies, version and
+/// tag rewrites at known offsets, duplicated payload spans, and fully
+/// random documents behind a forged `LDVW` magic. Decoding must return
+/// a typed error (or a value) — never panic — and erroring twice must
+/// yield the *same* error with stable, non-empty `wire:` text.
+#[test]
+fn wire_decoder_errors_but_never_panics_under_structure_aware_fuzz() {
+    let seeds = wire_seeds();
+    let mut rng = Lcg(0x1d5_77ae ^ 0x5eed_0009);
+    for case in 0..6000 {
+        let seed = &seeds[case % seeds.len()];
+        let input: Vec<u8> = match case % 8 {
+            // Generic byte-level edits of a valid block.
+            0 | 1 => mutate(&mut rng, seed),
+            // Truncation at an arbitrary boundary (header included).
+            2 => seed[..rng.below(seed.len() + 1)].to_vec(),
+            // Header length-field lie: random u32 over bytes 5..9.
+            3 => {
+                let mut bytes = seed.clone();
+                let lie = (rng.next_u64() >> 16) as u32;
+                bytes[5..9].copy_from_slice(&lie.to_le_bytes());
+                bytes
+            }
+            // Version rewrite at byte 4.
+            4 => {
+                let mut bytes = seed.clone();
+                bytes[4] = rng.byte();
+                bytes
+            }
+            // Tag/payload rewrite at an offset inside the payload.
+            5 => {
+                let mut bytes = seed.clone();
+                let at = HEADER_LEN + rng.below(bytes.len() - HEADER_LEN);
+                bytes[at] = rng.byte();
+                bytes
+            }
+            // Duplicated payload span (sections repeated, length stale).
+            6 => {
+                let mut bytes = seed.clone();
+                let at = HEADER_LEN + rng.below(bytes.len() - HEADER_LEN);
+                let end = (at + 1 + rng.below(24)).min(bytes.len());
+                let span: Vec<u8> = bytes[at..end].to_vec();
+                bytes.splice(at..at, span);
+                bytes
+            }
+            // Random bytes behind a forged magic + version.
+            7 => {
+                let mut bytes = MAGIC.to_vec();
+                bytes.push(VERSION);
+                bytes.extend(random_doc(&mut rng));
+                bytes
+            }
+            _ => unreachable!(),
+        };
+        assert_no_panic("wire::decode", case, &input, || {
+            if let Err(err) = decode(&input) {
+                // Typed, deterministic, stable: the same input errors
+                // identically twice, and the text is the documented
+                // `wire:`-prefixed diagnosis, not a Debug dump.
+                assert_eq!(decode(&input).unwrap_err(), err, "case {case}");
+                let text = err.to_string();
+                assert!(text.starts_with("wire: "), "case {case}: {text}");
+                assert_eq!(text, err.to_string(), "case {case}: unstable text");
+            }
+        });
+    }
+}
+
+/// Declared lengths are never trusted for allocation: a tiny block
+/// claiming a ~4-billion-element array (or a huge string) must be
+/// rejected as truncated immediately, not buffered first.
+#[test]
+fn wire_decoder_rejects_declared_length_bombs_without_allocating() {
+    // ARR tag + maximal varint count, 7 bytes of payload total.
+    let mut arr_bomb = Vec::from(MAGIC);
+    arr_bomb.push(VERSION);
+    arr_bomb.extend((7u32).to_le_bytes());
+    arr_bomb.extend([0x06, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x00]);
+    // STR tag + 256 MiB declared length, no content.
+    let mut str_bomb = Vec::from(MAGIC);
+    str_bomb.push(VERSION);
+    str_bomb.extend((6u32).to_le_bytes());
+    str_bomb.extend([0x05, 0x80, 0x80, 0x80, 0x80, 0x01]);
+
+    for (bomb, what) in [(arr_bomb, "array"), (str_bomb, "string")] {
+        let start = std::time::Instant::now();
+        let err = decode(&bomb).expect_err(what);
+        assert!(
+            matches!(err, WireError::Truncated { .. }),
+            "{what} bomb: {err}"
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "{what} bomb took {:?} — was the declared length allocated?",
+            start.elapsed()
+        );
+    }
+
+    // And the honest baseline still decodes: the guard rejects lies,
+    // not real payloads.
+    for seed in wire_seeds() {
+        assert!(decode(&seed).is_ok());
     }
 }
 

@@ -14,6 +14,10 @@
 //! Params are fully explicit (`shards` included) so the fixtures hold
 //! under the CI `LDIV_SHARDS` override pass.
 //!
+//! Every `*.json` fixture also has a `*.bin` twin: the same value as
+//! one LDVW binary block (`ldiv-wire`), cross-checked here so the two
+//! faces can never drift apart.
+//!
 //! To regenerate after an *intentional* wire change:
 //!
 //! ```text
@@ -49,6 +53,10 @@ fn check_golden(fixture: &str, actual: &str) {
     let path = fixture_path(fixture);
     if std::env::var("LDIV_UPDATE_GOLDEN").is_ok() {
         std::fs::write(&path, format!("{actual}\n")).unwrap();
+        // Every JSON fixture carries a binary twin: the same value as
+        // one LDVW block, kept in lockstep by the regeneration flow.
+        let value = ldiversity::wire::Json::parse(actual).expect("fixture JSON parses");
+        std::fs::write(path.with_extension("bin"), ldiversity::wire::encode(&value)).unwrap();
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -83,6 +91,57 @@ fn sharded_wire_bytes_match_the_committed_fixtures() {
     for name in ["tp+", "anatomy"] {
         let fixture = format!("{}_l2_shards2.json", name.replace('+', "_plus"));
         check_golden(&fixture, &wire_bytes(name, 2));
+    }
+}
+
+/// Every committed `*.json` fixture — whichever suite owns it — has a
+/// committed `*.bin` twin holding the same value as one LDVW block,
+/// and the two faces decode to equal values that render identically.
+/// Under `LDIV_UPDATE_GOLDEN=1` the twins are (re)written from the
+/// JSON fixtures on disk, so regenerating any suite's fixtures and then
+/// running this test refreshes the binary side too.
+#[test]
+fn every_golden_json_fixture_has_a_decoding_binary_twin() {
+    let dir = fixture_path("");
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        !fixtures.is_empty(),
+        "no golden fixtures in {}",
+        dir.display()
+    );
+
+    let update = std::env::var("LDIV_UPDATE_GOLDEN").is_ok();
+    for json_path in fixtures {
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let value = ldiversity::wire::Json::parse(text.trim_end())
+            .unwrap_or_else(|| panic!("{} does not parse", json_path.display()));
+        let expected_block = ldiversity::wire::encode(&value);
+        let bin_path = json_path.with_extension("bin");
+        if update {
+            std::fs::write(&bin_path, &expected_block).unwrap();
+            continue;
+        }
+        let block = std::fs::read(&bin_path).unwrap_or_else(|e| {
+            panic!(
+                "missing binary twin {} ({e}); regenerate with LDIV_UPDATE_GOLDEN=1",
+                bin_path.display()
+            )
+        });
+        assert_eq!(
+            block,
+            expected_block,
+            "{} drifted from its JSON twin; regenerate with LDIV_UPDATE_GOLDEN=1",
+            bin_path.display()
+        );
+        let decoded = ldiversity::wire::decode(&block)
+            .unwrap_or_else(|e| panic!("{}: {e}", bin_path.display()));
+        assert_eq!(decoded, value, "{}", bin_path.display());
+        assert_eq!(decoded.render(), text.trim_end(), "{}", bin_path.display());
     }
 }
 
