@@ -1,10 +1,17 @@
-//! Requests/sec through the anonymization service, cached vs uncached.
+//! Requests/sec through the anonymization service, cached vs uncached,
+//! plus concurrent fan-in storms.
 //!
 //! Usage: `cargo run --release -p ldiv-bench --bin server_throughput --
-//! [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--json]`
+//! [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--seed S]
+//! [--concurrency N] [--duplicates] [--storm-requests N] [--quick]
+//! [--json]`
 //!
-//! `--json` swaps the aligned text table for the machine-readable report
-//! (rows/s, p50/p99 latency) that `BENCH_serve.json` pins as a baseline.
+//! `--concurrency N` adds the storm measurements (N client threads over
+//! real sockets); `--duplicates` drives the identical-request storm on
+//! top of the mixed one — the single-flight coalescing proof.
+//! `--quick` shrinks rows/requests to a CI-smoke size. `--json` swaps
+//! the aligned text table for the machine-readable report that
+//! `BENCH_serve.json` pins as a baseline.
 
 use ldiv_bench::service::{measure_service, render_json_report, render_report, ServiceBenchConfig};
 
@@ -14,9 +21,22 @@ fn main() {
     let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        if flag == "--json" {
-            json = true;
-            continue;
+        match flag.as_str() {
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--duplicates" => {
+                cfg.duplicates = true;
+                continue;
+            }
+            "--quick" => {
+                cfg.rows = 400;
+                cfg.requests = 6;
+                cfg.storm_requests = 4;
+                continue;
+            }
+            _ => {}
         }
         let value = it.next();
         let parsed = match (flag.as_str(), value) {
@@ -29,11 +49,14 @@ fn main() {
                 true
             }
             ("--seed", Some(v)) => v.parse().map(|n| cfg.seed = n).is_ok(),
+            ("--concurrency", Some(v)) => v.parse().map(|n| cfg.concurrency = n).is_ok(),
+            ("--storm-requests", Some(v)) => v.parse().map(|n| cfg.storm_requests = n).is_ok(),
             _ => false,
         };
         if !parsed {
             eprintln!(
-                "usage: server_throughput [--rows N] [--requests N] [--l L] [--algo MECHANISM] [--seed S] [--json]"
+                "usage: server_throughput [--rows N] [--requests N] [--l L] [--algo MECHANISM] \
+                 [--seed S] [--concurrency N] [--duplicates] [--storm-requests N] [--quick] [--json]"
             );
             std::process::exit(2);
         }

@@ -110,6 +110,57 @@ impl WireComparison {
     }
 }
 
+/// One concurrent-storm measurement: `clients` threads driving real
+/// sockets at once, each issuing its requests back-to-back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormPath {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole storm.
+    pub seconds: f64,
+    /// Requests per second across the storm.
+    pub rps: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Cache hits during the storm.
+    pub hits: u64,
+    /// Cache misses during the storm.
+    pub misses: u64,
+    /// Requests answered by joining an in-flight identical computation.
+    pub coalesced: u64,
+    /// Anonymization runs actually executed — the coalescing proof: an
+    /// identical-request storm against a cold cache runs exactly one.
+    pub anonymize_runs: u64,
+}
+
+/// The fan-in load results: an identical-request storm (every client
+/// hammers one cache key, so single-flight coalescing must collapse the
+/// first wave onto one run) and a mixed storm (clients spread over a few
+/// distinct keys, showing distinct work is not serialized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormThroughput {
+    /// Hardware parallelism the storm ran against
+    /// (`std::thread::available_parallelism`). Client-observed latency
+    /// under closed-loop fan-in is Little's-law-bound by this — a
+    /// 32-client storm on 1 core queues ~32 service times per request
+    /// whatever the server does — so baseline gates must normalize
+    /// tail-latency comparisons by `concurrency / cores`.
+    pub cores: usize,
+    /// All clients drive the same key against a cold cache.
+    pub identical: Option<StormPath>,
+    /// Clients spread across [`MIXED_KEY_GROUPS`] distinct keys.
+    pub mixed: StormPath,
+}
+
+/// Distinct cache-key groups the mixed storm spreads its clients over
+/// (via the output-neutral `fanout` parameter, which still enters the
+/// canonical params and therefore the key).
+pub const MIXED_KEY_GROUPS: usize = 4;
+
 /// The cached-vs-uncached comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceThroughput {
@@ -119,10 +170,12 @@ pub struct ServiceThroughput {
     pub cached: PathThroughput,
     /// Cache hits again, but negotiated as binary (`?format=bin`) — the
     /// same cache line as `cached` (format is not a key component), with
-    /// the body re-encoded as one LDVW block after the hit.
+    /// the body served from the line's shared encoded block.
     pub cached_bin: PathThroughput,
     /// Body bytes for the two faces of the cached response.
     pub wire: WireComparison,
+    /// Concurrent fan-in storms, when `concurrency > 0` was configured.
+    pub storm: Option<StormThroughput>,
 }
 
 impl ServiceThroughput {
@@ -146,6 +199,17 @@ pub struct ServiceBenchConfig {
     pub mechanism: &'static str,
     /// Generator seed.
     pub seed: u64,
+    /// Concurrent client threads for the storm measurements; 0 disables
+    /// the storms entirely (the classic three-path bench).
+    pub concurrency: usize,
+    /// Whether the identical-request (pure duplicate) storm runs in
+    /// addition to the mixed one.
+    pub duplicates: bool,
+    /// Requests each storm client issues back-to-back. High enough by
+    /// default that the one slow first wave (every client's opening
+    /// request rides the single leader's compute) stays beneath the p99
+    /// rank — the steady state is what the percentile should see.
+    pub storm_requests: usize,
 }
 
 impl Default for ServiceBenchConfig {
@@ -156,6 +220,9 @@ impl Default for ServiceBenchConfig {
             l: 4,
             mechanism: "hilbert",
             seed: 0xEDB7,
+            concurrency: 0,
+            duplicates: false,
+            storm_requests: 150,
         }
     }
 }
@@ -191,23 +258,46 @@ fn response_body(raw: &[u8]) -> &[u8] {
         .unwrap_or(&[])
 }
 
+// The wire format is machine-generated and field-ordered; a targeted
+// scan keeps the bench free of a JSON parser.
+fn stats_counter(stats: &str, key: &str) -> u64 {
+    stats
+        .split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
 fn cache_counters(addr: SocketAddr) -> (u64, u64) {
     let stats = http_request(addr, "GET", "/stats", b"");
-    // The wire format is machine-generated and field-ordered; a targeted
-    // scan keeps the bench free of a JSON parser.
-    let extract = |key: &str| -> u64 {
-        stats
-            .split(&format!("\"{key}\":"))
-            .nth(1)
-            .and_then(|rest| {
-                rest.split(|c: char| !c.is_ascii_digit())
-                    .next()?
-                    .parse()
-                    .ok()
-            })
-            .unwrap_or(0)
-    };
-    (extract("hits"), extract("misses"))
+    (
+        stats_counter(&stats, "hits"),
+        stats_counter(&stats, "misses"),
+    )
+}
+
+/// The counter set a storm is judged by, scraped from `GET /stats`.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServeCounters {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    anonymize_runs: u64,
+}
+
+fn serve_counters(addr: SocketAddr) -> ServeCounters {
+    let stats = http_request(addr, "GET", "/stats", b"");
+    ServeCounters {
+        hits: stats_counter(&stats, "hits"),
+        misses: stats_counter(&stats, "misses"),
+        coalesced: stats_counter(&stats, "coalesced"),
+        anonymize_runs: stats_counter(&stats, "anonymize_runs"),
+    }
 }
 
 fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) -> PathThroughput {
@@ -241,6 +331,97 @@ fn timed_requests(addr: SocketAddr, target: &str, body: &[u8], requests: usize) 
         hits: hits1 - hits0,
         misses: misses1 - misses0,
         stages,
+    }
+}
+
+/// Drives one storm: each target gets its own client thread issuing
+/// `per_client` requests back-to-back over real sockets. Latencies pool
+/// across clients; the counter deltas come from `/stats`.
+fn storm_drive(addr: SocketAddr, targets: &[String], body: &[u8], per_client: usize) -> StormPath {
+    let before = serve_counters(addr);
+    let start = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = targets
+            .iter()
+            .map(|target| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let sent = Instant::now();
+                        let response = http_request_raw(addr, "POST", target, body);
+                        lat.push(sent.elapsed().as_secs_f64() * 1e3);
+                        assert!(
+                            response.starts_with(b"HTTP/1.1 200"),
+                            "storm request failed: {}",
+                            String::from_utf8_lossy(&response)
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storm client"))
+            .collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let after = serve_counters(addr);
+    StormPath {
+        clients: targets.len(),
+        requests: latencies_ms.len(),
+        seconds,
+        rps: latencies_ms.len() as f64 / seconds.max(f64::EPSILON),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        coalesced: after.coalesced - before.coalesced,
+        anonymize_runs: after.anonymize_runs - before.anonymize_runs,
+    }
+}
+
+/// The fan-in storms. Each storm gets a fresh, **cold** server — the
+/// first wave is the interesting part: with every client missing at
+/// once, single-flight coalescing must collapse identical misses onto
+/// one leader run. The worker pool is sized to the client count so the
+/// whole fan-in can park concurrently instead of queueing.
+fn measure_storm(cfg: &ServiceBenchConfig, csv: &[u8]) -> StormThroughput {
+    let server_config = || ServerConfig {
+        workers: cfg.concurrency.clamp(2, 64),
+        queue_depth: cfg.concurrency.max(64),
+        cache_capacity: 256,
+        ..ServerConfig::default()
+    };
+    let target = format!("/anonymize?algo={}&l={}", cfg.mechanism, cfg.l);
+
+    let identical = cfg.duplicates.then(|| {
+        let server = Server::bind("127.0.0.1:0", standard_registry(), server_config())
+            .expect("bind identical-storm server");
+        let targets = vec![target.clone(); cfg.concurrency];
+        let path = storm_drive(server.addr(), &targets, csv, cfg.storm_requests);
+        server.shutdown();
+        path
+    });
+
+    // The mixed storm spreads clients over MIXED_KEY_GROUPS distinct
+    // cache keys via `fanout` (output-neutral for this measurement, but
+    // a canonical-params — and therefore cache-key — component), so it
+    // demonstrates that coalescing merges only *identical* work.
+    let server = Server::bind("127.0.0.1:0", standard_registry(), server_config())
+        .expect("bind mixed-storm server");
+    let targets: Vec<String> = (0..cfg.concurrency)
+        .map(|i| format!("{target}&fanout={}", 2 + (i % MIXED_KEY_GROUPS)))
+        .collect();
+    let mixed = storm_drive(server.addr(), &targets, csv, cfg.storm_requests);
+    server.shutdown();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    StormThroughput {
+        cores,
+        identical,
+        mixed,
     }
 }
 
@@ -290,11 +471,14 @@ pub fn measure_service(cfg: &ServiceBenchConfig) -> ServiceThroughput {
     };
     cached_server.shutdown();
 
+    let storm = (cfg.concurrency > 0).then(|| measure_storm(cfg, &csv));
+
     ServiceThroughput {
         uncached,
         cached,
         cached_bin,
         wire,
+        storm,
     }
 }
 
@@ -325,6 +509,33 @@ pub fn render_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> String 
         t.wire.bin_bytes,
         t.wire.ratio()
     ));
+    if let Some(storm) = &t.storm {
+        out.push_str(&format!(
+            "\nstorm — {} clients × {} requests each ({} cores):\n{:>10} {:>12} {:>9} {:>9} {:>8} {:>8} {:>10} {:>6}\n",
+            storm.mixed.clients,
+            storm.mixed.requests / storm.mixed.clients.max(1),
+            storm.cores,
+            "storm",
+            "req/s",
+            "p50 ms",
+            "p99 ms",
+            "hits",
+            "misses",
+            "coalesced",
+            "runs"
+        ));
+        let rows = storm
+            .identical
+            .iter()
+            .map(|p| ("identical", p))
+            .chain(std::iter::once(("mixed", &storm.mixed)));
+        for (name, p) in rows {
+            out.push_str(&format!(
+                "{:>10} {:>12.1} {:>9.2} {:>9.2} {:>8} {:>8} {:>10} {:>6}\n",
+                name, p.rps, p.p50_ms, p.p99_ms, p.hits, p.misses, p.coalesced, p.anonymize_runs
+            ));
+        }
+    }
     for (name, p) in [("uncached", &t.uncached), ("cached", &t.cached)] {
         if p.stages.is_empty() {
             continue;
@@ -378,15 +589,31 @@ fn path_json(cfg: &ServiceBenchConfig, p: &PathThroughput) -> Json {
         .field("stages", stages_json(&p.stages))
 }
 
+/// The JSON form of one storm path (fan-in counters included).
+fn storm_json(p: &StormPath) -> Json {
+    Json::obj()
+        .field("clients", p.clients)
+        .field("requests", p.requests)
+        .field("seconds", round3(p.seconds))
+        .field("requests_per_sec", round3(p.rps))
+        .field("p50_ms", round3(p.p50_ms))
+        .field("p99_ms", round3(p.p99_ms))
+        .field("cache_hits", p.hits as i64)
+        .field("cache_misses", p.misses as i64)
+        .field("coalesced", p.coalesced as i64)
+        .field("anonymize_runs", p.anonymize_runs as i64)
+}
+
 /// The machine-readable report behind `server_throughput --json`: the
 /// committed `BENCH_serve.json` baseline is exactly this object.
 /// Schema 2 added the per-stage decomposition (`stages`) to each path;
 /// schema 3 added the binary-negotiated cached path (`cached_bin`) and
-/// the `wire` payload-size comparison.
+/// the `wire` payload-size comparison; schema 4 added the `storm`
+/// section (concurrent fan-in with single-flight coalescing counters).
 pub fn render_json_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> Json {
-    Json::obj()
+    let mut json = Json::obj()
         .field("bench", "server_throughput")
-        .field("schema", 3i64)
+        .field("schema", 4i64)
         .field("rows", cfg.rows)
         .field("mechanism", cfg.mechanism)
         .field("l", cfg.l)
@@ -400,8 +627,23 @@ pub fn render_json_report(cfg: &ServiceBenchConfig, t: &ServiceThroughput) -> Js
                 .field("json_bytes", t.wire.json_bytes)
                 .field("bin_bytes", t.wire.bin_bytes)
                 .field("ratio", round3(t.wire.ratio())),
-        )
-        .field("cache_speedup", round3(t.speedup()))
+        );
+    if let Some(storm) = &t.storm {
+        let mut s = Json::obj()
+            .field("concurrency", storm.mixed.clients)
+            .field(
+                "requests_per_client",
+                storm.mixed.requests / storm.mixed.clients.max(1),
+            )
+            .field("cores", storm.cores)
+            .field("mixed_key_groups", MIXED_KEY_GROUPS);
+        if let Some(identical) = &storm.identical {
+            s = s.field("identical", storm_json(identical));
+        }
+        s = s.field("mixed", storm_json(&storm.mixed));
+        json = json.field("storm", s);
+    }
+    json.field("cache_speedup", round3(t.speedup()))
 }
 
 #[cfg(test)]
@@ -447,7 +689,9 @@ mod tests {
             parsed.get("bench"),
             Some(&Json::Str("server_throughput".into()))
         );
-        assert_eq!(parsed.get("schema"), Some(&Json::Int(3)));
+        assert_eq!(parsed.get("schema"), Some(&Json::Int(4)));
+        // No storm was configured: the section is absent, not empty.
+        assert!(parsed.get("storm").is_none());
         assert!(json.contains("\"p99_ms\":"), "{json}");
         assert!(json.contains("\"cached_bin\":{"), "{json}");
         assert!(json.contains("\"wire\":{\"json_bytes\":"), "{json}");
@@ -465,6 +709,44 @@ mod tests {
         }
         assert!(json.contains("\"stages\":["), "{json}");
         assert!(report.contains("uncached stages:"), "{report}");
+    }
+
+    #[test]
+    fn storms_coalesce_identical_work_and_only_identical_work() {
+        let cfg = ServiceBenchConfig {
+            rows: 400,
+            requests: 4,
+            l: 3,
+            concurrency: 4,
+            duplicates: true,
+            storm_requests: 3,
+            ..Default::default()
+        };
+        let t = measure_service(&cfg);
+        let storm = t.storm.as_ref().expect("storm configured");
+        let identical = storm.identical.as_ref().expect("duplicates configured");
+        // The coalescing proof: every client drove the same key against
+        // a cold cache, and the mechanism still ran exactly once.
+        assert_eq!(identical.anonymize_runs, 1, "{identical:?}");
+        assert_eq!(identical.requests, cfg.concurrency * cfg.storm_requests);
+        // Everything that didn't run was a hit or a coalesced join.
+        assert_eq!(
+            identical.hits + identical.coalesced + identical.anonymize_runs,
+            identical.requests as u64,
+            "{identical:?}"
+        );
+        // Mixed storm: one client per key group, so nothing coalesces
+        // and every distinct key computes once — distinct work is never
+        // merged or serialized away.
+        assert_eq!(storm.mixed.anonymize_runs, MIXED_KEY_GROUPS as u64);
+        assert_eq!(storm.mixed.coalesced, 0, "{:?}", storm.mixed);
+        let json = render_json_report(&cfg, &t).render();
+        assert!(json.contains("\"storm\":{\"concurrency\":4"), "{json}");
+        assert!(json.contains("\"identical\":{"), "{json}");
+        assert!(json.contains("\"anonymize_runs\":1"), "{json}");
+        let report = render_report(&cfg, &t);
+        assert!(report.contains("identical"), "{report}");
+        assert!(report.contains("coalesced"), "{report}");
     }
 
     #[test]

@@ -89,6 +89,25 @@ impl<V> LruCache<V> {
         }
     }
 
+    /// Like [`get`](LruCache::get), except a miss is **not** counted —
+    /// for re-probes by a request that already recorded its miss on an
+    /// earlier public `get` (the single-flight leader re-checks the
+    /// cache after winning its key, because the previous leader may have
+    /// published and retired in between). A hit still counts and bumps
+    /// recency: the entry really did serve the request, so the
+    /// accounting `hits + coalesced + runs = requests` stays exact.
+    pub fn get_after_miss(&mut self, key: &CacheKey) -> Option<&V> {
+        match self.map.get_mut(key) {
+            Some((touched, value)) => {
+                self.clock += 1;
+                *touched = self.clock;
+                self.hits += 1;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
     /// Inserts (or refreshes) an entry, evicting the least recently used
     /// one when at capacity.
     pub fn insert(&mut self, key: CacheKey, value: V) {
@@ -169,6 +188,25 @@ mod tests {
         c.insert(key(1, "tp"), 1);
         assert_eq!(c.get(&key(1, "tp")), None);
         assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn reprobes_count_hits_but_never_misses() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.get_after_miss(&key(1, "tp")), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "a re-probe miss is silent");
+        c.insert(key(1, "tp"), 1);
+        assert_eq!(c.get_after_miss(&key(1, "tp")), Some(&1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 0), "a re-probe hit is a hit");
+        // A re-probe hit refreshes recency like any served lookup: 2 is
+        // now the stalest and gets evicted.
+        c.insert(key(2, "tp"), 2);
+        c.get_after_miss(&key(1, "tp"));
+        c.insert(key(3, "tp"), 3);
+        assert!(c.get_after_miss(&key(2, "tp")).is_none());
+        assert!(c.get_after_miss(&key(1, "tp")).is_some());
     }
 
     #[test]

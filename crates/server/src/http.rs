@@ -28,14 +28,21 @@ const MAX_LINE_BYTES: usize = 8 * 1024;
 
 /// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`],
 /// rejecting longer ones with `431` instead of buffering them.
+///
+/// A line must actually end in `\n`: an EOF mid-line means the head was
+/// cut off (dropped connection, truncated proxy buffer), and a partial
+/// line must not parse as a complete one. Most dangerously, a cut-off
+/// header line would otherwise read back as the blank separator line and
+/// the truncated request would be *served* instead of refused.
 fn read_limited_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
     let mut line: Vec<u8> = Vec::new();
+    let mut terminated = false;
     loop {
         let chunk = reader
             .fill_buf()
             .map_err(|e| HttpError::bad(format!("read error: {e}")))?;
         if chunk.is_empty() {
-            break; // EOF: return what we have
+            break; // EOF mid-line: rejected below
         }
         let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
             Some(at) => (at + 1, true),
@@ -50,8 +57,12 @@ fn read_limited_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
         line.extend_from_slice(&chunk[..take]);
         reader.consume(take);
         if done {
+            terminated = true;
             break;
         }
+    }
+    if !terminated {
+        return Err(HttpError::bad("truncated request head"));
     }
     String::from_utf8(line).map_err(|_| HttpError::bad("non-UTF-8 request head"))
 }
@@ -91,10 +102,32 @@ impl Request {
     }
 
     /// The validated `Content-Length`, when one was declared.
+    ///
+    /// Framing is strict because the body boundary is what separates one
+    /// request from attacker-controlled trailing bytes: a *single*
+    /// declaration (two headers — even agreeing ones — are the shape of
+    /// a request-smuggling framing lie, where first-wins and last-wins
+    /// parsers read different bodies), and DIGIT-only syntax (`usize`'s
+    /// parser also accepts `+5`, which HTTP does not).
     pub fn declared_content_length(&self) -> Result<Option<usize>, HttpError> {
-        let Some(len) = self.header("content-length") else {
+        let mut declared: Option<&str> = None;
+        for (name, value) in &self.headers {
+            if name != "content-length" {
+                continue;
+            }
+            if let Some(first) = declared {
+                return Err(HttpError::bad(format!(
+                    "duplicate Content-Length headers ('{first}', '{value}')"
+                )));
+            }
+            declared = Some(value);
+        }
+        let Some(len) = declared else {
             return Ok(None);
         };
+        if len.is_empty() || !len.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::bad(format!("bad Content-Length '{len}'")));
+        }
         let len: usize = len
             .parse()
             .map_err(|_| HttpError::bad(format!("bad Content-Length '{len}'")))?;
@@ -222,9 +255,14 @@ pub fn read_body(reader: &mut impl BufRead, request: &mut Request) -> Result<(),
 }
 
 /// Splits a request target into decoded path and query pairs.
+///
+/// `+`-as-space is an `application/x-www-form-urlencoded` convention
+/// that only applies to query pairs: in the path component a `+` is a
+/// literal plus (else `/datasets/a+b` would resolve as `/datasets/a b`
+/// and a space-named resource would shadow a plus-named one).
 fn split_target(target: &str) -> (String, Vec<(String, String)>) {
     match target.split_once('?') {
-        None => (percent_decode(target), Vec::new()),
+        None => (decode_component(target, false), Vec::new()),
         Some((path, query)) => {
             let pairs = query
                 .split('&')
@@ -234,20 +272,26 @@ fn split_target(target: &str) -> (String, Vec<(String, String)>) {
                     None => (percent_decode(pair), String::new()),
                 })
                 .collect();
-            (percent_decode(path), pairs)
+            (decode_component(path, false), pairs)
         }
     }
 }
 
-/// Decodes `%XX` escapes and `+`-as-space. Invalid escapes pass through
-/// literally; invalid UTF-8 is replaced.
+/// Decodes `%XX` escapes and `+`-as-space — the form-urlencoded (query
+/// pair) convention. Path components go through [`decode_component`]
+/// with `+` kept literal. Invalid escapes pass through literally;
+/// invalid UTF-8 is replaced.
 pub fn percent_decode(s: &str) -> String {
+    decode_component(s, true)
+}
+
+fn decode_component(s: &str, plus_as_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -462,6 +506,82 @@ mod tests {
         assert_eq!(percent_decode("a%20b+c"), "a b c");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn duplicate_or_conflicting_content_length_is_rejected() {
+        // Conflicting declarations: a first-wins parser would frame a
+        // 4-byte body and leave 8 attacker bytes on the stream.
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 12\r\n\r\nBODYBODYBODY")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Even agreeing duplicates are refused: intermediaries disagree
+        // on how to merge them, so one declaration is the only safe form.
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nBODY")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn content_length_must_be_digits_only() {
+        // `usize::parse` accepts a leading `+`; HTTP's DIGIT syntax does
+        // not.
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nBODY5")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length:\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // The socket parser trims header values, but the check must not
+        // depend on that: a directly constructed request with inner
+        // whitespace is refused too.
+        let req = Request {
+            method: "POST".into(),
+            path: "/".into(),
+            query: Vec::new(),
+            headers: vec![("content-length".into(), " 5".into())],
+            body: Vec::new(),
+        };
+        assert!(req.declared_content_length().is_err());
+    }
+
+    #[test]
+    fn plus_stays_literal_in_the_path() {
+        let req = parse("GET /datasets/a+b?note=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/datasets/a+b");
+        // The form-urlencoded convention still applies to query pairs.
+        assert_eq!(req.query_param("note"), Some("a b"));
+        // An escaped plus decodes to a literal plus everywhere.
+        let req = parse("GET /a%2Bb HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a+b");
+    }
+
+    #[test]
+    fn truncated_heads_are_rejected_not_served() {
+        // Cut mid-header: the EOF used to read back as the blank
+        // separator line, so this parsed as a complete bodyless request.
+        assert_eq!(
+            parse("GET /stats HTTP/1.1\r\nHost: exam")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Cut mid-request-line.
+        assert_eq!(parse("GET /anony").unwrap_err().status, 400);
+        // Head lines complete but the blank separator never arrived.
+        assert_eq!(parse("GET / HTTP/1.1\r\n").unwrap_err().status, 400);
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   [`Params::canonical`](ldiv_api::Params::canonical) — so identical
 //!   uploads hit regardless of client or file name, and any change to a
 //!   cell, parameter or mechanism misses.
+//! * **Single-flight misses.** Concurrent identical cache misses
+//!   coalesce ([`SingleFlight`]): one leader anonymizes, followers park
+//!   and receive the same rendered result (or the leader's classified
+//!   error) — a duplicate-request storm costs one run, not fan-in runs.
 //! * **Sweep parallelism is scoped.** `/sweep` fans across mechanisms
 //!   with scoped threads rather than re-entering the worker pool, so a
 //!   sweep can never deadlock the queue that delivered it.
@@ -43,12 +47,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod coalesce;
 pub mod http;
 pub mod jobs;
 pub mod listener;
 pub mod wire;
 
 pub use cache::{CacheKey, CacheStats, LruCache};
+pub use coalesce::SingleFlight;
 pub use http::{Request, Response};
 pub use jobs::{PoolHealth, WorkerPool};
 pub use listener::{handle_request, AppState, Server, ServerConfig};

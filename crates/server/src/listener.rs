@@ -31,6 +31,7 @@
 //! never in the body.
 
 use crate::cache::{CacheKey, LruCache};
+use crate::coalesce::{Outcome, SingleFlight};
 use crate::http::{parse_head, read_body, HttpError, Request, Response};
 use crate::jobs::{PoolHealth, WorkerPool};
 use crate::wire::{self, Json};
@@ -146,11 +147,52 @@ impl ServerConfig {
     }
 }
 
+/// One publication-cache line: the stored summary (its `"cached": false`
+/// face, exactly as first computed) plus the lazily encoded LDVW block
+/// shared by every hit. The block encodes the *hit* face
+/// (`"cached": true`) — the only face a cached binary response serves —
+/// and is built at most once per cache line, so repeated binary hits
+/// stop paying a re-encode. Cloning shares the block.
+#[derive(Clone)]
+struct CachedPublication {
+    summary: Json,
+    bin: Arc<OnceLock<Vec<u8>>>,
+}
+
+impl CachedPublication {
+    fn of(summary: Json) -> CachedPublication {
+        CachedPublication {
+            summary,
+            bin: Arc::new(OnceLock::new()),
+        }
+    }
+}
+
+/// A publication result ready for wire negotiation: the JSON summary to
+/// render, plus — when it was served from the cache — the shared handle
+/// to the line's encoded LDVW block. Fresh results carry no handle and
+/// negotiate binary through [`finalize_wire`] exactly as before; the
+/// wire format stays absent from the cache key either way.
+struct Served {
+    summary: Json,
+    bin: Option<Arc<OnceLock<Vec<u8>>>>,
+}
+
+impl Served {
+    fn fresh(summary: Json) -> Served {
+        Served { summary, bin: None }
+    }
+}
+
 /// Everything the routes share: the registry, the publication cache and
 /// the counters.
 pub struct AppState {
     registry: MechanismRegistry,
-    cache: Mutex<LruCache<Json>>,
+    cache: Mutex<LruCache<CachedPublication>>,
+    /// In-flight single-flight table: concurrent identical misses
+    /// coalesce onto one computation. Rides the publication cache —
+    /// disabled (never consulted) when `cache_capacity` is 0.
+    flights: SingleFlight,
     config: ServerConfig,
     store: Option<Arc<DatasetStore>>,
     /// The one registry both `/stats` and `/metrics` enumerate — the
@@ -161,6 +203,7 @@ pub struct AppState {
     anonymize_runs: Counter,
     rejected: Counter,
     panics_caught: Counter,
+    coalesced: Counter,
     request_hist: Arc<HistogramFamily>,
     run_hist: Arc<HistogramFamily>,
     pool_health: OnceLock<Arc<PoolHealth>>,
@@ -198,7 +241,7 @@ impl AppState {
                             mechanism: entry.mechanism,
                             params: entry.params,
                         },
-                        summary,
+                        CachedPublication::of(summary),
                     );
                 }
             }
@@ -222,6 +265,11 @@ impl AppState {
             "ldiv_panics_caught_total",
             "Panics converted to errors at isolation boundaries",
         );
+        let coalesced = metrics.counter(
+            "coalesced",
+            "ldiv_coalesced_total",
+            "Requests served by joining an identical in-flight computation",
+        );
         let request_hist = metrics.histogram(
             "ldiv_request_duration_seconds",
             "Request latency by route (log2 buckets).",
@@ -235,6 +283,7 @@ impl AppState {
         AppState {
             registry,
             cache: Mutex::new(cache),
+            flights: SingleFlight::new(),
             config,
             store,
             metrics,
@@ -242,6 +291,7 @@ impl AppState {
             anonymize_runs,
             rejected,
             panics_caught,
+            coalesced,
             request_hist,
             run_hist,
             pool_health: OnceLock::new(),
@@ -269,7 +319,7 @@ impl AppState {
     /// mutations are single `get`/`insert` calls whose internal state is
     /// consistent between statements, and a torn entry at worst costs a
     /// recomputation.
-    fn lock_cache(&self) -> MutexGuard<'_, LruCache<Json>> {
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<CachedPublication>> {
         self.cache
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -278,6 +328,17 @@ impl AppState {
     /// Cache counters (also on `GET /stats`).
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.lock_cache().stats()
+    }
+
+    /// Keys with a coalesced computation currently in flight.
+    pub fn coalesce_in_flight(&self) -> usize {
+        self.flights.in_flight()
+    }
+
+    /// Requests currently parked on an in-flight identical computation —
+    /// the gauge the storm tests poll to know a fan-in has formed.
+    pub fn coalesce_waiting(&self) -> usize {
+        self.flights.waiting()
     }
 
     /// Wires the worker pool's health gauge into `/stats` (done once by
@@ -473,7 +534,7 @@ fn route_request(state: &AppState, req: &Request) -> Response {
         ("GET", "/metrics") => Response::metrics_text(200, metrics_text(state)),
         ("GET", "/trace") => Response::json(200, trace_json(req).render()),
         ("POST", "/anonymize") => match anonymize_route(state, req) {
-            Ok(json) => Response::json(200, render_summary(json)),
+            Ok(served) => respond_publication(req, served),
             Err(e) => {
                 state.count_if_panic(&e);
                 error_response(&e)
@@ -514,6 +575,30 @@ fn route_request(state: &AppState, req: &Request) -> Response {
 fn render_summary(json: Json) -> String {
     let _render = ldiv_obs::span_labeled("wire:render", || "json".to_string());
     json.render()
+}
+
+/// Turns a publication result into its response.
+///
+/// The JSON face renders under the usual `wire:render` span and then
+/// negotiates through [`finalize_wire`] like any other route. A cache
+/// *hit* that negotiated binary short-circuits: it serves the cache
+/// line's shared LDVW block, encoding it on first use, so repeated
+/// binary hits stop re-encoding the same summary. The block's bytes are
+/// identical to what [`finalize_wire`] would produce —
+/// `encode ∘ parse ∘ render = encode` by the gated round-trip
+/// identities — so which path a response took is unobservable on the
+/// wire.
+fn respond_publication(req: &Request, served: Served) -> Response {
+    if let Some(bin) = &served.bin {
+        if wants_binary(req) {
+            let _render = ldiv_obs::span_labeled("wire:render", || "bin".to_string());
+            let block = bin
+                .get_or_init(|| ldiv_wire::encode(&served.summary))
+                .clone();
+            return Response::json(200, String::new()).into_binary(block);
+        }
+    }
+    Response::json(200, render_summary(served.summary))
 }
 
 /// The `GET /trace` document: the last `n` completed traces (default 16,
@@ -601,7 +686,16 @@ fn datasets_route(state: &AppState, req: &Request) -> Response {
             match (method, action) {
                 ("GET", "") => dataset_info_route(state, fp),
                 ("POST", "append") => append_route(state, req, fp),
-                ("POST", "publish") => publish_route(state, req, fp),
+                // Publish returns a `Served` (it fronts the publication
+                // cache and may carry the line's encoded-block handle),
+                // so it renders through the shared publication door
+                // rather than the plain-JSON one below.
+                ("POST", "publish") => {
+                    return match publish_route(state, req, fp) {
+                        Ok(served) => respond_publication(req, served),
+                        Err(e) => store_error_response(state, e),
+                    }
+                }
                 ("POST", "") | ("GET", "append") | ("GET", "publish") => {
                     return Response::json(
                         405,
@@ -623,7 +717,16 @@ fn datasets_route(state: &AppState, req: &Request) -> Response {
     };
     match result {
         Ok(json) => Response::json(200, json.render()),
-        Err(StoreError::NotFound(fp)) => Response::json(
+        Err(e) => store_error_response(state, e),
+    }
+}
+
+/// Maps a store-route failure onto its response: `NotFound` → 404,
+/// anything else through the shared domain-error mapping (counting
+/// converted panics on the way).
+fn store_error_response(state: &AppState, e: StoreError) -> Response {
+    match e {
+        StoreError::NotFound(fp) => Response::json(
             404,
             wire::error_json(&usage(format!(
                 "dataset {} is not registered",
@@ -631,7 +734,7 @@ fn datasets_route(state: &AppState, req: &Request) -> Response {
             )))
             .render(),
         ),
-        Err(e) => {
+        e => {
             let e = LdivError::from(e);
             state.count_if_panic(&e);
             error_response(&e)
@@ -750,7 +853,11 @@ fn list_datasets_route(state: &AppState) -> Result<Json, StoreError> {
 /// from the publish before it. The body is built by the same
 /// `publication_json` as `/anonymize` — byte-identical over the same rows;
 /// reuse accounting goes to the store counters, never the body.
-fn publish_route(state: &AppState, req: &Request, fp: u64) -> Result<Json, StoreError> {
+///
+/// Misses single-flight on the lineage key, like [`run_cached`]: one
+/// leader publishes (and persists the durable cache line), concurrent
+/// duplicates park and receive the same summary.
+fn publish_route(state: &AppState, req: &Request, fp: u64) -> Result<Served, StoreError> {
     let store = store_of(state)?;
     let name = req
         .query_param("algo")
@@ -766,27 +873,41 @@ fn publish_route(state: &AppState, req: &Request, fp: u64) -> Result<Json, Store
     if let Some(found) = lookup_cached(state, &key) {
         return Ok(found);
     }
-    let summary = guarded("datasets:publish", || {
-        let started = Instant::now();
-        let outcome = store
-            .publish(fp, mechanism, &params)
-            .map_err(LdivError::from)?;
-        // Success-only observation: failed runs have no meaningful
-        // mechanism latency (they may have died at parse or at t=0).
-        state.run_hist.observe(&key.mechanism, started.elapsed());
-        state.anonymize_runs.inc();
-        let kl = kl_divergence_with(&outcome.table, &outcome.publication, &params.executor());
-        Ok(wire::publication_json(
-            &outcome.table,
-            &outcome.publication,
-            &params,
-            kl,
-        ))
-    })?;
-    state.lock_cache().insert(key.clone(), summary.clone());
-    // Durable cache line: reloaded into the in-memory cache on restart.
-    store.persist_response(lineage, &key.mechanism, &key.params, &summary.render());
-    Ok(summary)
+    let compute = || -> Result<Json, LdivError> {
+        let summary = guarded("datasets:publish", || {
+            let started = Instant::now();
+            let outcome = store
+                .publish(fp, mechanism, &params)
+                .map_err(LdivError::from)?;
+            // Success-only observation: failed runs have no meaningful
+            // mechanism latency (they may have died at parse or at t=0).
+            state.run_hist.observe(&key.mechanism, started.elapsed());
+            state.anonymize_runs.inc();
+            let kl = kl_divergence_with(&outcome.table, &outcome.publication, &params.executor());
+            Ok(wire::publication_json(
+                &outcome.table,
+                &outcome.publication,
+                &params,
+                kl,
+            ))
+        })?;
+        state
+            .lock_cache()
+            .insert(key.clone(), CachedPublication::of(summary.clone()));
+        // Durable cache line: reloaded into the in-memory cache on restart.
+        store.persist_response(lineage, &key.mechanism, &key.params, &summary.render());
+        Ok(summary)
+    };
+    if state.config.cache_capacity == 0 {
+        return compute().map(Served::fresh).map_err(StoreError::from);
+    }
+    let outcome = state.flights.join("datasets:publish", &key, || {
+        if let Some(found) = reprobe(state, &key) {
+            return Ok(found);
+        }
+        compute()
+    });
+    serve_outcome(state, outcome).map_err(StoreError::from)
 }
 
 fn stats_json(state: &AppState) -> Json {
@@ -837,6 +958,14 @@ fn stats_json(state: &AppState) -> Json {
                 .field("shards_reused", s.shards_reused as i64),
         );
     }
+    // Live single-flight gauges; the cumulative `coalesced` counter is
+    // in the counter block above.
+    json = json.field(
+        "coalesce",
+        Json::obj()
+            .field("in_flight", state.flights.in_flight())
+            .field("waiting", state.flights.waiting()),
+    );
     json.field(
         "cache",
         Json::obj()
@@ -882,6 +1011,18 @@ fn metrics_text(state: &AppState) -> String {
         "gauge",
         "Publication cache entries held",
         cache.entries as u64,
+    );
+    metric(
+        "ldiv_coalesce_in_flight",
+        "gauge",
+        "Coalesced computations currently in flight",
+        state.flights.in_flight() as u64,
+    );
+    metric(
+        "ldiv_coalesce_waiting",
+        "gauge",
+        "Requests parked on an in-flight identical computation",
+        state.flights.waiting() as u64,
     );
     metric(
         "ldiv_workers",
@@ -1058,13 +1199,21 @@ fn table_from(state: &AppState, req: &Request, params: &Params) -> Result<Table,
 /// Runs one mechanism over the table with the cache in front: the key is
 /// (dataset fingerprint, resolved mechanism name, canonical params). On a
 /// hit the stored summary is returned with `"cached": true`.
+///
+/// Misses are **single-flight**: concurrent identical misses coalesce
+/// onto one leader's run (see [`crate::coalesce`]), so a duplicate
+/// storm costs one anonymization, not fan-in of them. Followers get the
+/// leader's fresh summary byte-for-byte (no `cached` flip — they rode
+/// the computation, they didn't hit the cache). Coalescing rides the
+/// cache: with caching disabled (capacity 0) every request computes,
+/// which the chaos suite depends on.
 fn run_cached(
     state: &AppState,
     table: &Table,
     fingerprint: u64,
     name: &str,
     params: &Params,
-) -> Result<Json, LdivError> {
+) -> Result<Served, LdivError> {
     let mechanism = state.registry.get_or_unknown(name)?;
     let key = CacheKey {
         dataset: fingerprint,
@@ -1074,30 +1223,72 @@ fn run_cached(
     if let Some(found) = lookup_cached(state, &key) {
         return Ok(found);
     }
-    // The sharding driver honours `params.shards` (a mechanism alone
-    // would not); with a resolved count of 1 this is `anonymize` itself.
-    let started = Instant::now();
-    let publication = ldiv_shard::anonymize_sharded(mechanism, table, params)?;
-    // Success-only observation, keyed by resolved mechanism name.
-    state.run_hist.observe(&key.mechanism, started.elapsed());
-    state.anonymize_runs.inc();
-    let kl = kl_divergence_with(table, &publication, &params.executor());
-    let summary = wire::publication_json(table, &publication, params, kl);
-    state.lock_cache().insert(key, summary.clone());
-    Ok(summary)
+    let compute = || -> Result<Json, LdivError> {
+        // The sharding driver honours `params.shards` (a mechanism alone
+        // would not); with a resolved count of 1 this is `anonymize`
+        // itself.
+        let started = Instant::now();
+        let publication = ldiv_shard::anonymize_sharded(mechanism, table, params)?;
+        // Success-only observation, keyed by resolved mechanism name.
+        state.run_hist.observe(&key.mechanism, started.elapsed());
+        state.anonymize_runs.inc();
+        let kl = kl_divergence_with(table, &publication, &params.executor());
+        let summary = wire::publication_json(table, &publication, params, kl);
+        state
+            .lock_cache()
+            .insert(key.clone(), CachedPublication::of(summary.clone()));
+        Ok(summary)
+    };
+    if state.config.cache_capacity == 0 {
+        return compute().map(Served::fresh);
+    }
+    let outcome = state.flights.join("anonymize", &key, || {
+        if let Some(found) = reprobe(state, &key) {
+            return Ok(found);
+        }
+        compute()
+    });
+    serve_outcome(state, outcome)
+}
+
+/// Counts and unwraps a single-flight outcome: leaders pass their result
+/// through, followers bump `ldiv_coalesced_total` (success or failure —
+/// either way the request was answered by someone else's computation).
+fn serve_outcome(state: &AppState, outcome: Outcome) -> Result<Served, LdivError> {
+    match outcome {
+        Outcome::Led(result) => result.map(Served::fresh),
+        Outcome::Joined(result) => {
+            state.coalesced.inc();
+            result.map(Served::fresh)
+        }
+    }
 }
 
 /// A cache probe under its own `cache:lookup` span — hits short-circuit
 /// the whole run, so the probe is a stage of its own in a trace.
-fn lookup_cached(state: &AppState, key: &CacheKey) -> Option<Json> {
+fn lookup_cached(state: &AppState, key: &CacheKey) -> Option<Served> {
     let _probe = ldiv_obs::span("cache:lookup");
-    state
-        .lock_cache()
-        .get(key)
-        .map(|found| found.clone().field("cached", true))
+    state.lock_cache().get(key).map(|found| Served {
+        summary: found.summary.clone().field("cached", true),
+        bin: Some(Arc::clone(&found.bin)),
+    })
 }
 
-fn anonymize_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
+/// The leader's cache re-probe after winning its key: the previous
+/// leader may have published and retired between this request's public
+/// miss and its join, and recomputing then would break "a storm runs
+/// the mechanism exactly once". Uses
+/// [`get_after_miss`](LruCache::get_after_miss) — the miss was already
+/// recorded on the public probe, but a hit here really serves the
+/// request, keeping `hits + coalesced + runs = requests` exact.
+fn reprobe(state: &AppState, key: &CacheKey) -> Option<Json> {
+    state
+        .lock_cache()
+        .get_after_miss(key)
+        .map(|found| found.summary.clone().field("cached", true))
+}
+
+fn anonymize_route(state: &AppState, req: &Request) -> Result<Served, LdivError> {
     let name = req
         .query_param("algo")
         .ok_or_else(|| usage("missing query parameter 'algo'"))?;
@@ -1144,6 +1335,7 @@ fn sweep_route(state: &AppState, req: &Request) -> Result<Json, LdivError> {
                     ldiv_obs::with_context(trace_ctx, || {
                         match guarded(&format!("sweep:{name}"), || {
                             run_cached(state, table, fingerprint, name, &params)
+                                .map(|served| served.summary)
                         }) {
                             Ok(summary) => summary,
                             Err(e) => {

@@ -444,6 +444,14 @@ impl DatasetStore {
 
     /// Loads a dataset's current full table (all segments concatenated
     /// in append order) plus its segment history.
+    ///
+    /// Bounded-memory: each segment streams straight off disk through
+    /// the chunked `read_csv_with` seam (no whole-file `fs::read`) and
+    /// is folded into one incrementally grown table before the next
+    /// segment is opened — peak residency is the accumulated output
+    /// plus a single segment, never every segment at once. Row ids
+    /// renumber sequentially: segment row `i` of segment `s` becomes
+    /// global row `offset_s + i`.
     pub fn load_table(
         &self,
         fingerprint: u64,
@@ -452,12 +460,14 @@ impl DatasetStore {
         let info = self.read_manifest(fingerprint)?;
         let _load =
             ldiv_obs::span_labeled("store:load", || format!("{} segments", info.segments.len()));
-        let mut segments = Vec::with_capacity(info.segments.len());
+        let single = info.segments.len() == 1;
         let mut schema: Option<Schema> = None;
+        let mut builder: Option<TableBuilder> = None;
+        let mut only: Option<Table> = None;
         for seg in &info.segments {
             let path = self.segments_dir(fingerprint).join(segment_file(seg.index));
-            let bytes = fs::read(&path).map_err(|e| io_error(&path, &e))?;
-            let table = read_csv_with(BufReader::new(&bytes[..]), schema.clone(), exec)
+            let file = fs::File::open(&path).map_err(|e| io_error(&path, &e))?;
+            let table = read_csv_with(BufReader::new(file), schema.clone(), exec)
                 .map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?;
             if table.len() != seg.rows || table.fingerprint() != seg.fingerprint {
                 return Err(StoreError::Corrupt(format!(
@@ -468,10 +478,28 @@ impl DatasetStore {
             if schema.is_none() {
                 schema = Some(table.schema().clone());
             }
-            segments.push(table);
+            if single {
+                // One segment: its table IS the dataset — no copy.
+                only = Some(table);
+                break;
+            }
+            let builder = builder.get_or_insert_with(|| {
+                TableBuilder::with_capacity(table.schema().clone(), info.rows())
+            });
+            for (_, qi, sa) in table.rows() {
+                builder.push_row_unchecked(qi, sa);
+            }
         }
-        let table = concat_tables(&segments);
-        Ok((table, info))
+        if let Some(table) = only {
+            return Ok((table, info));
+        }
+        let builder = builder.ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "dataset {} has no segments",
+                fingerprint_hex(fingerprint)
+            ))
+        })?;
+        Ok((builder.build(), info))
     }
 
     /// Publishes the dataset's current table under `params`, reusing
@@ -792,24 +820,6 @@ fn parse_response(text: &str) -> Option<PersistedResponse> {
         params: params_line.strip_prefix("params ")?.to_string(),
         body: body.to_string(),
     })
-}
-
-/// Concatenates same-schema tables in order (row ids renumber
-/// sequentially — segment row `i` of segment `s` becomes global row
-/// `offset_s + i`).
-fn concat_tables(tables: &[Table]) -> Table {
-    if tables.len() == 1 {
-        return tables[0].clone();
-    }
-    let schema = tables[0].schema().clone();
-    let total: usize = tables.iter().map(Table::len).sum();
-    let mut builder = TableBuilder::with_capacity(schema, total);
-    for table in tables {
-        for (_, qi, sa) in table.rows() {
-            builder.push_row_unchecked(qi, sa);
-        }
-    }
-    builder.build()
 }
 
 /// Validates that an append batch's header repeats the dataset's column

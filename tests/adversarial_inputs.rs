@@ -138,6 +138,33 @@ fn content_length_framing_rejects_lies_cleanly() {
             b"POST /x HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n".to_vec(),
             400,
         ),
+        // Non-DIGIT forms `parse::<usize>` would wave through: a signed
+        // declaration and an empty one are framing lies, not numbers.
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello".to_vec(),
+            400,
+        ),
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: \r\n\r\n".to_vec(),
+            400,
+        ),
+        // Duplicate Content-Length headers — agreeing or conflicting —
+        // are request-smuggling material and refuse to frame.
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody".to_vec(),
+            400,
+        ),
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 12\r\n\r\nbody".to_vec(),
+            400,
+        ),
+        // A head cut off mid-header (no terminating newline) must read
+        // as truncated, never as a completed blank-line separator.
+        (
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nX-Tr".to_vec(),
+            400,
+        ),
+        (b"POST /x HTTP/1.1".to_vec(), 400),
         // Chunked framing is declared unsupported, not mis-parsed.
         (
             b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
@@ -178,6 +205,25 @@ fn content_length_framing_rejects_lies_cleanly() {
             Ok(req) => panic!("framing case {case} parsed: {req:?}"),
         }
     }
+}
+
+/// The third framing fix from the positive side: `+` is form-encoding
+/// for query pairs only, so a literal plus in the path component (the
+/// dataset-fingerprint segment, mechanism names like `tp+` percent-land
+/// there too) survives parsing undecoded, while query values still read
+/// `+` as space and `%2B` as plus in both positions.
+#[test]
+fn plus_stays_literal_in_the_path_component() {
+    let raw =
+        b"POST /datasets/a+b/publish?note=a+b&algo=tp%2B HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+    let req = parse_request(&mut BufReader::new(&raw[..])).unwrap();
+    assert_eq!(req.path, "/datasets/a+b/publish");
+    assert_eq!(
+        req.query_param("note"),
+        Some("a b"),
+        "query pairs keep form-decoding"
+    );
+    assert_eq!(req.query_param("algo"), Some("tp+"));
 }
 
 #[test]

@@ -1,0 +1,521 @@
+//! Single-flight request coalescing, end-to-end over real sockets.
+//!
+//! A storm of identical concurrent cache misses must run the expensive
+//! anonymization exactly once: the first miss leads, duplicates park on
+//! the in-flight computation and receive the leader's rendered result.
+//! These tests drive that contract through the full stack — listener,
+//! worker pool, cache, guard — and assert it by counters the server
+//! itself publishes (`/stats`, `/metrics`), not by timing alone:
+//!
+//! * an identical storm bumps `anonymize_runs` by exactly 1, and the
+//!   ledger `hits + coalesced + runs = requests` balances;
+//! * a leader panic propagates to every parked follower as its own
+//!   well-formed 500 (and the failure is *not* cached — the next
+//!   request recomputes);
+//! * an elapsed deadline crosses the wait path as 504 for leader and
+//!   followers alike, promptly, and is never miscounted as a panic;
+//! * leader and follower bodies are byte-identical, on the JSON face
+//!   and under `?format=bin` negotiation;
+//! * `/datasets/{fp}/publish` coalesces on the store lineage
+//!   fingerprint exactly like `/anonymize` does on content;
+//! * the committed `BENCH_serve.json` baseline (schema 4) records the
+//!   storm with one run and a p99 that stays near the cached path.
+//!
+//! Storm windows are held open with the `slow:<ms>` fault directive
+//! (the plan is process-global, so fault-using tests serialize on one
+//! mutex, as in `tests/chaos.rs`).
+
+use ldiversity::datagen::{sal, AcsConfig};
+use ldiversity::guard::fault::{install, FaultPlan};
+use ldiversity::obs::registry::validate_prometheus;
+use ldiversity::server::{Server, ServerConfig};
+use ldiversity::standard_registry;
+use ldiversity::wire::{decode, Json};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Serializes the fault-using tests: the fault plan is process-wide.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Arms `plan` for the duration of `body`, disarming afterwards even if
+/// the body panics, all under the suite lock.
+fn with_faults(plan: Option<FaultPlan>, body: impl FnOnce()) {
+    let _guard: MutexGuard<'_, ()> = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    install(plan);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    install(None);
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn plan(spec: &str) -> Option<FaultPlan> {
+    Some(FaultPlan::parse(spec).expect(spec))
+}
+
+fn dataset_csv(rows: usize, seed: u64) -> Vec<u8> {
+    let table = sal(&AcsConfig { rows, seed });
+    let mut csv = Vec::new();
+    ldiversity::microdata::write_table_csv(&mut csv, &table).unwrap();
+    csv
+}
+
+/// One HTTP exchange returning the raw body bytes (binary-safe).
+fn http_bytes(
+    addr: std::net::SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    stream.write_all(body).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let header_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {response:?}"));
+    let head = std::str::from_utf8(&response[..header_end]).unwrap();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, response[header_end + 4..].to_vec())
+}
+
+/// One HTTP exchange with a UTF-8 body (the JSON face).
+fn http(addr: std::net::SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, String) {
+    let (status, bytes) = http_bytes(addr, method, target, body);
+    (status, String::from_utf8(bytes).unwrap())
+}
+
+/// Extracts the integer following `"key":` in a rendered JSON document.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {needle} in {body}"))
+        + needle.len();
+    body[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {needle} in {body}"))
+}
+
+/// Fires `count` concurrent identical requests and returns
+/// `(status, body)` per client, in spawn order.
+fn storm(
+    addr: std::net::SocketAddr,
+    count: usize,
+    target: &str,
+    body: &[u8],
+) -> Vec<(u16, String)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .map(|_| scope.spawn(move || http(addr, "POST", target, body)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+fn server(config: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", standard_registry(), config).unwrap()
+}
+
+/// The headline contract: an 8-way identical storm against a cold cache
+/// executes the anonymization exactly once. The count is asserted on
+/// `/stats` and `/metrics` (not inferred from latency), the accounting
+/// ledger `hits + coalesced + runs = requests` balances, the in-flight
+/// gauges return to zero, and every client receives the same summary.
+#[test]
+fn an_identical_storm_anonymizes_exactly_once() {
+    let csv = dataset_csv(500, 91);
+    let clients = 8;
+    let srv = server(ServerConfig {
+        workers: clients,
+        queue_depth: 64,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let addr = srv.addr();
+
+    // Hold the leader's run open for 600ms so every duplicate arrives
+    // while the computation is still in flight.
+    with_faults(plan("slow:600"), || {
+        let results = storm(addr, clients, "/anonymize?algo=tp&l=3", &csv);
+        let mut bodies: Vec<String> = results
+            .iter()
+            .map(|(status, body)| {
+                assert_eq!(*status, 200, "{body}");
+                // A client racing in after the flight retired is served
+                // from the cache; the flag is the only permitted delta.
+                body.replace("\"cached\":true", "\"cached\":false")
+            })
+            .collect();
+        bodies.sort();
+        bodies.dedup();
+        assert_eq!(bodies.len(), 1, "storm bodies diverge: {results:?}");
+    });
+
+    let (_, stats) = http(addr, "GET", "/stats", b"");
+    let runs = json_u64(&stats, "anonymize_runs");
+    let coalesced = json_u64(&stats, "coalesced");
+    let hits = json_u64(&stats, "hits");
+    assert_eq!(runs, 1, "an identical storm must run once: {stats}");
+    assert!(coalesced >= 1, "no request coalesced: {stats}");
+    assert_eq!(
+        hits + coalesced + runs,
+        clients as u64,
+        "request ledger does not balance: {stats}"
+    );
+    assert_eq!(json_u64(&stats, "in_flight"), 0, "{stats}");
+    assert_eq!(json_u64(&stats, "waiting"), 0, "{stats}");
+
+    // The second surface agrees and stays grammatical.
+    let (_, scrape) = http(addr, "GET", "/metrics", b"");
+    if let Err((line, reason)) = validate_prometheus(&scrape) {
+        panic!("scrape violates the line grammar at line {line}: {reason}");
+    }
+    assert!(
+        scrape.contains("ldiv_anonymize_runs_total 1"),
+        "run count missing: {scrape}"
+    );
+    assert!(
+        scrape.contains(&format!("ldiv_coalesced_total {coalesced}")),
+        "coalesce counters disagree across surfaces: {scrape}"
+    );
+    assert!(scrape.contains("ldiv_coalesce_in_flight 0"), "{scrape}");
+    assert!(scrape.contains("ldiv_coalesce_waiting 0"), "{scrape}");
+
+    // The storm populated the cache: the next request is a plain hit.
+    let (status, after) = http(addr, "POST", "/anonymize?algo=tp&l=3", &csv);
+    assert_eq!(status, 200);
+    assert!(after.contains("\"cached\":true"), "{after}");
+    let (_, stats) = http(addr, "GET", "/stats", b"");
+    assert_eq!(json_u64(&stats, "anonymize_runs"), 1, "{stats}");
+
+    srv.shutdown();
+}
+
+/// A leader that panics mid-run must fail every parked follower with
+/// its own well-formed 500 — never a hang, never a dropped connection —
+/// and the failure must not be cached: the next request after the fault
+/// clears recomputes from scratch.
+#[test]
+fn a_leader_panic_reaches_every_follower_as_a_500() {
+    let csv = dataset_csv(400, 92);
+    let clients = 6;
+    let srv = server(ServerConfig {
+        workers: clients,
+        queue_depth: 64,
+        cache_capacity: 16,
+        ..ServerConfig::default()
+    });
+    let addr = srv.addr();
+
+    // 400ms of injected slowness opens the join window, then the leader
+    // panics at the mechanism entry.
+    with_faults(plan("slow:400,panic:tp"), || {
+        let results = storm(addr, clients, "/anonymize?algo=tp&l=3", &csv);
+        for (status, body) in &results {
+            assert_eq!(*status, 500, "{body}");
+            assert!(
+                body.starts_with('{') && body.ends_with('}'),
+                "malformed follower error: {body}"
+            );
+            assert!(body.contains("\"kind\":\"internal\""), "{body}");
+            assert!(body.contains("injected fault"), "{body}");
+        }
+    });
+
+    // Every client's error is accounted (leader and followers alike ride
+    // the same route-level panic counter), and nothing ran to completion.
+    let (_, stats) = http(addr, "GET", "/stats", b"");
+    assert_eq!(json_u64(&stats, "panics_caught"), clients as u64, "{stats}");
+    assert_eq!(json_u64(&stats, "anonymize_runs"), 0, "{stats}");
+    assert!(json_u64(&stats, "coalesced") >= 1, "{stats}");
+
+    // The failed flight left no cache entry: disarmed, the same request
+    // computes fresh, and only then do repeats hit.
+    let (status, fresh) = http(addr, "POST", "/anonymize?algo=tp&l=3", &csv);
+    assert_eq!(status, 200, "{fresh}");
+    assert!(
+        fresh.contains("\"cached\":false"),
+        "errors were cached: {fresh}"
+    );
+    let (_, repeat) = http(addr, "POST", "/anonymize?algo=tp&l=3", &csv);
+    assert!(repeat.contains("\"cached\":true"), "{repeat}");
+
+    srv.shutdown();
+}
+
+/// An elapsed per-request deadline crosses the wait path: the leader's
+/// cooperative cancellation surfaces as `504 deadline_exceeded` for the
+/// leader *and* every parked follower, promptly, and a deadline is
+/// classified as what it is — not counted as a caught panic.
+#[test]
+fn deadlines_cross_the_wait_path_as_504s() {
+    let csv = dataset_csv(300, 93);
+    let clients = 4;
+    with_faults(plan("slow:5000"), || {
+        let srv = server(ServerConfig {
+            workers: clients,
+            queue_depth: 32,
+            cache_capacity: 16,
+            deadline_ms: 500,
+            ..ServerConfig::default()
+        });
+        let addr = srv.addr();
+        let start = Instant::now();
+        let results = storm(addr, clients, "/anonymize?algo=tp&l=3", &csv);
+        let elapsed = start.elapsed();
+        for (status, body) in &results {
+            assert_eq!(*status, 504, "{body}");
+            assert!(body.contains("\"kind\":\"deadline_exceeded\""), "{body}");
+        }
+        assert!(
+            elapsed < Duration::from_millis(2000),
+            "coalesced 504s took {elapsed:?} against a 500ms budget"
+        );
+        let (_, stats) = http(addr, "GET", "/stats", b"");
+        assert_eq!(
+            json_u64(&stats, "panics_caught"),
+            0,
+            "a deadline is not a panic: {stats}"
+        );
+        assert!(json_u64(&stats, "coalesced") >= 1, "{stats}");
+        srv.shutdown();
+    });
+}
+
+/// Follower bodies are byte-identical to the leader's under binary
+/// negotiation too, and once the flight retires into the cache, hits
+/// reuse one encoded block — still byte-identical, decoding to the
+/// cached face of the same summary.
+#[test]
+fn storm_bodies_are_byte_identical_under_binary_negotiation() {
+    let csv = dataset_csv(400, 94);
+    let clients = 5;
+    let srv = server(ServerConfig {
+        workers: clients,
+        queue_depth: 32,
+        cache_capacity: 16,
+        ..ServerConfig::default()
+    });
+    let addr = srv.addr();
+    let target = "/anonymize?algo=tp&l=3&format=bin";
+
+    let blocks: Vec<Vec<u8>> = with_faults_collect(plan("slow:400"), || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let csv = &csv;
+                    scope.spawn(move || http_bytes(addr, "POST", target, csv))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (status, block) = h.join().unwrap();
+                    assert_eq!(status, 200);
+                    block
+                })
+                .collect()
+        })
+    });
+    let fresh = decode(&blocks[0]).expect("storm payload decodes");
+    assert_eq!(fresh.get("mechanism"), Some(&Json::Str("tp".into())));
+    for block in &blocks {
+        // Followers may race the flight's retirement into the cache, so
+        // a block is either the fresh face or the cached face of the
+        // same summary — byte-identical within each face.
+        let summary = decode(block).expect("storm payload decodes");
+        assert_eq!(
+            summary.clone().field("cached", false),
+            fresh.clone().field("cached", false),
+            "storm blocks diverge beyond the cached flag"
+        );
+        if summary.get("cached") == fresh.get("cached") {
+            assert_eq!(block, &blocks[0], "same-face blocks are not byte-identical");
+        }
+    }
+
+    // Cached hits share one lazily-encoded block: byte-identical to each
+    // other, decoding to the cached face.
+    let (_, hit_a) = http_bytes(addr, "POST", target, &csv);
+    let (_, hit_b) = http_bytes(addr, "POST", target, &csv);
+    assert_eq!(hit_a, hit_b, "cached binary blocks diverge");
+    let cached = decode(&hit_a).expect("cached payload decodes");
+    assert_eq!(cached.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(
+        cached.field("cached", false),
+        fresh.field("cached", false),
+        "cached block drifted from the storm's summary"
+    );
+
+    srv.shutdown();
+}
+
+/// Like [`with_faults`] but returns the body's value.
+fn with_faults_collect<T>(plan: Option<FaultPlan>, body: impl FnOnce() -> T) -> T {
+    let mut slot = None;
+    with_faults(plan, || slot = Some(body()));
+    slot.unwrap()
+}
+
+/// `/datasets/{fp}/publish` coalesces on the store's lineage
+/// fingerprint: an identical publish storm runs the publication once
+/// (one store publish, one anonymization), and the ledger balances.
+#[test]
+fn publish_storms_coalesce_on_the_store_lineage() {
+    let root = std::env::temp_dir().join(format!("ldiv-coalesce-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let csv = dataset_csv(400, 95);
+    let clients = 6;
+    let srv = server(ServerConfig {
+        workers: clients,
+        queue_depth: 64,
+        cache_capacity: 16,
+        store_root: Some(root.clone()),
+        ..ServerConfig::default()
+    });
+    let addr = srv.addr();
+
+    let (status, registered) = http(addr, "POST", "/datasets", &csv);
+    assert_eq!(status, 200, "{registered}");
+    let fp = registered
+        .split("\"dataset\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("register returns the fingerprint")
+        .to_string();
+    let target = format!("/datasets/{fp}/publish?algo=tp&l=3");
+
+    with_faults(plan("slow:500"), || {
+        let results = storm(addr, clients, &target, b"");
+        let mut bodies: Vec<String> = results
+            .iter()
+            .map(|(status, body)| {
+                assert_eq!(*status, 200, "{body}");
+                body.replace("\"cached\":true", "\"cached\":false")
+            })
+            .collect();
+        bodies.sort();
+        bodies.dedup();
+        assert_eq!(bodies.len(), 1, "publish storm bodies diverge: {results:?}");
+    });
+
+    let (_, stats) = http(addr, "GET", "/stats", b"");
+    let runs = json_u64(&stats, "anonymize_runs");
+    assert_eq!(runs, 1, "an identical publish storm must run once: {stats}");
+    assert_eq!(json_u64(&stats, "publishes"), 1, "{stats}");
+    assert!(json_u64(&stats, "coalesced") >= 1, "{stats}");
+    assert_eq!(
+        json_u64(&stats, "hits") + json_u64(&stats, "coalesced") + runs,
+        clients as u64,
+        "publish ledger does not balance: {stats}"
+    );
+
+    // Post-storm: a straight cache hit, still one publish.
+    let (status, after) = http(addr, "POST", &target, b"");
+    assert_eq!(status, 200);
+    assert!(after.contains("\"cached\":true"), "{after}");
+    let (_, stats) = http(addr, "GET", "/stats", b"");
+    assert_eq!(json_u64(&stats, "publishes"), 1, "{stats}");
+
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The committed load-harness baseline keeps the coalescing story
+/// honest in CI: schema 4, an identical storm that ran exactly once,
+/// and a duplicate-storm p99 within 2x of the single-client cached p99.
+#[test]
+fn committed_baseline_records_coalescing() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    let report = Json::parse(&text).expect("BENCH_serve.json parses");
+
+    fn num(json: &Json, key: &str) -> f64 {
+        match json.get(key) {
+            Some(Json::Int(i)) => *i as f64,
+            Some(Json::Float(f)) => *f,
+            other => panic!("no numeric {key}: {other:?}"),
+        }
+    }
+
+    assert_eq!(report.get("schema"), Some(&Json::Int(4)));
+    let storm = report
+        .get("storm")
+        .expect("schema 4 carries a storm section");
+    let identical = storm
+        .get("identical")
+        .expect("baseline was generated with --duplicates");
+    assert_eq!(
+        num(identical, "anonymize_runs"),
+        1.0,
+        "the identical storm must coalesce to one run"
+    );
+    assert!(num(identical, "coalesced") >= 1.0);
+    let ledger = num(identical, "cache_hits") + num(identical, "coalesced") + 1.0;
+    assert_eq!(ledger, num(identical, "requests"), "storm ledger imbalance");
+
+    // Fan-in must not erase the cache win: the duplicate storm stays
+    // within 2x of the single-client cached path. When the hardware can
+    // absorb the whole fan-in (cores >= clients) that is the direct p99
+    // comparison. Under a closed loop on fewer cores, client-observed
+    // latency is Little's-law-bound at ~(concurrency / cores) service
+    // times of queueing per request whatever the server does, so the
+    // p99 form is vacuous there; the same statement expressed in the
+    // quantity queueing cannot distort is aggregate throughput — a
+    // coalescing server keeps doing cache-hit work under duplicates, so
+    // the storm's requests/sec holds at least half the single-client
+    // cached rate.
+    let cached = report.get("cached").expect("cached path");
+    let storm_p99 = num(identical, "p99_ms");
+    if num(storm, "cores") >= num(storm, "concurrency") {
+        let cached_p99 = num(cached, "p99_ms");
+        assert!(
+            storm_p99 <= cached_p99 * 2.0,
+            "duplicate-storm p99 {storm_p99}ms exceeds 2x cached p99 {cached_p99}ms"
+        );
+    } else {
+        let cached_rps = num(cached, "requests_per_sec");
+        let storm_rps = num(identical, "requests_per_sec");
+        assert!(
+            storm_rps >= cached_rps / 2.0,
+            "duplicate-storm throughput {storm_rps} req/s fell below half \
+             the single-client cached rate {cached_rps} req/s"
+        );
+    }
+
+    // The hardware-independent coalescing signal: a storm of pure
+    // duplicates is no slower at the tail than the same fan-in spread
+    // over distinct keys doing real (per-key) work.
+    let mixed_p99 = num(storm.get("mixed").expect("mixed storm"), "p99_ms");
+    assert!(
+        storm_p99 <= mixed_p99 * 1.5,
+        "duplicates cost more than distinct-key traffic: \
+         identical p99 {storm_p99}ms vs mixed p99 {mixed_p99}ms"
+    );
+
+    // The mixed storm exercised distinct keys: one run per key group.
+    let mixed = storm.get("mixed").expect("mixed storm");
+    assert_eq!(
+        num(mixed, "anonymize_runs"),
+        num(storm, "mixed_key_groups"),
+        "mixed storm must run once per distinct key"
+    );
+}
